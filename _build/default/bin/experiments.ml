@@ -1,0 +1,50 @@
+(* Regenerate every experiment table (E1-E10, see DESIGN.md Section 5
+   and EXPERIMENTS.md). All numbers are deterministic simulated device
+   time. *)
+
+module Experiments = Ghost_bench.Experiments
+module Report = Ghost_bench.Report
+module Medical = Ghost_workload.Medical
+open Cmdliner
+
+let scale_conv =
+  let parse = function
+    | "tiny" -> Ok Medical.tiny
+    | "small" -> Ok Medical.small
+    | "medium" -> Ok Medical.medium
+    | "paper" -> Ok Medical.paper
+    | s -> Error (`Msg (Printf.sprintf "unknown scale %S (tiny|small|medium|paper)" s))
+  in
+  let print fmt (s : Medical.scale) =
+    Format.fprintf fmt "%d-prescriptions" s.Medical.prescriptions
+  in
+  Arg.conv (parse, print)
+
+let scale_arg =
+  Arg.(value & opt scale_conv Medical.small
+       & info [ "scale" ] ~docv:"SCALE"
+           ~doc:"Dataset scale: tiny, small (default), medium or paper (1M).")
+
+let full_arg =
+  Arg.(value & flag
+       & info [ "full" ] ~doc:"Include the paper's 1M-prescription point in E10.")
+
+let only_arg =
+  Arg.(value & opt (some (list string)) None
+       & info [ "only" ] ~docv:"IDS" ~doc:"Run only the given experiment ids (E1..E10).")
+
+let run scale full only =
+  let reports = Experiments.all ~scale ~full () in
+  let selected =
+    match only with
+    | None -> reports
+    | Some ids -> List.filter (fun (id, _) -> List.mem id ids) reports
+  in
+  List.iter (fun (_, thunk) -> print_string (Report.to_string (thunk ()))) selected
+
+let cmd =
+  let doc = "regenerate the GhostDB reproduction's experiment tables" in
+  Cmd.v (Cmd.info "experiments" ~doc)
+    Term.(const run $ scale_arg $ full_arg $ only_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,176 @@
+(* The three-phase demonstration of the paper (Section 5), as a CLI:
+
+   phase 1  `security` - run a query and show what a Trojan horse on
+            the terminal would observe on every link, plus the
+            auditor's verdict;
+   phase 2  `plans`    - build and evaluate alternative query execution
+            plans, with per-operator statistics (the Figure 6 GUI);
+   phase 3  `game`     - guess the fastest plan, then see the ranking.
+
+   The device is a software simulator - as in the original demo, whose
+   GUI "must run on a software simulator because the hardware device is
+   by design unobservable". *)
+
+module Trace = Ghost_device.Trace
+module Device = Ghost_device.Device
+module Medical = Ghost_workload.Medical
+module Queries = Ghost_workload.Queries
+module Ghost_db = Ghostdb.Ghost_db
+module Plan = Ghostdb.Plan
+module Planner = Ghostdb.Planner
+module Cost = Ghostdb.Cost
+module Exec = Ghostdb.Exec
+module Privacy = Ghostdb.Privacy
+module Spy = Ghost_public.Spy
+open Cmdliner
+
+let scale_conv =
+  let parse = function
+    | "tiny" -> Ok Medical.tiny
+    | "small" -> Ok Medical.small
+    | "medium" -> Ok Medical.medium
+    | s -> Error (`Msg (Printf.sprintf "unknown scale %S" s))
+  in
+  Arg.conv (parse, fun fmt (s : Medical.scale) ->
+    Format.fprintf fmt "%d" s.Medical.prescriptions)
+
+let scale_arg =
+  Arg.(value & opt scale_conv Medical.small
+       & info [ "scale" ] ~docv:"SCALE" ~doc:"tiny, small (default) or medium.")
+
+let query_arg =
+  Arg.(value & opt string "demo"
+       & info [ "query" ] ~docv:"QUERY"
+           ~doc:"A named query (demo, hidden_only, visible_only, deep_climb, \
+                 doctor_patient, range_hidden, single_table_visible, five_way) or raw \
+                 SQL.")
+
+let resolve_query name =
+  match List.assoc_opt name Queries.all with
+  | Some sql -> sql
+  | None -> name
+
+let make_db scale =
+  Printf.printf "loading the %d-prescription medical database (Figure 3 schema)...\n%!"
+    scale.Medical.prescriptions;
+  Ghost_db.of_schema (Medical.schema ()) (Medical.generate scale)
+
+(* ---- phase 1 ---- *)
+
+let security scale query =
+  let db = make_db scale in
+  let sql = resolve_query query in
+  Printf.printf "\n-- query --\n%s\n\n" sql;
+  Ghost_db.clear_trace db;
+  let r = Ghost_db.query db sql in
+  Printf.printf "-- results (%d rows, via the secure display channel only) --\n"
+    r.Exec.row_count;
+  List.iteri
+    (fun i row -> if i < 10 then Printf.printf "  %s\n" (Ghost_db.row_to_string row))
+    r.Exec.rows;
+  if r.Exec.row_count > 10 then Printf.printf "  ... (%d more)\n" (r.Exec.row_count - 10);
+  Printf.printf "\n-- every message a spy can observe --\n";
+  List.iter
+    (fun e ->
+       if Trace.spy_visible e.Trace.link then
+         Format.printf "  %a@." Trace.pp_event e)
+    (Trace.events (Ghost_db.trace db));
+  Printf.printf "\n-- spy summary --\n%s\n" (Spy.to_string (Ghost_db.spy_report db));
+  Format.printf "@.%a@." Privacy.pp (Ghost_db.audit db)
+
+(* ---- phase 2 ---- *)
+
+let plans scale query =
+  let db = make_db scale in
+  let sql = resolve_query query in
+  let cat = Ghost_db.catalog db in
+  let q = Ghost_db.bind db sql in
+  Printf.printf "\n-- query --\n%s\n\n" sql;
+  let named =
+    [
+      ("P1 all-Pre", Planner.all_pre cat q);
+      ("P2 all-Post", Planner.all_post cat q);
+      ("P3 Cross", Planner.cross cat q);
+      ("P4 optimizer", fst (Planner.best cat q));
+    ]
+  in
+  List.iter
+    (fun (name, plan) ->
+       Printf.printf "==== %s ====\n%s" name (Plan.describe plan);
+       let est = Cost.estimate cat plan in
+       let r = Ghost_db.run_plan db plan in
+       Printf.printf "estimated %.1f ms | executed %.1f ms | %d rows | RAM peak %d B\n"
+         (est.Cost.est_time_us /. 1000.)
+         (r.Exec.elapsed_us /. 1000.)
+         r.Exec.row_count r.Exec.ram_peak;
+       Format.printf "%a@." Exec.pp_ops r.Exec.ops)
+    named;
+  Printf.printf "full panel: %d candidate plans (use `game` to explore them)\n"
+    (List.length (Planner.enumerate cat q))
+
+(* ---- phase 3 ---- *)
+
+let game scale query guess =
+  let db = make_db scale in
+  let sql = resolve_query query in
+  let cat = Ghost_db.catalog db in
+  let q = Ghost_db.bind db sql in
+  let panel = Planner.enumerate cat q in
+  Printf.printf "\n-- query --\n%s\n\n" sql;
+  Printf.printf "pick the fastest of these %d plans:\n" (List.length panel);
+  List.iteri (fun i p -> Printf.printf "  [%2d] %s\n" i p.Plan.label) panel;
+  let pick =
+    match guess with
+    | Some g -> g
+    | None ->
+      Printf.printf "\nyour guess [0-%d]: %!" (List.length panel - 1);
+      (try int_of_string (String.trim (input_line stdin)) with _ -> 0)
+  in
+  let timed =
+    List.mapi
+      (fun i p -> (i, p, (Ghost_db.run_plan db p).Exec.elapsed_us))
+      panel
+  in
+  let ranking = List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b) timed in
+  Printf.printf "\n-- ranking (simulated device time) --\n";
+  List.iteri
+    (fun rank (i, p, t) ->
+       Printf.printf "  #%d  [%2d] %-60s %10.1f ms%s\n" (rank + 1) i p.Plan.label
+         (t /. 1000.)
+         (if i = pick then "   <- your pick" else ""))
+    ranking;
+  (match ranking with
+   | (w, _, _) :: _ when w = pick -> Printf.printf "\nyou win the prize!\n"
+   | (w, _, best) :: _ ->
+     let _, _, yours = List.find (fun (i, _, _) -> i = pick) timed in
+     Printf.printf "\nplan %d was fastest; your pick was %.1fx slower.\n" w
+       (yours /. best)
+   | [] -> ())
+
+(* ---- command line ---- *)
+
+let security_cmd =
+  Cmd.v
+    (Cmd.info "security" ~doc:"phase 1: watch the links while a query runs")
+    Term.(const security $ scale_arg $ query_arg)
+
+let plans_cmd =
+  Cmd.v
+    (Cmd.info "plans" ~doc:"phase 2: compare query execution plans and operators")
+    Term.(const plans $ scale_arg $ query_arg)
+
+let guess_arg =
+  Arg.(value & opt (some int) None
+       & info [ "guess" ] ~docv:"N" ~doc:"Non-interactive plan guess.")
+
+let game_cmd =
+  Cmd.v
+    (Cmd.info "game" ~doc:"phase 3: find the fastest plan for a query")
+    Term.(const game $ scale_arg $ query_arg $ guess_arg)
+
+let () =
+  let doc = "GhostDB demonstration (VLDB 2007), on a simulated smart USB device" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "ghostdb_demo" ~doc)
+          [ security_cmd; plans_cmd; game_cmd ]))

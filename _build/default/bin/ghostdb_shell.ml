@@ -1,0 +1,182 @@
+(* Interactive GhostDB shell.
+
+   A line-oriented SQL console over a simulated GhostDB instance:
+
+     dune exec bin/ghostdb_shell.exe                   # small medical db
+     dune exec bin/ghostdb_shell.exe -- --scale tiny
+     dune exec bin/ghostdb_shell.exe -- --image my.img
+
+   SQL statements run through the optimizer; dot-commands expose the
+   demo's machinery:
+
+     .help                 this text
+     .plans SQL            the candidate-plan panel with estimates
+     .explain SQL          the optimizer's plan, described
+     .ops SQL              execute and show per-operator statistics
+     .spy                  what a spy observed so far
+     .audit                the privacy auditor's verdict
+     .storage              flash footprint of the hidden structures
+     .delete id[,id...]    tombstone root rows
+     .reorganize           fold pending inserts/deletes back in
+     .save PATH            write a device image
+     .quit *)
+
+module Trace = Ghost_device.Trace
+module Medical = Ghost_workload.Medical
+module Ghost_db = Ghostdb.Ghost_db
+module Exec = Ghostdb.Exec
+module Plan = Ghostdb.Plan
+module Planner = Ghostdb.Planner
+module Cost = Ghostdb.Cost
+module Privacy = Ghostdb.Privacy
+module Spy = Ghost_public.Spy
+module Insert = Ghostdb.Insert
+
+let usage = "ghostdb_shell [--scale tiny|small|medium] [--image PATH]"
+
+let parse_args () =
+  let scale = ref Medical.small in
+  let image = ref None in
+  let specs = [
+    ("--scale",
+     Arg.String
+       (fun s ->
+          scale :=
+            match s with
+            | "tiny" -> Medical.tiny
+            | "small" -> Medical.small
+            | "medium" -> Medical.medium
+            | _ -> raise (Arg.Bad ("unknown scale " ^ s))),
+     "SCALE tiny|small|medium");
+    ("--image", Arg.String (fun p -> image := Some p), "PATH open a saved device image");
+  ] in
+  Arg.parse (Arg.align specs) (fun s -> raise (Arg.Bad ("unexpected " ^ s))) usage;
+  (!scale, !image)
+
+let print_result (r : Exec.result) =
+  List.iteri
+    (fun i row ->
+       if i < 25 then print_endline ("  " ^ Ghost_db.row_to_string row))
+    r.Exec.rows;
+  if r.Exec.row_count > 25 then Printf.printf "  ... (%d more)\n" (r.Exec.row_count - 25);
+  Printf.printf "%d row%s in %.1f ms simulated device time (RAM peak %d B)\n"
+    r.Exec.row_count
+    (if r.Exec.row_count = 1 then "" else "s")
+    (r.Exec.elapsed_us /. 1000.)
+    r.Exec.ram_peak
+
+let help () =
+  print_string
+    "SQL statements execute through the optimizer. Dot-commands:\n\
+    \  .plans SQL | .explain SQL | .ops SQL\n\
+    \  .spy | .audit | .storage | .delete id[,id...] | .reorganize\n\
+    \  .save PATH | .help | .quit\n"
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let arg_of ~cmd line = String.trim (String.sub line (String.length cmd)
+                                      (String.length line - String.length cmd))
+
+let rec repl db =
+  print_string "ghostdb> ";
+  match In_channel.input_line stdin with
+  | None -> ()
+  | Some line ->
+    let line = String.trim line in
+    let db =
+      try
+        if line = "" then db
+        else if line = ".quit" || line = ".exit" then raise Exit
+        else if line = ".help" then (help (); db)
+        else if line = ".spy" then begin
+          print_endline (Spy.to_string (Ghost_db.spy_report db));
+          db
+        end
+        else if line = ".audit" then begin
+          Format.printf "%a@." Privacy.pp (Ghost_db.audit db);
+          db
+        end
+        else if line = ".storage" then begin
+          Format.printf "%a@." Ghostdb.Catalog.pp_storage (Ghost_db.storage db);
+          Printf.printf "pending: %d inserted, %d deleted\n" (Ghost_db.delta_count db)
+            (Ghost_db.tombstone_count db);
+          db
+        end
+        else if line = ".reorganize" then begin
+          let fresh = Ghost_db.reorganize db in
+          print_endline "reorganized (logs folded in; root ids compacted)";
+          fresh
+        end
+        else if starts_with ".delete" line then begin
+          let ids =
+            arg_of ~cmd:".delete" line
+            |> String.split_on_char ','
+            |> List.map (fun s -> int_of_string (String.trim s))
+          in
+          Ghost_db.delete db ids;
+          Printf.printf "%d row(s) tombstoned\n" (List.length ids);
+          db
+        end
+        else if starts_with ".save" line then begin
+          let path = arg_of ~cmd:".save" line in
+          Ghost_db.save_image db path;
+          Printf.printf "image written to %s\n" path;
+          db
+        end
+        else if starts_with ".plans" line then begin
+          let sql = arg_of ~cmd:".plans" line in
+          List.iteri
+            (fun i (p, est) ->
+               Printf.printf "  [%2d] %-70s est %8.1f ms\n" i p.Plan.label
+                 (est.Cost.est_time_us /. 1000.))
+            (Ghost_db.plans db sql);
+          db
+        end
+        else if starts_with ".explain" line then begin
+          let sql = arg_of ~cmd:".explain" line in
+          let plan, est = Planner.best (Ghost_db.catalog db) (Ghost_db.bind db sql) in
+          print_string (Plan.describe plan);
+          Format.printf "%a@." Cost.pp est;
+          db
+        end
+        else if starts_with ".ops" line then begin
+          let sql = arg_of ~cmd:".ops" line in
+          let r = Ghost_db.query db sql in
+          Format.printf "%a" Exec.pp_ops r.Exec.ops;
+          print_result r;
+          db
+        end
+        else if line.[0] = '.' then begin
+          Printf.printf "unknown command %s (try .help)\n" line;
+          db
+        end
+        else begin
+          print_result (Ghost_db.query db line);
+          db
+        end
+      with
+      | Exit -> raise Exit
+      | Ghost_sql.Parser.Parse_error msg -> Printf.printf "parse error: %s\n" msg; db
+      | Ghost_sql.Bind.Bind_error msg -> Printf.printf "bind error: %s\n" msg; db
+      | Insert.Insert_error msg -> Printf.printf "error: %s\n" msg; db
+      | Ghost_db.Image_error msg -> Printf.printf "image error: %s\n" msg; db
+      | Failure msg -> Printf.printf "error: %s\n" msg; db
+    in
+    repl db
+
+let () =
+  let scale, image = parse_args () in
+  let db =
+    match image with
+    | Some path ->
+      Printf.printf "opening image %s...\n%!" path;
+      Ghost_db.load_image path
+    | None ->
+      Printf.printf "loading the %d-prescription medical database...\n%!"
+        scale.Medical.prescriptions;
+      Ghost_db.of_schema (Medical.schema ()) (Medical.generate scale)
+  in
+  print_endline "GhostDB shell - the device is simulated; type .help for commands.";
+  try repl db with Exit -> print_endline "bye"

@@ -1,0 +1,70 @@
+(* Quickstart: declare a schema with HIDDEN columns, load a few rows,
+   run a query that mixes visible and hidden data.
+
+   dune exec examples/quickstart.exe *)
+
+module Value = Ghost_kernel.Value
+module Date = Ghost_kernel.Date
+module Ghost_db = Ghostdb.Ghost_db
+module Exec = Ghostdb.Exec
+
+(* The security administrator hides the diagnosis and the link between
+   visits and patients; everything else may live on the public
+   server. Only the DDL changes - queries are plain SQL. *)
+let ddl = {|
+CREATE TABLE Patient (
+  PatID INTEGER PRIMARY KEY,
+  Name CHAR(20) HIDDEN,
+  City CHAR(16));
+
+CREATE TABLE Visit (
+  VisID INTEGER PRIMARY KEY,
+  Date DATE,
+  Diagnosis CHAR(24) HIDDEN,
+  PatID INTEGER REFERENCES Patient(PatID) HIDDEN);
+|}
+
+let d = Date.of_string
+
+let patients = [
+  [| Value.Int 1; Value.Str "Alice Martin"; Value.Str "Paris" |];
+  [| Value.Int 2; Value.Str "Bruno Keller"; Value.Str "Lyon" |];
+  [| Value.Int 3; Value.Str "Chloe Durand"; Value.Str "Paris" |];
+]
+
+let visits = [
+  [| Value.Int 1; Value.Date (d "2006-03-14"); Value.Str "Diabetes"; Value.Int 1 |];
+  [| Value.Int 2; Value.Date (d "2006-07-02"); Value.Str "Influenza"; Value.Int 2 |];
+  [| Value.Int 3; Value.Date (d "2006-11-20"); Value.Str "Diabetes"; Value.Int 3 |];
+  [| Value.Int 4; Value.Date (d "2006-12-05"); Value.Str "Checkup"; Value.Int 1 |];
+]
+
+let () =
+  (* Loading splits the data: visible columns go to the public store,
+     hidden columns (and all keys) to the simulated smart USB device. *)
+  let db = Ghost_db.create ~ddl [ ("Patient", patients); ("Visit", visits) ] in
+
+  (* The query text mentions hidden and visible columns alike. *)
+  let sql = {|
+    SELECT Pat.Name, Vis.Date
+    FROM Patient Pat, Visit Vis
+    WHERE Vis.Diagnosis = 'Diabetes'
+      AND Vis.Date > '2006-01-01'
+      AND Vis.PatID = Pat.PatID
+  |} in
+  let result = Ghost_db.query db sql in
+
+  Printf.printf "diabetes visits in 2006:\n";
+  List.iter
+    (fun row -> Printf.printf "  %s\n" (Ghost_db.row_to_string row))
+    result.Exec.rows;
+  Printf.printf "\nsimulated device time: %.1f ms (RAM peak %d B of %d B)\n"
+    (result.Exec.elapsed_us /. 1000.)
+    result.Exec.ram_peak
+    (Ghost_device.Ram.budget (Ghost_device.Device.ram (Ghost_db.device db)));
+
+  (* Nothing hidden ever left the device: *)
+  let verdict = Ghost_db.audit db in
+  Printf.printf "privacy audit: %s\n"
+    (if verdict.Ghostdb.Privacy.ok then "OK - no hidden data on any spy-visible link"
+     else "VIOLATION")

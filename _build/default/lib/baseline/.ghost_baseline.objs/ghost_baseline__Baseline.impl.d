@@ -1,0 +1,1 @@
+lib/baseline/baseline.ml: Array Bytes Fun Ghost_device Ghost_flash Ghost_kernel Ghost_public Ghost_relation Ghost_sql Ghost_store Ghostdb Hashtbl Int List Printf String

@@ -1,0 +1,1 @@
+lib/baseline/baseline.mli: Ghost_device Ghost_kernel Ghost_public Ghost_sql Ghostdb

@@ -1,0 +1,42 @@
+module Value = Ghost_kernel.Value
+module Device = Ghost_device.Device
+module Bind = Ghost_sql.Bind
+module Catalog = Ghostdb.Catalog
+module Public_store = Ghost_public.Public_store
+
+(** The query-processing baselines GhostDB is measured against.
+
+    Section 4 of the paper: computing SPJ queries on the device "leads
+    to unacceptable performance with last resort join algorithms (like
+    hash joins) as well as with known indexing techniques like join
+    indices". Both are implemented here over the same device model and
+    the same hidden column stores, without SKTs or climbing indexes:
+
+    - {!Grace_hash} — joins materialize foreign keys by per-record
+      point reads and filter through grace-hash partitioning on the
+      scratch Flash whenever the build side exceeds the RAM arena;
+    - {!Sort_merge} — the classical join-index discipline: every join
+      or filter step externally sorts the record stream on the join
+      attribute and merge-joins it against a sequential scan.
+
+    Both return the same rows as the GhostDB executor (the test suite
+    checks all three against the reference evaluator); only their cost
+    differs. *)
+
+type algorithm =
+  | Grace_hash
+  | Sort_merge
+
+val algorithm_name : algorithm -> string
+
+type result = {
+  rows : Value.t array list;
+  row_count : int;
+  elapsed_us : float;  (** simulated device time *)
+  usage : Device.usage;
+  ram_peak : int;
+}
+
+exception Baseline_error of string
+
+val run : algorithm -> Catalog.t -> Public_store.t -> Bind.query -> result

@@ -1,0 +1,1 @@
+lib/bench_kit/experiments.ml: Array Float Ghost_baseline Ghost_device Ghost_flash Ghost_kernel Ghost_public Ghost_workload Ghostdb List Printf Report String

@@ -1,0 +1,1 @@
+lib/bench_kit/report.ml: Float Format List Printf String

@@ -1,0 +1,811 @@
+module Flash = Ghost_flash.Flash
+module Device = Ghost_device.Device
+module Trace = Ghost_device.Trace
+module Medical = Ghost_workload.Medical
+module Queries = Ghost_workload.Queries
+module Ghost_db = Ghostdb.Ghost_db
+module Catalog = Ghostdb.Catalog
+module Plan = Ghostdb.Plan
+module Planner = Ghostdb.Planner
+module Cost = Ghostdb.Cost
+module Exec = Ghostdb.Exec
+module Privacy = Ghostdb.Privacy
+module Spy = Ghost_public.Spy
+module Baseline = Ghost_baseline.Baseline
+
+let default_scale = Medical.small
+
+let make_db ?device_config scale =
+  Ghost_db.of_schema ?device_config (Medical.schema ()) (Medical.generate scale)
+
+let run_named db sql plan =
+  ignore sql;
+  Ghost_db.run_plan db plan
+
+(* ---- E1 / Figure 6 ---- *)
+
+let fig6_plans ?(scale = default_scale) () =
+  let db = make_db scale in
+  let cat = Ghost_db.catalog db in
+  let q = Ghost_db.bind db Queries.demo in
+  let plans =
+    [
+      ("P1 all-Pre", Planner.all_pre cat q);
+      ("P2 all-Post", Planner.all_post cat q);
+      ("P3 Cross", Planner.cross cat q);
+      ("P4 optimizer", fst (Planner.best cat q));
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, plan) ->
+         let est = Cost.estimate cat plan in
+         let r = run_named db Queries.demo plan in
+         [
+           name;
+           Report.us r.Exec.elapsed_us;
+           Report.us est.Cost.est_time_us;
+           Report.bytes r.Exec.ram_peak;
+           string_of_int r.Exec.row_count;
+           plan.Plan.label;
+         ])
+      plans
+  in
+  Report.make ~id:"E1" ~title:"Figure 6 - ad-hoc plan comparison (demo query)"
+    ~header:[ "plan"; "exec time"; "est time"; "RAM peak"; "rows"; "strategy" ]
+    ~notes:
+      [
+        Printf.sprintf "demo query: %s" (String.concat " " (String.split_on_char '\n' Queries.demo));
+        Printf.sprintf "scale: %d prescriptions" scale.Medical.prescriptions;
+      ]
+    rows
+
+(* ---- E2 crossover ---- *)
+
+let crossover_selectivities =
+  [ 0.001; 0.002; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2; 0.35; 0.5 ]
+
+let pre_post_crossover ?(scale = default_scale) () =
+  let db = make_db scale in
+  let cat = Ghost_db.catalog db in
+  let strategies =
+    [ Plan.V_pre; Plan.V_post; Plan.V_cross_pre; Plan.V_cross_post ]
+  in
+  let rows =
+    List.map
+      (fun sel ->
+         let sql =
+           Printf.sprintf
+             "SELECT Pre.PreID FROM Prescription Pre, Visit Vis WHERE Vis.Date > '%s' \
+              AND Vis.Purpose = 'Checkup' AND Vis.VisID = Pre.VisID"
+             (Ghost_kernel.Date.to_string (Medical.date_cutoff_for_selectivity sel))
+         in
+         let q = Ghost_db.bind db sql in
+         let times =
+           List.map
+             (fun s ->
+                let plan = Planner.uniform cat q s in
+                (Ghost_db.run_plan db plan).Exec.elapsed_us)
+             strategies
+         in
+         let best_label = (fst (Planner.best cat q)).Plan.label in
+         (* report the strategy the optimizer picked for the Date
+            predicate: the token after "Visit{Date}:" *)
+         let chosen =
+           let marker = "Visit{Date}:" in
+           let ml = String.length marker in
+           let rec find i =
+             if i + ml > String.length best_label then "?"
+             else if String.sub best_label i ml = marker then begin
+               let rest = String.sub best_label (i + ml) (String.length best_label - i - ml) in
+               match String.index_opt rest ' ' with
+               | Some j -> String.sub rest 0 j
+               | None -> rest
+             end
+             else find (i + 1)
+           in
+           find 0
+         in
+         Printf.sprintf "%.3f" sel
+         :: List.map Report.us times
+         @ [ chosen ])
+      crossover_selectivities
+  in
+  Report.make ~id:"E2"
+    ~title:"Pre vs Post vs Cross filtering as visible selectivity grows"
+    ~header:[ "Date sel."; "Pre"; "Post"; "Cross-Pre"; "Cross-Post"; "optimizer" ]
+    ~notes:
+      [
+        "query: Vis.Date > cutoff (visible) AND Vis.Purpose = 'Checkup' (hidden)";
+        "expected shape: Pre wins at high selectivity (few ids to climb), Post wins as \
+         the visible predicate grows unselective";
+      ]
+    rows
+
+(* ---- E3 operator stats ---- *)
+
+let operator_stats ?(scale = default_scale) () =
+  let db = make_db scale in
+  let r = Ghost_db.query db Queries.demo in
+  let rows =
+    List.map
+      (fun (o : Exec.op_stats) ->
+         [
+           o.Exec.op_label;
+           string_of_int o.Exec.tuples_in;
+           string_of_int o.Exec.tuples_out;
+           Report.bytes o.Exec.ram_peak;
+           Report.us o.Exec.usage.Device.total_us;
+         ])
+      r.Exec.ops
+  in
+  Report.make ~id:"E3" ~title:"Per-operator statistics (demo query, optimizer plan)"
+    ~header:[ "operator"; "tuples in"; "tuples out"; "local RAM"; "time" ]
+    ~notes:
+      [
+        Printf.sprintf "total: %s, %d result rows, RAM peak %s"
+          (Report.us r.Exec.elapsed_us) r.Exec.row_count (Report.bytes r.Exec.ram_peak);
+      ]
+    rows
+
+(* ---- E4 privacy trace ---- *)
+
+let privacy_trace ?(scale = default_scale) () =
+  let db = make_db scale in
+  Ghost_db.clear_trace db;
+  ignore (Ghost_db.query db Queries.demo);
+  let report = Ghost_db.spy_report db in
+  let verdict = Ghost_db.audit db in
+  let link_rows =
+    List.map
+      (fun (s : Spy.link_summary) ->
+         [
+           Trace.link_name s.Spy.link;
+           string_of_int s.Spy.messages;
+           Report.bytes s.Spy.bytes;
+         ])
+      report.Spy.per_link
+  in
+  Report.make ~id:"E4" ~title:"What the spy sees (demo query)"
+    ~header:[ "link"; "messages"; "bytes" ]
+    ~notes:
+      ([
+         Printf.sprintf "queries observed: %d" (List.length report.Spy.queries_observed);
+         Printf.sprintf "device outbound payload: %d B%s"
+           report.Spy.device_outbound_payload_bytes
+           (if report.Spy.device_outbound_payload_bytes = 0 then
+              " - nothing hidden leaks" else " - LEAK");
+         Printf.sprintf "auditor: %s"
+           (if verdict.Privacy.ok then "OK" else String.concat "; " verdict.Privacy.violations);
+       ]
+       @ List.map
+           (fun (t, c, n) -> Printf.sprintf "value stream observed: %s.%s x%d" t c n)
+           report.Spy.value_streams_observed)
+    link_rows
+
+(* ---- E5 baselines ---- *)
+
+let baseline_compare ?(scale = default_scale) () =
+  let db = make_db scale in
+  let cat = Ghost_db.catalog db in
+  let public = Ghost_db.public db in
+  let q = Ghost_db.bind db Queries.demo in
+  let ghost = Ghost_db.query db Queries.demo in
+  let base = ghost.Exec.elapsed_us in
+  let rows =
+    [
+      "GhostDB (SKT + climbing)";
+      Report.us ghost.Exec.elapsed_us;
+      Report.factor 1.0;
+      string_of_int ghost.Exec.row_count;
+    ]
+    :: List.map
+         (fun algo ->
+            let r = Baseline.run algo cat public q in
+            [
+              Baseline.algorithm_name algo;
+              Report.us r.Baseline.elapsed_us;
+              Report.factor (r.Baseline.elapsed_us /. base);
+              string_of_int r.Baseline.row_count;
+            ])
+         [ Baseline.Grace_hash; Baseline.Sort_merge ]
+  in
+  Report.make ~id:"E5" ~title:"GhostDB vs last-resort join algorithms (demo query)"
+    ~header:[ "engine"; "exec time"; "slowdown"; "rows" ]
+    ~notes:
+      [
+        "the paper (Section 4): computing SPJ queries with hash joins or classical \
+         join indices under the device constraints is 'unacceptable'";
+      ]
+    rows
+
+(* ---- E6 flash asymmetry ---- *)
+
+let flash_asymmetry ?(scale = default_scale) () =
+  let ratios = [ 1.; 3.; 5.; 10. ] in
+  let rows =
+    List.map
+      (fun ratio ->
+         (* 16 KiB of RAM so both baselines actually spill to Flash *)
+         let config =
+           { Device.default_config with
+             Device.ram_budget = 16 * 1024;
+             Device.flash_cost = Flash.cost_with_write_ratio ratio }
+         in
+         let db = make_db ~device_config:config scale in
+         let cat = Ghost_db.catalog db in
+         let public = Ghost_db.public db in
+         let q = Ghost_db.bind db Queries.demo in
+         let ghost = Ghost_db.query db Queries.demo in
+         let hash = Baseline.run Baseline.Grace_hash cat public q in
+         let merge = Baseline.run Baseline.Sort_merge cat public q in
+         [
+           Printf.sprintf "%.0fx" ratio;
+           Report.us ghost.Exec.elapsed_us;
+           Report.us hash.Baseline.elapsed_us;
+           Report.us merge.Baseline.elapsed_us;
+         ])
+      ratios
+  in
+  Report.make ~id:"E6" ~title:"Sensitivity to Flash program/read cost ratio"
+    ~header:[ "write/read"; "GhostDB"; "grace hash"; "sort merge" ]
+    ~notes:
+      [
+        "GhostDB's read-only query path is insensitive; spill-heavy baselines degrade \
+         with the write cost (Section 3: writes are 3-10x slower than reads)";
+      ]
+    rows
+
+(* ---- E7 RAM sweep ---- *)
+
+let ram_sweep ?(scale = Medical.scale_with_prescriptions 40_000) () =
+  (* 8 KiB is the floor: a page-sized program buffer must fit the
+     arena next to the working set. *)
+  let budgets = [ 8 * 1024; 16 * 1024; 32 * 1024; 64 * 1024; 128 * 1024; 512 * 1024 ] in
+  let sql = Queries.demo_with ~date_selectivity:0.6 () in
+  let rows =
+    List.map
+      (fun budget ->
+         let config = { Device.default_config with Device.ram_budget = budget } in
+         let db = make_db ~device_config:config scale in
+         let cat = Ghost_db.catalog db in
+         let q = Ghost_db.bind db sql in
+         let post = Ghost_db.run_plan db (Planner.all_post cat q) in
+         let best = Ghost_db.query db sql in
+         [
+           Report.bytes budget;
+           Report.us post.Exec.elapsed_us;
+           string_of_int post.Exec.bloom_fp_candidates;
+           Report.us best.Exec.elapsed_us;
+           Report.bytes best.Exec.ram_peak;
+         ])
+      budgets
+  in
+  Report.make ~id:"E7" ~title:"Sensitivity to the secure chip's RAM budget"
+    ~header:
+      [ "RAM"; "all-Post time"; "bloom FPs absorbed"; "optimizer time"; "RAM peak" ]
+    ~notes:
+      [
+        "smaller RAM -> smaller Bloom filters -> more false positives absorbed by the \
+         exact verification join (never wrong results), and tighter merge fan-in";
+      ]
+    rows
+
+(* ---- E8 USB sweep ---- *)
+
+let usb_sweep ?(scale = default_scale) () =
+  let speeds = [ 12.; 100.; 480. ] in
+  let sql = Queries.demo_with ~date_selectivity:0.3 () in
+  let rows =
+    List.map
+      (fun mbps ->
+         let config = { Device.default_config with Device.usb_mbit_per_s = mbps } in
+         let db = make_db ~device_config:config scale in
+         let cat = Ghost_db.catalog db in
+         let q = Ghost_db.bind db sql in
+         let pre = Ghost_db.run_plan db (Planner.all_pre cat q) in
+         let post = Ghost_db.run_plan db (Planner.all_post cat q) in
+         [
+           Printf.sprintf "%.0f Mbit/s" mbps;
+           Report.us pre.Exec.elapsed_us;
+           Report.us post.Exec.elapsed_us;
+         ])
+      speeds
+  in
+  Report.make ~id:"E8" ~title:"USB full speed vs high speed (Section 3)"
+    ~header:[ "link"; "all-Pre time"; "all-Post time" ]
+    ~notes:
+      [ "shipping id lists and projection streams dominates at 12 Mbit/s; 480 Mbit/s \
+         is the paper's 'future platforms' variant" ]
+    rows
+
+(* ---- E9 storage overhead ---- *)
+
+let storage_overhead ?(scales = [ Medical.tiny; Medical.small ]) () =
+  let rows =
+    List.map
+      (fun scale ->
+         let db = make_db scale in
+         let s = Ghost_db.storage db in
+         let total =
+           s.Catalog.base_bytes + s.Catalog.skt_bytes + s.Catalog.attr_index_bytes
+           + s.Catalog.key_index_bytes
+         in
+         [
+           string_of_int scale.Medical.prescriptions;
+           Report.bytes s.Catalog.base_bytes;
+           Report.bytes s.Catalog.skt_bytes;
+           Report.bytes s.Catalog.attr_index_bytes;
+           Report.bytes s.Catalog.key_index_bytes;
+           Report.factor (Float.of_int total /. Float.of_int (max 1 s.Catalog.base_bytes));
+         ])
+      scales
+  in
+  Report.make ~id:"E9" ~title:"Flash storage: hidden base data vs index structures"
+    ~header:
+      [ "prescriptions"; "base data"; "SKTs"; "climbing idx"; "key idx"; "total/base" ]
+    ~notes:
+      [ "Section 4: the SKT + climbing-index benefit 'comes at an extra cost in terms \
+         of Flash storage'" ]
+    rows
+
+(* ---- E10 scale sweep ---- *)
+
+let scale_sweep ?(cardinalities = [ 1_000; 10_000; 50_000; 100_000 ]) () =
+  let rows =
+    List.map
+      (fun n ->
+         let scale = Medical.scale_with_prescriptions n in
+         let db = make_db scale in
+         let cat = Ghost_db.catalog db in
+         let q = Ghost_db.bind db Queries.demo in
+         let pre = Ghost_db.run_plan db (Planner.all_pre cat q) in
+         let post = Ghost_db.run_plan db (Planner.all_post cat q) in
+         let best = Ghost_db.query db Queries.demo in
+         [
+           string_of_int n;
+           Report.us pre.Exec.elapsed_us;
+           Report.us post.Exec.elapsed_us;
+           Report.us best.Exec.elapsed_us;
+           string_of_int best.Exec.row_count;
+         ])
+      cardinalities
+  in
+  Report.make ~id:"E10" ~title:"Execution time vs root-table cardinality (demo query)"
+    ~header:[ "prescriptions"; "all-Pre"; "all-Post"; "optimizer"; "rows" ]
+    ~notes:
+      [ "the demo dataset has one million prescriptions; run with --full to include it" ]
+    rows
+
+(* ---- E11 inserts ---- *)
+
+let insert_sweep ?(scale = default_scale) () =
+  let module Value = Ghost_kernel.Value in
+  let module Rng = Ghost_kernel.Rng in
+  let rows_for db rng n =
+    let next =
+      Catalog.total_count (Ghost_db.catalog db) "Prescription" + 1
+    in
+    List.init n (fun i ->
+      [|
+        Value.Int (next + i);
+        Value.Int (Rng.int_in rng 1 10);
+        Value.Int (Rng.int_in rng 1 4);
+        Value.Date (Rng.int_in rng Medical.date_lo Medical.date_hi);
+        Value.Int (1 + Rng.int rng scale.Medical.medicines);
+        Value.Int (1 + Rng.int rng scale.Medical.visits);
+      |])
+  in
+  let db = make_db scale in
+  let rng = Rng.create 77 in
+  let device = Ghost_db.device db in
+  let query_time () = (Ghost_db.query db Queries.demo).Exec.elapsed_us in
+  let base_query = query_time () in
+  let rows =
+    List.map
+      (fun batch ->
+         let t0 = Device.elapsed_us device in
+         Ghost_db.insert db (rows_for db rng batch);
+         let insert_us = Device.elapsed_us device -. t0 in
+         let q = query_time () in
+         let log = Catalog.delta (Ghost_db.catalog db) "Prescription" in
+         let live, dead =
+           match log with
+           | Some l -> (Ghostdb.Delta_log.size_bytes l, Ghostdb.Delta_log.dead_bytes l)
+           | None -> (0, 0)
+         in
+         [
+           string_of_int batch;
+           Report.us insert_us;
+           Report.us (insert_us /. Float.of_int batch);
+           string_of_int (Ghost_db.delta_count db);
+           Report.us q;
+           Report.factor (q /. base_query);
+           Report.bytes live;
+           Report.bytes dead;
+         ])
+      [ 10; 90; 400; 1500 ]
+  in
+  Report.make ~id:"E11" ~title:"Inserts: delta-log cost and query overhead"
+    ~header:
+      [ "batch"; "insert time"; "per row"; "delta rows"; "demo query"; "vs fresh";
+        "log live"; "log dead" ]
+    ~notes:
+      [
+        "new facts append to a Flash delta log (no in-place writes); queries scan it          next to the indexed structures until offline reorganization";
+        "'log dead' is the write amplification of re-programming partial tail pages";
+      ]
+    rows
+
+(* ---- E12 lifecycle: deletes + reorganization ---- *)
+
+let lifecycle ?(scale = default_scale) () =
+  let module Value = Ghost_kernel.Value in
+  let module Rng = Ghost_kernel.Rng in
+  let rng = Rng.create 99 in
+  let db = ref (make_db scale) in
+  let demo_time () = (Ghost_db.query !db Queries.demo).Exec.elapsed_us in
+  let fresh = demo_time () in
+  let insert n =
+    let next = Catalog.total_count (Ghost_db.catalog !db) "Prescription" + 1 in
+    Ghost_db.insert !db
+      (List.init n (fun i ->
+         [|
+           Value.Int (next + i);
+           Value.Int (Rng.int_in rng 1 10);
+           Value.Int (Rng.int_in rng 1 4);
+           Value.Date (Rng.int_in rng Medical.date_lo Medical.date_hi);
+           Value.Int (1 + Rng.int rng scale.Medical.medicines);
+           Value.Int (1 + Rng.int rng scale.Medical.visits);
+         |]))
+  in
+  let delete n =
+    (* delete random live loaded rows *)
+    let cat = Ghost_db.catalog !db in
+    let victims = ref [] in
+    while List.length !victims < n do
+      let id = 1 + Rng.int rng (Catalog.table_count cat "Prescription") in
+      let dead =
+        match Catalog.tombstone cat "Prescription" with
+        | Some log -> Ghostdb.Tombstone_log.mem log id
+        | None -> false
+      in
+      if (not dead) && not (List.mem id !victims) then victims := id :: !victims
+    done;
+    Ghost_db.delete !db !victims
+  in
+  let device () = Ghost_db.device !db in
+  let step label f =
+    let t0 = Device.elapsed_us (device ()) in
+    f ();
+    let op_us = Device.elapsed_us (device ()) -. t0 in
+    let q = demo_time () in
+    [
+      label;
+      Report.us op_us;
+      string_of_int (Ghost_db.delta_count !db);
+      string_of_int (Ghost_db.tombstone_count !db);
+      Report.us q;
+      Report.factor (q /. fresh);
+    ]
+  in
+  (* build sequentially: each step mutates the instance *)
+  let r0 = step "load (fresh)" (fun () -> ()) in
+  let r1 = step "insert 500" (fun () -> insert 500) in
+  let r2 = step "delete 300" (fun () -> delete 300) in
+  let r3 = step "insert 500" (fun () -> insert 500) in
+  let r4 =
+    (* the snapshot cost lands on the OLD device's clock *)
+    let old_device = device () in
+    let t0 = Device.elapsed_us old_device in
+    db := Ghost_db.reorganize !db;
+    let op_us = Device.elapsed_us old_device -. t0 in
+    let q = demo_time () in
+    [
+      "reorganize";
+      Report.us op_us;
+      string_of_int (Ghost_db.delta_count !db);
+      string_of_int (Ghost_db.tombstone_count !db);
+      Report.us q;
+      Report.factor (q /. fresh);
+    ]
+  in
+  let rows = [ r0; r1; r2; r3; r4 ] in
+  Report.make ~id:"E12" ~title:"Lifecycle: inserts, deletes, reorganization"
+    ~header:[ "step"; "op time"; "delta"; "tombstones"; "demo query"; "vs fresh" ]
+    ~notes:
+      [
+        "the delta/tombstone tax accumulates until the offline reorganization \
+         (secure-setting reload) folds the logs back into the indexed structures";
+        "'op time' for reorganize is the device-side read cost of snapshotting the \
+         logical state (rebuild happens offline)";
+      ]
+    rows
+
+(* ---- E13 optimizer calibration ---- *)
+
+(* Spearman rank correlation between two float series. *)
+let spearman xs ys =
+  let rank arr =
+    let idx = Array.mapi (fun i v -> (v, i)) arr in
+    Array.sort compare idx;
+    let r = Array.make (Array.length arr) 0. in
+    Array.iteri (fun pos (_, i) -> r.(i) <- Float.of_int pos) idx;
+    r
+  in
+  let rx = rank xs and ry = rank ys in
+  let n = Float.of_int (Array.length xs) in
+  if n < 2. then 1.
+  else begin
+    let d2 =
+      Array.fold_left ( +. ) 0.
+        (Array.mapi (fun i x -> (x -. ry.(i)) ** 2.) rx)
+    in
+    1. -. (6. *. d2 /. (n *. ((n *. n) -. 1.)))
+  end
+
+let optimizer_calibration ?(scale = default_scale) () =
+  let db = make_db scale in
+  let cat = Ghost_db.catalog db in
+  let rows =
+    List.filter_map
+      (fun (name, sql) ->
+         let panel = Planner.with_estimates cat (Ghost_db.bind db sql) in
+         if List.length panel < 2 then None
+         else begin
+           let est = Array.of_list (List.map (fun (_, e) -> e.Cost.est_time_us) panel) in
+           let meas =
+             Array.of_list
+               (List.map (fun (p, _) -> (Ghost_db.run_plan db p).Exec.elapsed_us) panel)
+           in
+           let rho = spearman est meas in
+           let log_ratio =
+             Array.fold_left ( +. ) 0.
+               (Array.mapi (fun i e -> Float.abs (log (e /. meas.(i)))) est)
+             /. Float.of_int (Array.length est)
+           in
+           let picked = meas.(0) in
+           let best = Array.fold_left Float.min infinity meas in
+           Some
+             [
+               name;
+               string_of_int (Array.length est);
+               Printf.sprintf "%.2f" rho;
+               Printf.sprintf "%.2fx" (exp log_ratio);
+               Printf.sprintf "%.2fx" (picked /. best);
+             ]
+         end)
+      Queries.all
+  in
+  Report.make ~id:"E13" ~title:"Optimizer calibration: estimates vs simulated times"
+    ~header:
+      [ "query"; "plans"; "rank corr"; "mean |est/meas|"; "pick vs best" ]
+    ~notes:
+      [
+        "rank correlation ~1.0 means the cost model orders the panel like the \
+         simulator does; 'pick vs best' is the regret of trusting the estimate";
+      ]
+    rows
+
+(* ---- E14 second workload (corporate/retail) ---- *)
+
+let retail_workload () =
+  let module Retail = Ghost_workload.Retail in
+  let db = Ghost_db.of_schema (Retail.schema ()) (Retail.generate Retail.small) in
+  let cat = Ghost_db.catalog db in
+  Ghost_db.clear_trace db;
+  let rows =
+    List.map
+      (fun (name, sql) ->
+         let q = Ghost_db.bind db sql in
+         let pre = Ghost_db.run_plan db (Planner.all_pre cat q) in
+         let post = Ghost_db.run_plan db (Planner.all_post cat q) in
+         let best_plan, _ = Planner.best cat q in
+         let best = Ghost_db.run_plan db best_plan in
+         [
+           name;
+           Report.us pre.Exec.elapsed_us;
+           Report.us post.Exec.elapsed_us;
+           Report.us best.Exec.elapsed_us;
+           string_of_int best.Exec.row_count;
+         ])
+      Retail.queries
+  in
+  let verdict = Ghostdb.Privacy.audit (Ghost_db.trace db) in
+  Report.make ~id:"E14"
+    ~title:"Second workload: corporate catalog with hidden margins (retail tree)"
+    ~header:[ "query"; "all-Pre"; "all-Post"; "optimizer"; "rows" ]
+    ~notes:
+      [
+        "a different tree shape (LineItem -> Purchase -> Customer chain + flat \
+         Product) with inverted cardinality ratios; nothing is tuned to Figure 3";
+        Printf.sprintf "privacy auditor across the whole workload: %s"
+          (if verdict.Ghostdb.Privacy.ok then "OK" else "VIOLATION");
+      ]
+    rows
+
+(* ---- Ablations ---- *)
+
+let ablation_exact_post ?(scale = default_scale) () =
+  let db = make_db scale in
+  let cat = Ghost_db.catalog db in
+  let sql = Queries.demo_with ~date_selectivity:0.4 () in
+  let q = Ghost_db.bind db sql in
+  let plan = Planner.all_post cat q in
+  let rows =
+    List.map
+      (fun (label, exact, fpr) ->
+         let r = Ghost_db.run_plan db ~exact_post:exact ~bloom_fpr:fpr plan in
+         [
+           label;
+           Report.us r.Exec.elapsed_us;
+           string_of_int r.Exec.row_count;
+           string_of_int r.Exec.bloom_fp_candidates;
+         ])
+      [
+        ("exact, fpr 1%", true, 0.01);
+        ("exact, fpr 30%", true, 0.3);
+        ("approximate, fpr 1%", false, 0.01);
+        ("approximate, fpr 30%", false, 0.3);
+      ]
+  in
+  Report.make ~id:"A1" ~title:"Ablation: exact verification of Bloom post-filters"
+    ~header:[ "mode"; "time"; "rows"; "FPs absorbed" ]
+    ~notes:
+      [
+        "approximate mode skips the verification join: faster, but Bloom false          positives can reach the result (row counts may exceed the exact answer)";
+      ]
+    rows
+
+let ablation_bloom_fpr ?(scale = default_scale) () =
+  let db = make_db scale in
+  let cat = Ghost_db.catalog db in
+  let sql = Queries.demo_with ~date_selectivity:0.5 () in
+  let q = Ghost_db.bind db sql in
+  let plan = Planner.all_post cat q in
+  let rows =
+    List.map
+      (fun fpr ->
+         let r = Ghost_db.run_plan db ~bloom_fpr:fpr plan in
+         [
+           Printf.sprintf "%.3f" fpr;
+           Report.us r.Exec.elapsed_us;
+           Report.bytes r.Exec.ram_peak;
+           string_of_int r.Exec.bloom_fp_candidates;
+         ])
+      [ 0.001; 0.01; 0.1; 0.3 ]
+  in
+  Report.make ~id:"A2" ~title:"Ablation: Bloom filter target false-positive rate"
+    ~header:[ "target fpr"; "time"; "RAM peak"; "FPs absorbed" ]
+    ~notes:
+      [ "looser filters need less RAM but admit candidates the verification join must          reject" ]
+    rows
+
+let ablation_hidden_fk_indexes ?(scale = default_scale) () =
+  let sql =
+    "SELECT Pre.PreID FROM Prescription Pre, Visit Vis WHERE Vis.DocID = 3 AND      Pre.VisID = Vis.VisID"
+  in
+  let rows =
+    List.map
+      (fun indexed ->
+         let db =
+           Ghost_db.of_schema ~index_hidden_fks:indexed (Medical.schema ())
+             (Medical.generate scale)
+         in
+         let r = Ghost_db.query db sql in
+         let s = Ghost_db.storage db in
+         [
+           (if indexed then "indexed" else "column check");
+           Report.us r.Exec.elapsed_us;
+           Report.bytes s.Catalog.attr_index_bytes;
+           string_of_int r.Exec.row_count;
+         ])
+      [ false; true ]
+  in
+  Report.make ~id:"A3"
+    ~title:"Ablation: climbing indexes on hidden foreign-key columns"
+    ~header:[ "hidden FKs"; "query time"; "climbing idx bytes"; "rows" ]
+    ~notes:
+      [ "a selection on a hidden FK (Vis.DocID = 3) either traverses a dedicated          climbing index or falls back to per-candidate column checks" ]
+    rows
+
+let ablation_deep_cross ?(scale = default_scale) () =
+  let db = make_db scale in
+  let cat = Ghost_db.catalog db in
+  let sql =
+    "SELECT Pre.PreID, Pat.Age FROM Prescription Pre, Visit Vis, Patient Pat WHERE \
+     Vis.Date > '2005-01-01' AND Pat.BodyMassIndex >= 35.0 AND Pre.VisID = \
+     Vis.VisID AND Vis.PatID = Pat.PatID"
+  in
+  let q = Ghost_db.bind db sql in
+  let deep =
+    List.filter
+      (fun (p, _) -> List.exists (fun g -> g.Plan.g_borrowed <> []) p.Plan.groups)
+      (Planner.with_estimates cat q)
+  in
+  let named =
+    [ ("plain Pre", Planner.all_pre cat q); ("plain Post", Planner.all_post cat q) ]
+    @ (match deep with
+       | (p, _) :: _ -> [ ("deep Cross (borrowed)", p) ]
+       | [] -> [])
+  in
+  let rows =
+    List.map
+      (fun (name, plan) ->
+         let r = Ghost_db.run_plan db plan in
+         [
+           name;
+           Report.us r.Exec.elapsed_us;
+           string_of_int r.Exec.row_count;
+           plan.Plan.label;
+         ])
+      named
+  in
+  Report.make ~id:"A5"
+    ~title:"Ablation: deep Cross-filtering (borrowed descendant index lists)"
+    ~header:[ "plan"; "time"; "rows"; "strategy" ]
+    ~notes:
+      [
+        "visible predicate on the intermediate Visit table + hidden predicate on its \
+         descendant Patient: borrowing Patient's Visit-level list shrinks the climb \
+         (Section 4's cross-level selectivity combination)";
+      ]
+    rows
+
+let ablation_skew ?(scale = default_scale) () =
+  let rows =
+    List.map
+      (fun theta ->
+         let db =
+           Ghost_db.of_schema (Medical.schema ())
+             (Medical.generate { scale with Medical.theta })
+         in
+         let r = Ghost_db.query db Queries.demo in
+         let best_label =
+           (fst (Planner.best (Ghost_db.catalog db) (Ghost_db.bind db Queries.demo)))
+             .Plan.label
+         in
+         [
+           Printf.sprintf "%.1f" theta;
+           Report.us r.Exec.elapsed_us;
+           string_of_int r.Exec.row_count;
+           best_label;
+         ])
+      [ 0.0; 0.8; 1.2 ]
+  in
+  Report.make ~id:"A4" ~title:"Ablation: value-frequency skew (Zipf theta)"
+    ~header:[ "theta"; "optimizer time"; "rows"; "chosen plan" ]
+    ~notes:
+      [ "skew moves predicate selectivities, which moves the Pre/Post choice" ]
+    rows
+
+let all ?(scale = default_scale) ?(full = false) () =
+  let cardinalities =
+    if full then [ 1_000; 10_000; 100_000; 1_000_000 ]
+    else [ 1_000; 10_000; 50_000; 100_000 ]
+  in
+  let scales =
+    if full then [ Medical.tiny; Medical.small; Medical.medium ]
+    else [ Medical.tiny; Medical.small ]
+  in
+  [
+    ("E1", fun () -> fig6_plans ~scale ());
+    ("E2", fun () -> pre_post_crossover ~scale ());
+    ("E3", fun () -> operator_stats ~scale ());
+    ("E4", fun () -> privacy_trace ~scale ());
+    ("E5", fun () -> baseline_compare ~scale ());
+    ("E6", fun () -> flash_asymmetry ~scale ());
+    ("E7", fun () -> ram_sweep ());
+    ("E8", fun () -> usb_sweep ~scale ());
+    ("E9", fun () -> storage_overhead ~scales ());
+    ("E10", fun () -> scale_sweep ~cardinalities ());
+    ("E11", fun () -> insert_sweep ~scale ());
+    ("E12", fun () -> lifecycle ~scale ());
+    ("E13", fun () -> optimizer_calibration ~scale ());
+    ("E14", fun () -> retail_workload ());
+    ("A1", fun () -> ablation_exact_post ~scale ());
+    ("A2", fun () -> ablation_bloom_fpr ~scale ());
+    ("A3", fun () -> ablation_hidden_fk_indexes ~scale ());
+    ("A4", fun () -> ablation_skew ~scale ());
+    ("A5", fun () -> ablation_deep_cross ~scale ());
+  ]

@@ -1,0 +1,93 @@
+module Medical = Ghost_workload.Medical
+
+(** The experiment suite (see DESIGN.md, Section 5).
+
+    Each function regenerates one table or figure of the paper's
+    demonstration (or a sensitivity claim of Sections 3–4) as a
+    {!Report.t}: E1 is Figure 6 (ad-hoc plan comparison), E2–E3 the
+    phase-2 GUI content, E4 the phase-1 security trace, E5 the "last
+    resort algorithms are unacceptable" claim, and E6–E10 the hardware
+    sensitivities (Flash asymmetry, RAM, USB, storage overhead,
+    scale).
+
+    All numbers are {e simulated device time} — deterministic, so the
+    output is reproducible bit-for-bit for a fixed scale and seed. *)
+
+val fig6_plans : ?scale:Medical.scale -> unit -> Report.t
+(** E1 / Figure 6: execution time of the user-buildable plans P1
+    (all-Pre), P2 (all-Post), P3 (Cross) and P4 (optimizer pick) for
+    the Section 4 demo query. *)
+
+val pre_post_crossover : ?scale:Medical.scale -> unit -> Report.t
+(** E2: Pre vs Post vs Cross as the visible Date predicate's
+    selectivity sweeps; shows the crossover the paper motivates. *)
+
+val operator_stats : ?scale:Medical.scale -> unit -> Report.t
+(** E3: the per-operator popup (tuples, RAM, time) for the demo query. *)
+
+val privacy_trace : ?scale:Medical.scale -> unit -> Report.t
+(** E4: the spy-visible message trace for the demo query + auditor
+    verdict. *)
+
+val baseline_compare : ?scale:Medical.scale -> unit -> Report.t
+(** E5: GhostDB vs grace hash join vs sort-merge/join-index. *)
+
+val flash_asymmetry : ?scale:Medical.scale -> unit -> Report.t
+(** E6: sensitivity to the Flash program/read cost ratio (1–10x). *)
+
+val ram_sweep : ?scale:Medical.scale -> unit -> Report.t
+(** E7: sensitivity to the RAM budget (8 KiB – 512 KiB); also reports
+    Bloom false positives absorbed by verification. Default scale is
+    40 k prescriptions so the Bloom filters are actually under
+    pressure. *)
+
+val usb_sweep : ?scale:Medical.scale -> unit -> Report.t
+(** E8: USB full speed (12 Mbit/s) vs high speed (480 Mbit/s). *)
+
+val storage_overhead : ?scales:Medical.scale list -> unit -> Report.t
+(** E9: Flash bytes of hidden base data vs SKTs vs climbing indexes. *)
+
+val scale_sweep : ?cardinalities:int list -> unit -> Report.t
+(** E10: execution time vs root-table cardinality. *)
+
+val insert_sweep : ?scale:Medical.scale -> unit -> Report.t
+(** E11 (extension): delta-log insert cost, query overhead vs pending
+    delta size, and the log's write amplification. *)
+
+val lifecycle : ?scale:Medical.scale -> unit -> Report.t
+(** E12 (extension): inserts, deletes and the offline reorganization
+    that folds the logs back in. *)
+
+val optimizer_calibration : ?scale:Medical.scale -> unit -> Report.t
+(** E13 (extension): how well the cost model ranks each query's plan
+    panel against simulated execution, and the regret of trusting the
+    optimizer's pick. *)
+
+val retail_workload : unit -> Report.t
+(** E14 (extension): the corporate/retail workload — a different tree
+    shape end to end, with the privacy audit. *)
+
+(** {2 Ablations of design choices} *)
+
+val ablation_exact_post : ?scale:Medical.scale -> unit -> Report.t
+(** A1: exact verification joins vs pure-probabilistic Bloom
+    post-filtering. *)
+
+val ablation_bloom_fpr : ?scale:Medical.scale -> unit -> Report.t
+(** A2: Bloom target false-positive rate vs RAM and absorbed FPs. *)
+
+val ablation_hidden_fk_indexes : ?scale:Medical.scale -> unit -> Report.t
+(** A3: climbing indexes on hidden foreign keys vs per-candidate
+    checks. *)
+
+val ablation_skew : ?scale:Medical.scale -> unit -> Report.t
+(** A4: value-frequency skew vs the optimizer's strategy choice. *)
+
+val ablation_deep_cross : ?scale:Medical.scale -> unit -> Report.t
+(** A5: deep Cross-filtering — borrowing a descendant's index list at
+    an intermediate level before the climb. *)
+
+val all : ?scale:Medical.scale -> ?full:bool -> unit -> (string * (unit -> Report.t)) list
+(** The whole suite as (id, thunk) pairs — experiments run only when
+    forced, so id filters don't pay for the rest. E1–E12, A1–A5;
+    [full] raises E10 to the paper's one million prescriptions. *)

@@ -1,0 +1,25 @@
+(** Plain-text experiment tables. *)
+
+type t = {
+  id : string;  (** experiment id, e.g. "E1" *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make :
+  id:string -> title:string -> header:string list -> ?notes:string list ->
+  string list list -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val us : float -> string
+(** Microseconds rendered with unit scaling ("1.23 s", "45 ms"). *)
+
+val bytes : int -> string
+(** Byte counts rendered with unit scaling ("12.3 KB"). *)
+
+val factor : float -> string
+(** "x12.3" *)

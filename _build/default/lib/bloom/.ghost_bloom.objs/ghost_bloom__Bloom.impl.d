@@ -1,0 +1,1 @@
+lib/bloom/bloom.ml: Bytes Char Float Ghost_kernel

@@ -1,0 +1,78 @@
+module Value = Ghost_kernel.Value
+
+type t = {
+  bits : Bytes.t;
+  m_bits : int;
+  k : int;
+}
+
+let create ~m_bits ~k =
+  if m_bits <= 0 then invalid_arg "Bloom.create: m_bits <= 0";
+  if k <= 0 then invalid_arg "Bloom.create: k <= 0";
+  { bits = Bytes.make ((m_bits + 7) / 8) '\000'; m_bits; k }
+
+let m_bits t = t.m_bits
+let k t = t.k
+let size_bytes t = Bytes.length t.bits
+
+let optimal_k ~m_bits ~n =
+  if n <= 0 then 1
+  else max 1 (int_of_float (Float.round (log 2. *. Float.of_int m_bits /. Float.of_int n)))
+
+let bits_for_fpr ~n ~fpr =
+  if fpr <= 0. || fpr >= 1. then invalid_arg "Bloom.bits_for_fpr: fpr out of (0,1)";
+  let ln2 = log 2. in
+  max 8 (int_of_float (ceil (-.Float.of_int n *. log fpr /. (ln2 *. ln2))))
+
+let sized_for ~budget_bytes ~n =
+  if budget_bytes <= 0 then invalid_arg "Bloom.sized_for: budget <= 0";
+  let m_bits = budget_bytes * 8 in
+  create ~m_bits ~k:(optimal_k ~m_bits ~n)
+
+(* Double hashing: h_i = h1 + i*h2 (Kirsch–Mitzenmacher). The two base
+   hashes are derived from the key with different multipliers. *)
+let base_hashes key =
+  let mix seed x =
+    let x = (x lxor (x lsr 33)) * seed in
+    let x = (x lxor (x lsr 29)) * 0x165667B19E3779F9 in
+    (x lxor (x lsr 32)) land max_int
+  in
+  (mix 0x27220A95 key, mix 0x4F1BBCDD key lor 1)
+
+let set_bit bits i = Bytes.set_uint8 bits (i lsr 3)
+    (Bytes.get_uint8 bits (i lsr 3) lor (1 lsl (i land 7)))
+
+let get_bit bits i = Bytes.get_uint8 bits (i lsr 3) land (1 lsl (i land 7)) <> 0
+
+let add t key =
+  let h1, h2 = base_hashes key in
+  for i = 0 to t.k - 1 do
+    set_bit t.bits (((h1 + (i * h2)) land max_int) mod t.m_bits)
+  done
+
+let mem t key =
+  let h1, h2 = base_hashes key in
+  let rec loop i =
+    i >= t.k
+    || (get_bit t.bits (((h1 + (i * h2)) land max_int) mod t.m_bits) && loop (i + 1))
+  in
+  loop 0
+
+let add_value t v = add t (Value.hash v)
+let mem_value t v = mem t (Value.hash v)
+
+let estimated_fpr t ~n =
+  let k = Float.of_int t.k and n = Float.of_int n and m = Float.of_int t.m_bits in
+  Float.pow (1. -. exp (-.k *. n /. m)) k
+
+let count_set_bits t =
+  let total = ref 0 in
+  Bytes.iter
+    (fun c ->
+       let x = ref (Char.code c) in
+       while !x > 0 do
+         total := !total + (!x land 1);
+         x := !x lsr 1
+       done)
+    t.bits;
+  !total

@@ -1,0 +1,44 @@
+(** Bloom filters (Bloom, CACM 1970 — reference [3] of the paper).
+
+    Post-filtering streams the identifiers produced by a visible
+    selection into a Bloom filter held in the device's tiny RAM, then
+    probes each candidate SKT row against it: compact, no false
+    negatives, and a false-positive rate that degrades gracefully as
+    RAM shrinks — the properties the paper cites for RAM-constrained
+    environments. *)
+
+type t
+
+val create : m_bits:int -> k:int -> t
+(** Raises [Invalid_argument] unless [m_bits > 0] and [k > 0]. *)
+
+val m_bits : t -> int
+val k : t -> int
+val size_bytes : t -> int
+(** RAM footprint of the bit array. *)
+
+val optimal_k : m_bits:int -> n:int -> int
+(** k minimizing the false-positive rate: [ln 2 * m / n], at least 1. *)
+
+val bits_for_fpr : n:int -> fpr:float -> int
+(** Bits needed for [n] insertions at target false-positive rate. *)
+
+val sized_for : budget_bytes:int -> n:int -> t
+(** The best filter fitting a RAM budget: [m = 8 * budget],
+    [k = optimal_k]. *)
+
+val add : t -> int -> unit
+(** Insert a pre-hashed key (e.g. a tuple identifier or
+    [Value.hash]). *)
+
+val mem : t -> int -> bool
+(** No false negatives; false positives at the design rate. *)
+
+val add_value : t -> Ghost_kernel.Value.t -> unit
+val mem_value : t -> Ghost_kernel.Value.t -> bool
+
+val estimated_fpr : t -> n:int -> float
+(** Theoretical false-positive rate after [n] insertions:
+    [(1 - e^(-kn/m))^k]. *)
+
+val count_set_bits : t -> int

@@ -1,0 +1,1 @@
+lib/core/catalog.mli: Col_stats Delta_log Format Ghost_device Ghost_relation Ghost_store Hashtbl Tombstone_log

@@ -1,0 +1,1 @@
+lib/core/col_stats.ml: Array Float Ghost_kernel Ghost_relation List Map Option

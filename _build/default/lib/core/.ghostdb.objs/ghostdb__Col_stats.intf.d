@@ -1,0 +1,1 @@
+lib/core/col_stats.mli: Ghost_kernel Ghost_relation

@@ -1,0 +1,1 @@
+lib/core/cost.ml: Catalog Col_stats Float Format Ghost_bloom Ghost_device Ghost_flash Ghost_kernel Ghost_relation Ghost_sql Ghost_store List Plan Printf String

@@ -1,0 +1,1 @@
+lib/core/delta_log.ml: Array Buffer Bytes Ghost_device Ghost_flash Ghost_kernel List String

@@ -1,0 +1,1 @@
+lib/core/delta_log.mli: Ghost_device Ghost_flash Ghost_kernel

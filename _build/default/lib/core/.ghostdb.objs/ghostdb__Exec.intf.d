@@ -1,0 +1,1 @@
+lib/core/exec.mli: Catalog Format Ghost_device Ghost_kernel Ghost_public Plan

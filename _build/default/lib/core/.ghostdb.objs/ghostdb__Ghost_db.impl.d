@@ -1,0 +1,1 @@
+lib/core/ghost_db.ml: Array Catalog Exec Ghost_device Ghost_kernel Ghost_public Ghost_relation Ghost_sql Insert Loader Marshal Planner Privacy Reorganize String

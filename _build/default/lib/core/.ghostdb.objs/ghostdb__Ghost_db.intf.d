@@ -1,0 +1,1 @@
+lib/core/ghost_db.mli: Catalog Cost Exec Ghost_device Ghost_kernel Ghost_public Ghost_relation Ghost_sql Plan Privacy

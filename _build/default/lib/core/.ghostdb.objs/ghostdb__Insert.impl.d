@@ -1,0 +1,1 @@
+lib/core/insert.ml: Array Catalog Delta_log Ghost_device Ghost_kernel Ghost_public Ghost_relation Ghost_store Hashtbl List Printf Tombstone_log

@@ -1,0 +1,1 @@
+lib/core/insert.mli: Catalog Ghost_public Ghost_relation

@@ -1,0 +1,1 @@
+lib/core/loader.ml: Array Catalog Col_stats Ghost_device Ghost_flash Ghost_kernel Ghost_public Ghost_relation Ghost_store Hashtbl List Map Option Printf

@@ -1,0 +1,1 @@
+lib/core/loader.mli: Catalog Ghost_device Ghost_public Ghost_relation

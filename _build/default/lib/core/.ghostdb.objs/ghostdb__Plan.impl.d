@@ -1,0 +1,1 @@
+lib/core/plan.ml: Buffer Ghost_relation Ghost_sql List Printf String

@@ -1,0 +1,1 @@
+lib/core/planner.ml: Catalog Cost Float Ghost_relation Ghost_sql List Plan String

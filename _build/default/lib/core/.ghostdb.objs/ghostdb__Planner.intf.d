@@ -1,0 +1,1 @@
+lib/core/planner.mli: Catalog Cost Ghost_sql Plan

@@ -1,0 +1,1 @@
+lib/core/privacy.ml: Format Ghost_device List Printf

@@ -1,0 +1,1 @@
+lib/core/reorganize.ml: Array Catalog Delta_log Fun Ghost_kernel Ghost_public Ghost_relation Ghost_store Hashtbl List Printf Tombstone_log

@@ -1,0 +1,1 @@
+lib/core/reorganize.mli: Catalog Ghost_public Ghost_relation

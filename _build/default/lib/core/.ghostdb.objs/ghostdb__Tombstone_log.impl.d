@@ -1,0 +1,1 @@
+lib/core/tombstone_log.ml: Bytes Ghost_flash Ghost_kernel Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/tombstone_log.mli: Ghost_flash

@@ -1,0 +1,23 @@
+module Value = Ghost_kernel.Value
+module Predicate = Ghost_relation.Predicate
+
+(** Column statistics, collected at load time and kept as catalog
+    metadata (they fit the secure chip's internal storage). The
+    optimizer's selectivity estimates — the input to the Pre- vs
+    Post-filtering decision — come from here. *)
+
+type t
+
+val of_values : Value.t array -> t
+(** Collects count, distinct count, min/max, and either an exact
+    value-frequency table (few distinct values) or an equi-depth
+    histogram. *)
+
+val count : t -> int
+val distinct : t -> int
+
+val selectivity : t -> Predicate.comparison -> float
+(** Estimated fraction of rows satisfying the comparison, in [0, 1]. *)
+
+val estimate_rows : t -> Predicate.comparison -> int
+(** [selectivity * count], rounded. *)

@@ -1,0 +1,343 @@
+module Value = Ghost_kernel.Value
+module Column = Ghost_relation.Column
+module Schema = Ghost_relation.Schema
+module Predicate = Ghost_relation.Predicate
+module Bind = Ghost_sql.Bind
+module Flash = Ghost_flash.Flash
+module Device = Ghost_device.Device
+module Bloom = Ghost_bloom.Bloom
+
+type estimate = {
+  est_time_us : float;
+  est_candidates : int;
+  est_results : int;
+  est_ram_bytes : int;
+  est_usb_bytes : int;
+  breakdown : (string * float) list;
+}
+
+let chunk = 256.
+let avg_varint_bytes = 1.5
+let locator_bytes = 16.
+
+type env = {
+  cat : Catalog.t;
+  cfg : Device.config;
+  fc : Flash.cost;
+  plan : Plan.t;
+  mutable parts : (string * float) list;
+  mutable usb_bytes : int;
+  mutable ram_bytes : int;
+}
+
+let add env label us = env.parts <- (label, us) :: env.parts
+
+(* Time to stream [bytes] off Flash through [chunk]-byte reads. *)
+let read_stream_us env bytes =
+  if bytes <= 0. then 0.
+  else
+    let chunks = Float.max 1. (Float.round (bytes /. chunk)) in
+    (chunks *. env.fc.Flash.read_seek_us) +. (bytes *. env.fc.Flash.read_byte_us)
+
+(* One small random read (locator, directory entry, SKT row...). *)
+let point_read_us env bytes = env.fc.Flash.read_seek_us +. (bytes *. env.fc.Flash.read_byte_us)
+
+let write_stream_us env bytes =
+  if bytes <= 0. then 0.
+  else
+    let page = Float.of_int env.cfg.Device.flash_geometry.Flash.page_size in
+    let pages = Float.max 1. (ceil (bytes /. page)) in
+    (pages *. env.fc.Flash.program_seek_us) +. (bytes *. env.fc.Flash.program_byte_us)
+
+let usb_us env bytes =
+  env.usb_bytes <- env.usb_bytes + int_of_float bytes;
+  env.cfg.Device.usb_per_message_us
+  +. (bytes *. 8. /. env.cfg.Device.usb_mbit_per_s)
+
+let cpu_us env ops = ops /. env.cfg.Device.cpu_mips
+
+let sel env (p : Predicate.t) =
+  Col_stats.selectivity
+    (Catalog.column_stats env.cat ~table:p.Predicate.table ~column:p.Predicate.column)
+    p.Predicate.cmp
+
+(* live rows: loaded + inserted - tombstoned, so estimates track the
+   logical state between reorganizations *)
+let count env table = max 1 (Catalog.live_count env.cat table)
+
+(* Hierarchical-merge overhead: the extra scratch passes unioning [k]
+   lists totaling [bytes] needs beyond the final streaming pass. *)
+let merge_passes_us env ~k ~bytes =
+  let fan = Float.max 2. (Float.of_int env.cfg.Device.ram_budget /. 2. /. chunk) in
+  if Float.of_int k <= fan then cpu_us env (Float.of_int k *. 10.)
+  else begin
+    let passes = ceil (log (Float.of_int k) /. log fan) -. 1. in
+    (passes *. (read_stream_us env bytes +. write_stream_us env bytes))
+    +. cpu_us env (bytes /. avg_varint_bytes *. 5.)
+  end
+
+(* Traversing one hidden predicate's climbing index at [level]:
+   directory binary search + list bytes. *)
+let hidden_index_us env ~table (p : Predicate.t) ~level_count =
+  let stats = Catalog.column_stats env.cat ~table ~column:p.Predicate.column in
+  let distinct = Float.of_int (max 1 (Col_stats.distinct stats)) in
+  let s = sel env p in
+  let dir_probes = Float.max 1. (log distinct /. log 2.) in
+  let list_bytes = s *. Float.of_int level_count *. avg_varint_bytes in
+  let matched_values = Float.max 1. (s *. distinct) in
+  point_read_us env 40. *. dir_probes
+  +. read_stream_us env list_bytes
+  +. merge_passes_us env ~k:(int_of_float matched_values) ~bytes:list_bytes
+
+(* Climbing [m] T-ids to the root: per-id locator chunk read + per-id
+   list chunk read(s) + hierarchical merge passes. The executor reads
+   through [chunk]-byte buffers, so each id costs at least two chunk
+   reads even when its list is tiny. *)
+let climb_us env ~table m =
+  ignore locator_bytes;
+  if table = env.plan.Plan.root || m <= 0. then 0.
+  else begin
+    let fanout =
+      Float.of_int (count env env.plan.Plan.root) /. Float.of_int (count env table)
+    in
+    let list_bytes = m *. fanout *. avg_varint_bytes in
+    let chunk_read = point_read_us env chunk in
+    (m *. chunk_read)
+    +. Float.max (m *. chunk_read) (read_stream_us env list_bytes)
+    +. merge_passes_us env ~k:(int_of_float m) ~bytes:list_bytes
+  end
+
+(* SKT probing: candidates share the reader's window when they are
+   dense, so the number of Flash reads is the number of windows
+   touched, not the number of candidates. *)
+let skt_access_us env ~n_root ~candidates ~row_bytes =
+  if candidates <= 0. || row_bytes <= 0. then 0.
+  else begin
+    let window = 64. in
+    let rows_per_window = Float.max 1. (window /. row_bytes) in
+    let n_windows = Float.of_int n_root /. rows_per_window in
+    let density = Float.min 1. (candidates /. Float.of_int n_root) in
+    let touched =
+      Float.min candidates
+        (n_windows *. (1. -. Float.pow (1. -. density) rows_per_window))
+    in
+    touched *. point_read_us env window
+  end
+
+let visible_sel env preds = List.fold_left (fun acc p -> acc *. sel env p) 1. preds
+
+let estimate cat (plan : Plan.t) =
+  let cfg = Device.config cat.Catalog.device in
+  let env =
+    { cat; cfg; fc = cfg.Device.flash_cost; plan; parts = []; usb_bytes = 0; ram_bytes = 0 }
+  in
+  let root = plan.Plan.root in
+  let n_root = count env root in
+  let schema = cat.Catalog.schema in
+  let time = ref 0. in
+  let spend label us =
+    add env label us;
+    time := !time +. us
+  in
+  (* selectivity applied before SKT access (pre-filters) *)
+  let pre_sel = ref 1. in
+  (* selectivity of post filters (applied after SKT access) *)
+  let post_sel = ref 1. in
+  List.iter
+    (fun (g : Plan.group) ->
+       let t = g.Plan.g_table in
+       let n_t = count env t in
+       let vis_sel = visible_sel env g.Plan.g_visible in
+       let indexed, checked =
+         List.partition
+           (fun (h : Plan.hidden_pred) -> h.Plan.h_strategy = Plan.H_index)
+           g.Plan.g_hidden
+       in
+       let hidden_index_sel =
+         List.fold_left (fun acc h -> acc *. sel env h.Plan.h_pred) 1. indexed
+       in
+       let hidden_check_sel =
+         List.fold_left (fun acc h -> acc *. sel env h.Plan.h_pred) 1. checked
+       in
+       post_sel := !post_sel *. hidden_check_sel;
+       (* hidden checks: per surviving candidate, later *)
+       let strategy = g.Plan.g_visible_strategy in
+       let cross_pre =
+         strategy = Plan.V_cross_pre
+         && g.Plan.g_visible <> []
+         && (indexed <> [] || g.Plan.g_borrowed <> [])
+       in
+       (* deep cross: borrowed descendant lists read at this table's
+          level, shrinking the climbed set *)
+       let borrowed_sel =
+         List.fold_left (fun acc (_, p) -> acc *. sel env p) 1. g.Plan.g_borrowed
+       in
+       if cross_pre then
+         List.iter
+           (fun (d, p) ->
+              spend
+                (Printf.sprintf "borrow(%s.%s@%s)" d p.Predicate.column t)
+                (hidden_index_us env ~table:d p ~level_count:n_t))
+           g.Plan.g_borrowed;
+       (* hidden index traversals *)
+       List.iter
+         (fun (h : Plan.hidden_pred) ->
+            let level_count = if cross_pre then n_t else n_root in
+            spend
+              (Printf.sprintf "index(%s.%s)" t h.Plan.h_pred.Predicate.column)
+              (hidden_index_us env ~table:t h.Plan.h_pred ~level_count))
+         indexed;
+       (match g.Plan.g_visible, strategy with
+        | [], _ ->
+          if indexed <> [] then pre_sel := !pre_sel *. hidden_index_sel
+        | preds, (Plan.V_pre | Plan.V_cross_pre) ->
+          let m_vis = vis_sel *. Float.of_int n_t in
+          spend (Printf.sprintf "ship(%s)" t) (usb_us env (4. *. m_vis));
+          let m_climbed =
+            if cross_pre then m_vis *. hidden_index_sel *. borrowed_sel else m_vis
+          in
+          spend (Printf.sprintf "climb(%s)" t) (climb_us env ~table:t m_climbed);
+          ignore preds;
+          pre_sel := !pre_sel *. vis_sel *. hidden_index_sel
+        | _, (Plan.V_post | Plan.V_cross_post) ->
+          let m_vis = vis_sel *. Float.of_int n_t in
+          spend (Printf.sprintf "ship(%s)" t) (usb_us env (4. *. m_vis));
+          let m_bloom =
+            if strategy = Plan.V_cross_post && indexed <> [] then begin
+              (* reading the hidden T-level lists for the cross *)
+              List.iter
+                (fun (h : Plan.hidden_pred) ->
+                   spend
+                     (Printf.sprintf "cross-index(%s.%s)" t h.Plan.h_pred.Predicate.column)
+                     (hidden_index_us env ~table:t h.Plan.h_pred ~level_count:n_t))
+                indexed;
+              m_vis *. hidden_index_sel
+            end
+            else m_vis
+          in
+          let ideal_bytes =
+            Float.of_int (Bloom.bits_for_fpr ~n:(max 1 (int_of_float m_bloom)) ~fpr:0.01)
+            /. 8.
+          in
+          let bloom_bytes = Float.min ideal_bytes (Float.of_int cfg.Device.ram_budget /. 4.) in
+          env.ram_bytes <- env.ram_bytes + int_of_float bloom_bytes;
+          spend (Printf.sprintf "bloom-build(%s)" t) (cpu_us env (m_bloom *. 8.));
+          pre_sel := !pre_sel *. hidden_index_sel;
+          post_sel := !post_sel *. vis_sel))
+    plan.Plan.groups;
+  let candidates = Float.of_int n_root *. !pre_sel in
+  (* SKT access for every candidate *)
+  let skt_row_bytes =
+    match Catalog.skt cat root with
+    | Some skt -> Float.of_int (Ghost_store.Skt.row_width skt)
+    | None -> 0.
+  in
+  if skt_row_bytes > 0. then
+    spend "access-skt" (skt_access_us env ~n_root ~candidates ~row_bytes:skt_row_bytes);
+  (* bloom probes + hidden checks per candidate *)
+  spend "probes" (cpu_us env (candidates *. 8.));
+  List.iter
+    (fun (g : Plan.group) ->
+       List.iter
+         (fun (h : Plan.hidden_pred) ->
+            if h.Plan.h_strategy = Plan.H_check then begin
+              let tbl = Schema.find_table schema g.Plan.g_table in
+              let col = Schema.find_column tbl h.Plan.h_pred.Predicate.column in
+              spend
+                (Printf.sprintf "check(%s.%s)" g.Plan.g_table h.Plan.h_pred.Predicate.column)
+                (candidates *. point_read_us env (Float.of_int (Value.ty_width col.Column.ty)))
+            end)
+         g.Plan.g_hidden)
+    plan.Plan.groups;
+  let survivors = candidates *. !post_sel in
+  (* projection joins *)
+  let projected_visible =
+    List.filter_map
+      (fun (table, column) ->
+         let tbl = Schema.find_table schema table in
+         if column = tbl.Schema.key then None
+         else begin
+           let col = Schema.find_column tbl column in
+           if Column.is_hidden col then None
+           else Some (table, column, Value.ty_width col.Column.ty)
+         end)
+      plan.Plan.query.Bind.projections
+    |> List.sort_uniq compare
+  in
+  let post_tables =
+    List.filter_map
+      (fun (g : Plan.group) ->
+         if
+           g.Plan.g_visible <> []
+           && (g.Plan.g_visible_strategy = Plan.V_post
+               || g.Plan.g_visible_strategy = Plan.V_cross_post)
+         then Some g.Plan.g_table
+         else None)
+      plan.Plan.groups
+  in
+  let join_tables =
+    List.sort_uniq String.compare
+      (List.map (fun (t, _, _) -> t) projected_visible @ post_tables)
+  in
+  List.iter
+    (fun table ->
+       let preds =
+         List.filter
+           (fun (p : Predicate.t) ->
+              p.Predicate.table = table
+              &&
+              let tbl = Schema.find_table schema table in
+              not (Column.is_hidden (Schema.find_column tbl p.Predicate.column)))
+           plan.Plan.query.Bind.selections
+       in
+       let cols = List.filter (fun (t, _, _) -> t = table) projected_visible in
+       let width =
+         match cols with
+         | [] -> 0
+         | l -> List.fold_left (fun acc (_, _, w) -> acc + w) 0 l
+       in
+       let n_stream = visible_sel env preds *. Float.of_int (count env table) in
+       spend
+         (Printf.sprintf "stream(%s)" table)
+         (usb_us env (Float.of_int (4 + width) *. n_stream));
+       let hash_bytes = n_stream *. Float.of_int (8 + width) in
+       if hash_bytes <= Float.of_int cfg.Device.ram_budget /. 2. then
+         spend (Printf.sprintf "join-hash(%s)" table) (cpu_us env ((n_stream +. survivors) *. 4.))
+       else begin
+         let row_bytes = survivors *. 24. in
+         spend
+           (Printf.sprintf "join-sort(%s)" table)
+           (write_stream_us env row_bytes +. read_stream_us env row_bytes
+            +. cpu_us env (survivors *. 20.))
+       end)
+    join_tables;
+  (* final projection: hidden column point reads + result emission *)
+  let hidden_proj =
+    List.filter
+      (fun (table, column) ->
+         let tbl = Schema.find_table schema table in
+         column <> tbl.Schema.key
+         && Column.is_hidden (Schema.find_column tbl column))
+      plan.Plan.query.Bind.projections
+  in
+  List.iter
+    (fun (table, column) ->
+       let tbl = Schema.find_table schema table in
+       let col = Schema.find_column tbl column in
+       spend
+         (Printf.sprintf "fetch(%s.%s)" table column)
+         (survivors *. point_read_us env (Float.of_int (Value.ty_width col.Column.ty))))
+    hidden_proj;
+  spend "emit" (usb_us env (survivors *. 16.));
+  {
+    est_time_us = !time;
+    est_candidates = int_of_float (Float.round candidates);
+    est_results = int_of_float (Float.round survivors);
+    est_ram_bytes = env.ram_bytes;
+    est_usb_bytes = env.usb_bytes;
+    breakdown = List.rev env.parts;
+  }
+
+let pp fmt e =
+  Format.fprintf fmt "est %.0f us, %d candidates, %d results, %d B ram, %d B usb"
+    e.est_time_us e.est_candidates e.est_results e.est_ram_bytes e.est_usb_bytes

@@ -1,0 +1,27 @@
+module Bind = Ghost_sql.Bind
+
+(** Analytic cost model.
+
+    Estimates a plan's simulated execution time from the catalog
+    statistics and the device configuration, mirroring the executor's
+    cost structure: climbing-index traversals (directory probes + list
+    bytes), climbs of shipped id lists (per-id locator reads, list
+    bytes, hierarchical merge passes), USB transfers, Bloom
+    build/probe CPU, SKT accesses for surviving candidates, hidden
+    column checks, and projection joins (RAM hash vs external sort).
+    The absolute numbers are approximations; what the optimizer needs
+    is the {e ranking}, dominated by the Pre-filter climb volume vs the
+    Post-filter candidate volume. *)
+
+type estimate = {
+  est_time_us : float;
+  est_candidates : int;  (** expected candidates after Pre-filtering *)
+  est_results : int;  (** expected result cardinality *)
+  est_ram_bytes : int;  (** main resident structures (Bloom filters) *)
+  est_usb_bytes : int;
+  breakdown : (string * float) list;  (** per-component microseconds *)
+}
+
+val estimate : Catalog.t -> Plan.t -> estimate
+
+val pp : Format.formatter -> estimate -> unit

@@ -1,0 +1,131 @@
+module Value = Ghost_kernel.Value
+module Codec = Ghost_kernel.Codec
+module Flash = Ghost_flash.Flash
+module Ram = Ghost_device.Ram
+
+type t = {
+  flash : Flash.t;
+  table : string;
+  levels : string array;
+  hidden_cols : (string * Value.ty) array;
+  record_bytes : int;
+  records_per_page : int;
+  mutable full_pages : int list;  (* reversed *)
+  mutable tail : string list;  (* encoded records of the tail page, reversed *)
+  mutable tail_page : int option;  (* current (latest) program of the tail *)
+  mutable count : int;
+  mutable dead_bytes : int;  (* superseded tail programs *)
+}
+
+let create flash ~table ~levels ~hidden_cols =
+  let record_bytes =
+    (4 * List.length levels)
+    + List.fold_left (fun acc (_, ty) -> acc + Value.ty_width ty) 0 hidden_cols
+  in
+  let page = (Flash.geometry flash).Flash.page_size in
+  if record_bytes > page then invalid_arg "Delta_log.create: record exceeds a page";
+  {
+    flash;
+    table;
+    levels = Array.of_list levels;
+    hidden_cols = Array.of_list hidden_cols;
+    record_bytes;
+    records_per_page = page / record_bytes;
+    full_pages = [];
+    tail = [];
+    tail_page = None;
+    count = 0;
+    dead_bytes = 0;
+  }
+
+let table t = t.table
+let count t = t.count
+let record_bytes t = t.record_bytes
+
+let dead_bytes t = t.dead_bytes
+
+let size_bytes t =
+  (List.length t.full_pages * t.records_per_page * t.record_bytes)
+  + (List.length t.tail * t.record_bytes)
+
+let encode t ~ids ~hidden =
+  if Array.length ids <> Array.length t.levels then
+    invalid_arg "Delta_log.append: id vector misaligned with levels";
+  if Array.length hidden <> Array.length t.hidden_cols then
+    invalid_arg "Delta_log.append: hidden values misaligned";
+  let buf = Buffer.create t.record_bytes in
+  Array.iter
+    (fun id ->
+       let b = Bytes.create 4 in
+       Codec.put_u32 b 0 id;
+       Buffer.add_bytes buf b)
+    ids;
+  Array.iteri
+    (fun i v ->
+       let _, ty = t.hidden_cols.(i) in
+       Buffer.add_bytes buf (Value.encode ty v))
+    hidden;
+  Buffer.contents buf
+
+let append t ~ids ~hidden =
+  let record = encode t ~ids ~hidden in
+  t.tail <- record :: t.tail;
+  t.count <- t.count + 1;
+  (* Program the tail as a fresh page (no in-place writes); the
+     previous tail program becomes dead space until reorganization. *)
+  (match t.tail_page with
+   | Some _ -> t.dead_bytes <- t.dead_bytes + ((List.length t.tail - 1) * t.record_bytes)
+   | None -> ());
+  let data = String.concat "" (List.rev t.tail) in
+  let page = Flash.append t.flash (Bytes.of_string data) in
+  if List.length t.tail = t.records_per_page then begin
+    t.full_pages <- page :: t.full_pages;
+    t.tail <- [];
+    t.tail_page <- None
+  end
+  else t.tail_page <- Some page
+
+type row = {
+  ids : int array;
+  hidden : Value.t array;
+}
+
+let decode t b off =
+  let n_levels = Array.length t.levels in
+  let ids = Array.init n_levels (fun i -> Codec.get_u32 b (off + (4 * i))) in
+  let pos = ref (off + (4 * n_levels)) in
+  let hidden =
+    Array.map
+      (fun (_, ty) ->
+         let v = Value.decode ty b !pos in
+         pos := !pos + Value.ty_width ty;
+         v)
+      t.hidden_cols
+  in
+  { ids; hidden }
+
+let scan ?ram t f =
+  ignore ram;
+  let read_page page n_records =
+    let b = Flash.read t.flash ~page ~off:0 ~len:(n_records * t.record_bytes) in
+    for i = 0 to n_records - 1 do
+      f (decode t b (i * t.record_bytes))
+    done
+  in
+  List.iter
+    (fun page -> read_page page t.records_per_page)
+    (List.rev t.full_pages);
+  match t.tail_page with
+  | Some page -> read_page page (List.length t.tail)
+  | None -> ()
+
+let hidden_assoc t row =
+  Array.to_list (Array.mapi (fun i (name, _) -> (name, row.hidden.(i))) t.hidden_cols)
+
+let hidden_value t row col =
+  let rec loop i =
+    if i >= Array.length t.hidden_cols then raise Not_found
+    else if fst t.hidden_cols.(i) = col then row.hidden.(i)
+    else loop (i + 1)
+  in
+  loop 0

@@ -1,0 +1,61 @@
+module Value = Ghost_kernel.Value
+module Flash = Ghost_flash.Flash
+
+(** Append-only delta log: inserts after the initial load.
+
+    NAND Flash forbids in-place writes, so freshly inserted root-table
+    tuples cannot be folded into the SKT / climbing-index structures
+    (those are rebuilt offline, in the secure setting, like the initial
+    load). Instead each insert appends one fixed-width record — the
+    tuple's full SKT-style id vector plus its own hidden column values
+    — to a log on the device Flash. Query execution scans the (small)
+    log next to the indexed main structures; see {!Exec}.
+
+    Only the schema root accepts inserts in this reproduction: new
+    facts referencing existing dimension rows, the natural OLTP case.
+    Dimension inserts and deletes are future work (documented in
+    DESIGN.md). *)
+
+type t
+
+val create :
+  Flash.t ->
+  table:string ->
+  levels:string list ->
+  hidden_cols:(string * Value.ty) list ->
+  t
+(** [levels] — the subtree preorder (the SKT level layout of the
+    table); [hidden_cols] — the table's own hidden columns, in
+    declaration order. *)
+
+val table : t -> string
+val count : t -> int
+val record_bytes : t -> int
+val size_bytes : t -> int
+(** Live bytes of the log (full pages + current tail). *)
+
+val dead_bytes : t -> int
+(** Bytes of superseded tail programs — the write amplification of the
+    no-rewrite discipline, reclaimed only by offline reorganization. *)
+
+val append : t -> ids:int array -> hidden:Value.t array -> unit
+(** Appends one record; programs a Flash page per page-full of records
+    (partially filled tail pages are reprogrammed into fresh pages, as
+    the no-rewrite discipline demands — the write amplification is
+    metered). Raises [Invalid_argument] on misaligned input. *)
+
+type row = {
+  ids : int array;  (** aligned with [levels] *)
+  hidden : Value.t array;  (** aligned with [hidden_cols] *)
+}
+
+val scan :
+  ?ram:Ghost_device.Ram.t -> t -> (row -> unit) -> unit
+(** Sequential metered read of the whole log. *)
+
+val hidden_value : t -> row -> string -> Value.t
+(** [hidden_value t row col] — the record's value of one of the
+    table's own hidden columns. Raises [Not_found]. *)
+
+val hidden_assoc : t -> row -> (string * Value.t) list
+(** All of the record's own hidden column values, by name. *)

@@ -1,0 +1,829 @@
+module Value = Ghost_kernel.Value
+module Codec = Ghost_kernel.Codec
+module Cursor = Ghost_kernel.Cursor
+module Sorted_ids = Ghost_kernel.Sorted_ids
+module Resources = Ghost_kernel.Resources
+module Column = Ghost_relation.Column
+module Schema = Ghost_relation.Schema
+module Predicate = Ghost_relation.Predicate
+module Bind = Ghost_sql.Bind
+module Flash = Ghost_flash.Flash
+module Ram = Ghost_device.Ram
+module Trace = Ghost_device.Trace
+module Device = Ghost_device.Device
+module Bloom = Ghost_bloom.Bloom
+module Skt = Ghost_store.Skt
+module Column_store = Ghost_store.Column_store
+module Climbing_index = Ghost_store.Climbing_index
+module Merge_union = Ghost_store.Merge_union
+module Ext_sort = Ghost_store.Ext_sort
+module Public_store = Ghost_public.Public_store
+
+type op_stats = {
+  op_label : string;
+  tuples_in : int;
+  tuples_out : int;
+  ram_peak : int;
+  usage : Device.usage;
+}
+
+type result = {
+  rows : Value.t array list;
+  row_count : int;
+  ops : op_stats list;
+  total : Device.usage;
+  elapsed_us : float;
+  ram_peak : int;
+  bloom_fp_candidates : int;
+}
+
+exception Exec_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
+
+(* A candidate row mid-flight: the SKT id vector plus visible values
+   attached by the projection joins so far (reverse order). Rows coming
+   from the insert delta log carry their own hidden values (they are
+   not in the column stores). *)
+type row = {
+  ids : int array;
+  mutable attached : Value.t list;
+  delta_hidden : (string * Value.t) list option;
+}
+
+type context = {
+  catalog : Catalog.t;
+  public : Public_store.t;
+  plan : Plan.t;
+  device : Device.t;
+  ram : Ram.t;
+  resources : Resources.t;
+  mutable ops_rev : op_stats list;
+  exact_post : bool;
+  bloom_fpr : float;
+  mutable bloom_fps : int;
+  mutable shipped : (string * int array) list;
+      (* visible Pre-filter id lists, kept for the delta scan *)
+}
+
+let measure ctx label ~tuples_in f =
+  let scope = Ram.open_scope ctx.ram in
+  let before = Device.snapshot ctx.device in
+  let value, tuples_out = f () in
+  let usage =
+    Device.usage_between ctx.device ~before ~after:(Device.snapshot ctx.device)
+  in
+  let ram_peak = Ram.close_scope ctx.ram scope in
+  ctx.ops_rev <- { op_label = label; tuples_in; tuples_out; ram_peak; usage } :: ctx.ops_rev;
+  value
+
+let cpu ctx n = Device.cpu ctx.device n
+
+(* ---- helpers over the catalog ---- *)
+
+let attr_index_exn ctx ~table ~column =
+  match Catalog.attr_index ctx.catalog ~table ~column with
+  | Some idx -> idx
+  | None -> fail "no climbing index on %s.%s (H_index strategy invalid)" table column
+
+let key_index_exn ctx table =
+  match Catalog.key_index ctx.catalog table with
+  | Some idx -> idx
+  | None -> fail "no key climbing index for %s" table
+
+let column_store_exn ctx ~table ~column =
+  match Catalog.column_store ctx.catalog ~table ~column with
+  | Some cs -> cs
+  | None -> fail "no device column store for %s.%s" table column
+
+(* ---- pre-filter sources ---- *)
+
+let union ctx sources =
+  Merge_union.union ~ram:ctx.ram ~scratch:(Device.scratch ctx.device)
+    ~resources:ctx.resources ~cpu:(cpu ctx) sources
+
+(* The sorted id list a set of visible predicates selects, shipped into
+   the device. *)
+let ship_visible_ids ctx ~table preds =
+  measure ctx (Printf.sprintf "ShipIds(%s)" table) ~tuples_in:0 (fun () ->
+    let lists =
+      List.map
+        (fun p ->
+           let ids = Public_store.select_ids ctx.public ~trace:(Device.trace ctx.device) p in
+           Device.receive ctx.device
+             (Trace.Id_list { table; count = Array.length ids })
+             ~bytes:(4 * Array.length ids);
+           cpu ctx (Array.length ids);
+           ids)
+        preds
+    in
+    let ids =
+      match lists with
+      | [] -> [||]
+      | ls -> Sorted_ids.intersect_many ls
+    in
+    ctx.shipped <- (table, ids) :: ctx.shipped;
+    (ids, Array.length ids))
+
+(* Union of the per-value lists of one hidden predicate at [level]. *)
+let hidden_pred_cursor ctx ~table ~(pred : Predicate.t) ~level =
+  let idx = attr_index_exn ctx ~table ~column:pred.Predicate.column in
+  let sources = Climbing_index.lookup_cmp ~ram:ctx.ram idx pred.Predicate.cmp ~level in
+  union ctx sources
+
+(* Defer cursor construction to the first pull, so the opening reads
+   are charged to the operator that drains the stream. *)
+let lazy_cursor make =
+  let inner = ref None in
+  Cursor.make (fun () ->
+    let c =
+      match !inner with
+      | Some c -> c
+      | None ->
+        let c = make () in
+        inner := Some c;
+        c
+    in
+    Cursor.next c)
+
+(* Climb a T-id list to the plan root through the dense key index. *)
+let climb ctx ~table ids =
+  if table = ctx.plan.Plan.root then Cursor.of_array ids
+  else
+    lazy_cursor (fun () ->
+      let key_idx = key_index_exn ctx table in
+      let sources =
+        Array.to_list
+          (Array.map
+             (fun id ->
+                Climbing_index.lookup_id ~ram:ctx.ram key_idx id ~level:ctx.plan.Plan.root)
+             ids)
+      in
+      union ctx sources)
+
+let intersect_cursors cursors =
+  match cursors with
+  | [] -> None
+  | first :: rest ->
+    Some (List.fold_left (Cursor.intersect_sorted ~cmp:Int.compare) first rest)
+
+(* The sorted R-id stream contributed by one plan group, if any. *)
+let group_pre_cursor ctx (g : Plan.group) =
+  let root = ctx.plan.Plan.root in
+  let indexed =
+    List.filter (fun (h : Plan.hidden_pred) -> h.Plan.h_strategy = Plan.H_index) g.Plan.g_hidden
+  in
+  let visible_pre =
+    g.Plan.g_visible <> []
+    &&
+    match g.Plan.g_visible_strategy with
+    | Plan.V_pre | Plan.V_cross_pre -> true
+    | Plan.V_post | Plan.V_cross_post -> false
+  in
+  let cross =
+    visible_pre
+    && g.Plan.g_visible_strategy = Plan.V_cross_pre
+    && (indexed <> [] || g.Plan.g_borrowed <> [])
+  in
+  if indexed = [] && not visible_pre then None
+  else if cross then begin
+    (* Intersect everything at T level, then climb once. *)
+    let t_ids = ship_visible_ids ctx ~table:g.Plan.g_table g.Plan.g_visible in
+    let filtered =
+      measure ctx
+        (Printf.sprintf "CrossFilter(%s)" g.Plan.g_table)
+        ~tuples_in:(Array.length t_ids)
+        (fun () ->
+           let hidden_t =
+             List.map
+               (fun (h : Plan.hidden_pred) ->
+                  hidden_pred_cursor ctx ~table:g.Plan.g_table ~pred:h.Plan.h_pred
+                    ~level:g.Plan.g_table)
+               indexed
+             (* deep cross: descendant predicates' lists at this level *)
+             @ List.map
+                 (fun (d, pred) ->
+                    hidden_pred_cursor ctx ~table:d ~pred ~level:g.Plan.g_table)
+                 g.Plan.g_borrowed
+           in
+           let t_stream =
+             intersect_cursors (Cursor.of_array t_ids :: hidden_t) |> Option.get
+           in
+           let filtered = Cursor.to_array t_stream in
+           cpu ctx (Array.length filtered);
+           (filtered, Array.length filtered))
+    in
+    Some (climb ctx ~table:g.Plan.g_table filtered)
+  end
+  else begin
+    let hidden_r =
+      if indexed = [] then []
+      else
+        measure ctx
+          (Printf.sprintf "IndexLookup(%s)" g.Plan.g_table)
+          ~tuples_in:(List.length indexed)
+          (fun () ->
+             let cursors =
+               List.map
+                 (fun (h : Plan.hidden_pred) ->
+                    hidden_pred_cursor ctx ~table:g.Plan.g_table ~pred:h.Plan.h_pred
+                      ~level:root)
+                 indexed
+             in
+             (cursors, List.length cursors))
+    in
+    let visible_r =
+      if not visible_pre then []
+      else begin
+        let t_ids = ship_visible_ids ctx ~table:g.Plan.g_table g.Plan.g_visible in
+        [ climb ctx ~table:g.Plan.g_table t_ids ]
+      end
+    in
+    intersect_cursors (hidden_r @ visible_r)
+  end
+
+(* ---- post filters ---- *)
+
+type bloom_filter = {
+  bf_table : string;
+  bf_level : int;  (* level index in the SKT row *)
+  bf : Bloom.t;
+  bf_cell : Ram.cell;
+}
+
+type hidden_check = {
+  hc_pred : Predicate.t;
+  hc_level : int;
+  hc_reader : Column_store.reader;
+}
+
+let build_bloom ctx ~level_of (g : Plan.group) =
+  let table = g.Plan.g_table in
+  measure ctx (Printf.sprintf "BloomBuild(%s)" table) ~tuples_in:0 (fun () ->
+    let lists =
+      List.map
+        (fun p ->
+           let ids = Public_store.select_ids ctx.public ~trace:(Device.trace ctx.device) p in
+           Device.receive ctx.device
+             (Trace.Id_list { table; count = Array.length ids })
+             ~bytes:(4 * Array.length ids);
+           ids)
+        g.Plan.g_visible
+    in
+    let t_ids = Sorted_ids.intersect_many lists in
+    (* Cross-post: shrink the insertion set with the hidden predicates'
+       own-level index lists before filling the filter. *)
+    let t_ids =
+      if g.Plan.g_visible_strategy = Plan.V_cross_post then begin
+        let indexed =
+          List.filter (fun (h : Plan.hidden_pred) -> h.Plan.h_strategy = Plan.H_index)
+            g.Plan.g_hidden
+        in
+        match
+          intersect_cursors
+            (Cursor.of_array t_ids
+             :: List.map
+                  (fun (h : Plan.hidden_pred) ->
+                     hidden_pred_cursor ctx ~table ~pred:h.Plan.h_pred ~level:table)
+                  indexed)
+        with
+        | Some c -> Cursor.to_array c
+        | None -> t_ids
+      end
+      else t_ids
+    in
+    let n = max 1 (Array.length t_ids) in
+    let ideal_bytes = (Bloom.bits_for_fpr ~n ~fpr:ctx.bloom_fpr + 7) / 8 in
+    let free = Ram.budget ctx.ram - Ram.in_use ctx.ram in
+    let budget = max 64 (min ideal_bytes (free / 4)) in
+    let cell = Ram.alloc ctx.ram ~label:(Printf.sprintf "bloom(%s)" table) budget in
+    let bf = Bloom.sized_for ~budget_bytes:budget ~n in
+    Array.iter
+      (fun id ->
+         Bloom.add bf id;
+         cpu ctx (Bloom.k bf))
+      t_ids;
+    ( { bf_table = table; bf_level = level_of table; bf; bf_cell = cell },
+      Array.length t_ids ))
+
+(* ---- projection phase ---- *)
+
+(* Join one sorted (id, value) stream against the rows on the ids at
+   [level]. In-RAM hash join when the stream fits, external sort-merge
+   otherwise. [verify] drops rows without a match (Bloom false
+   positives); attach_value keeps the joined value on the row. *)
+let join_stream ctx ~label ~level ~verify ~attach_value ~value_width ~rows fetch_stream =
+  measure ctx label ~tuples_in:(List.length rows) (fun () ->
+    let stream : (int * Value.t) array = fetch_stream () in
+    let n = Array.length stream in
+    let hash_bytes = n * (8 + value_width) in
+    let free = Ram.budget ctx.ram - Ram.in_use ctx.ram in
+    let joined =
+      if hash_bytes <= free / 2 then begin
+        (* RAM-resident hash join. *)
+        Ram.with_alloc ctx.ram ~label:(label ^ "-hash") hash_bytes (fun _ ->
+          let table = Hashtbl.create (max 16 n) in
+          Array.iter (fun (id, v) -> Hashtbl.replace table id v) stream;
+          cpu ctx (2 * n);
+          List.filter_map
+            (fun row ->
+               cpu ctx 3;
+               match Hashtbl.find_opt table row.ids.(level) with
+               | Some v ->
+                 if attach_value then row.attached <- v :: row.attached;
+                 Some row
+               | None ->
+                 if verify then begin
+                   ctx.bloom_fps <- ctx.bloom_fps + 1;
+                   None
+                 end
+                 else begin
+                   (* approximate mode: a Bloom false positive survives
+                      with an unknown (NULL) projected value *)
+                   if attach_value then row.attached <- Value.Null :: row.attached;
+                   Some row
+                 end)
+            rows)
+      end
+      else begin
+        (* Spill: sort the rows by the join id on scratch, merge with
+           the sorted stream. Records carry the row ordinal; their
+           simulated width includes the attached values so Flash
+           traffic is honest. *)
+        let rows_arr = Array.of_list rows in
+        let attached_bytes =
+          match rows with
+          | [] -> 0
+          | r :: _ -> 8 * List.length r.attached
+        in
+        let record_bytes = (4 * Array.length (if rows = [] then [||] else rows_arr.(0).ids)) + 4 + attached_bytes in
+        let encode i =
+          let b = Bytes.make record_bytes '\000' in
+          Codec.put_u32 b 0 rows_arr.(i).ids.(level);
+          Codec.put_u32 b 4 i;
+          b
+        in
+        let input = Cursor.map encode (Cursor.of_array (Array.init (Array.length rows_arr) Fun.id)) in
+        let sorted =
+          Ext_sort.sort ~ram:ctx.ram ~scratch:(Device.scratch ctx.device)
+            ~resources:ctx.resources ~cpu:(cpu ctx) ~record_bytes
+            ~compare:(fun a b -> Int.compare (Codec.get_u32 a 0) (Codec.get_u32 b 0))
+            input
+        in
+        let out =
+          Cursor.merge_join
+            ~left_key:(fun b -> Codec.get_u32 b 0)
+            ~right_key:fst sorted (Cursor.of_array stream)
+          |> Cursor.to_list
+        in
+        cpu ctx (2 * List.length out);
+        let matched = Hashtbl.create 64 in
+        List.iter
+          (fun (record, (_, v)) ->
+             let ordinal = Codec.get_u32 record 4 in
+             Hashtbl.replace matched ordinal v)
+          out;
+        (List.concat_map
+             (fun i ->
+                let row = rows_arr.(i) in
+                match Hashtbl.find_opt matched i with
+                | Some v ->
+                  if attach_value then row.attached <- v :: row.attached;
+                  [ row ]
+                | None ->
+                  if verify then begin
+                    ctx.bloom_fps <- ctx.bloom_fps + 1;
+                    []
+                  end
+                  else begin
+                    if attach_value then row.attached <- Value.Null :: row.attached;
+                    [ row ]
+                  end)
+           (List.init (Array.length rows_arr) Fun.id))
+      end
+    in
+    (joined, List.length joined))
+
+let run ?(exact_post = true) ?(bloom_fpr = 0.01) catalog public plan =
+  Plan.validate plan;
+  let device = catalog.Catalog.device in
+  Resources.with_resources (fun resources ->
+    let ctx =
+      {
+        catalog;
+        public;
+        plan;
+        device;
+        ram = Device.ram device;
+        resources;
+        ops_rev = [];
+        exact_post;
+        bloom_fpr;
+        bloom_fps = 0;
+        shipped = [];
+      }
+    in
+    let schema = catalog.Catalog.schema in
+    let root = plan.Plan.root in
+    let trace = Device.trace device in
+    let global_scope = Ram.open_scope ctx.ram in
+    let run_start = Device.snapshot device in
+    (* The query text itself travels to the device (spy-visible). *)
+    ignore
+      (measure ctx "ReceiveQuery" ~tuples_in:0 (fun () ->
+         Device.receive device (Trace.Query_text plan.Plan.query.Bind.text)
+           ~bytes:(String.length plan.Plan.query.Bind.text);
+         ((), 0)));
+    (* SKT layout for the plan root. *)
+    let skt_opt = Catalog.skt catalog root in
+    let levels =
+      match skt_opt with
+      | Some skt -> Skt.levels skt
+      | None -> [ root ]
+    in
+    let level_of table =
+      let rec loop i = function
+        | [] -> fail "table %s is not in the subtree of %s" table root
+        | t :: rest -> if t = table then i else loop (i + 1) rest
+      in
+      loop 0 levels
+    in
+    (* Deleted root rows: load the tombstone log into RAM once and
+       filter every candidate (main and delta) against it. *)
+    let tombstones =
+      match Catalog.tombstone catalog root with
+      | None -> [||]
+      | Some log ->
+        measure ctx "TombstoneLoad" ~tuples_in:0 (fun () ->
+          let ids = Tombstone_log.load_sorted log in
+          let cell =
+            Ram.alloc ctx.ram ~label:"tombstones" (max 4 (4 * Array.length ids))
+          in
+          Resources.defer resources (fun () -> Ram.free ctx.ram cell);
+          cpu ctx (Array.length ids);
+          (ids, Array.length ids))
+    in
+    (* 1. Pre-filter: candidate R ids ("Merge+Index"). *)
+    let pre_cursors = List.filter_map (group_pre_cursor ctx) plan.Plan.groups in
+    let n_root = Catalog.table_count catalog root in
+    let candidates =
+      measure ctx "Merge+Index" ~tuples_in:0 (fun () ->
+        let c =
+          match intersect_cursors pre_cursors with
+          | Some c -> c
+          | None ->
+            (* No pre source: enumerate all root ids (dense). *)
+            let i = ref 0 in
+            Cursor.make (fun () ->
+              incr i;
+              if !i > n_root then None else Some !i)
+        in
+        let arr = Cursor.to_array c in
+        cpu ctx (Array.length arr);
+        let arr =
+          if Array.length tombstones = 0 then arr
+          else Sorted_ids.difference arr tombstones
+        in
+        (arr, Array.length arr))
+    in
+    (* 2. Post-filter structures. *)
+    let post_groups =
+      List.filter
+        (fun (g : Plan.group) ->
+           g.Plan.g_visible <> []
+           &&
+           match g.Plan.g_visible_strategy with
+           | Plan.V_post | Plan.V_cross_post -> true
+           | Plan.V_pre | Plan.V_cross_pre -> false)
+        plan.Plan.groups
+    in
+    let blooms = List.map (fun g -> build_bloom ctx ~level_of g) post_groups in
+    List.iter (fun b -> Resources.defer resources (fun () -> Ram.free ctx.ram b.bf_cell)) blooms;
+    let checks =
+      List.concat_map
+        (fun (g : Plan.group) ->
+           List.filter_map
+             (fun (h : Plan.hidden_pred) ->
+                if h.Plan.h_strategy <> Plan.H_check then None
+                else begin
+                  let cs =
+                    column_store_exn ctx ~table:g.Plan.g_table
+                      ~column:h.Plan.h_pred.Predicate.column
+                  in
+                  let reader = Column_store.open_reader ~ram:ctx.ram ~buffer_bytes:256 cs in
+                  Resources.defer resources (fun () -> Column_store.close_reader reader);
+                  Some
+                    {
+                      hc_pred = h.Plan.h_pred;
+                      hc_level = level_of g.Plan.g_table;
+                      hc_reader = reader;
+                    }
+                end)
+             g.Plan.g_hidden)
+        plan.Plan.groups
+    in
+    (* 3. SKT access + probes. *)
+    let surviving =
+      measure ctx "AccessSKT" ~tuples_in:(Array.length candidates) (fun () ->
+        (* Point probes: a small window keeps the charged read close to
+           the row size while still batching adjacent candidates. *)
+        let reader =
+          Option.map
+            (fun skt -> Skt.open_reader ~ram:ctx.ram ~buffer_bytes:64 skt)
+            skt_opt
+        in
+        Option.iter
+          (fun r -> Resources.defer resources (fun () -> Skt.close_reader r))
+          reader;
+        let rows =
+          Array.to_list candidates
+          |> List.filter_map (fun id ->
+            let ids =
+              match reader with
+              | Some r -> Skt.get r id
+              | None -> [| id |]
+            in
+            let pass_blooms =
+              List.for_all
+                (fun b ->
+                   cpu ctx (Bloom.k b.bf);
+                   Bloom.mem b.bf ids.(b.bf_level))
+                blooms
+            in
+            let pass_checks =
+              pass_blooms
+              && List.for_all
+                   (fun hc ->
+                      cpu ctx 2;
+                      Predicate.holds hc.hc_pred
+                        (Column_store.get hc.hc_reader ids.(hc.hc_level)))
+                   checks
+            in
+            if pass_checks then Some { ids; attached = []; delta_hidden = None }
+            else None)
+        in
+        (rows, List.length rows))
+    in
+    (* Rows inserted after the load live in the delta log: scan it,
+       applying every predicate directly (indexes do not cover them).
+       Visible Pre-filter predicates use the shipped id lists; Post
+       predicates use the Bloom filters (plus the exact verification
+       joins below, like main rows). *)
+    let delta_rows =
+      match Catalog.delta catalog root with
+      | None -> []
+      | Some log ->
+        measure ctx "DeltaScan" ~tuples_in:(Delta_log.count log) (fun () ->
+          let hidden_evals =
+            List.concat_map
+              (fun (g : Plan.group) ->
+                 List.map
+                   (fun (h : Plan.hidden_pred) ->
+                      let table = g.Plan.g_table in
+                      let pred = h.Plan.h_pred in
+                      if table = root then
+                        fun (r : Delta_log.row) ->
+                          Predicate.holds pred
+                            (Delta_log.hidden_value log r pred.Predicate.column)
+                      else begin
+                        let cs =
+                          column_store_exn ctx ~table ~column:pred.Predicate.column
+                        in
+                        let reader =
+                          Column_store.open_reader ~ram:ctx.ram ~buffer_bytes:256 cs
+                        in
+                        Resources.defer resources (fun () ->
+                          Column_store.close_reader reader);
+                        let lvl = level_of table in
+                        fun (r : Delta_log.row) ->
+                          Predicate.holds pred
+                            (Column_store.get reader r.Delta_log.ids.(lvl))
+                      end)
+                   g.Plan.g_hidden)
+              plan.Plan.groups
+          in
+          let visible_pre_checks =
+            List.filter_map
+              (fun (g : Plan.group) ->
+                 if g.Plan.g_visible = [] then None
+                 else
+                   match g.Plan.g_visible_strategy with
+                   | Plan.V_pre | Plan.V_cross_pre ->
+                     let lvl = level_of g.Plan.g_table in
+                     (match List.assoc_opt g.Plan.g_table ctx.shipped with
+                      | Some ids ->
+                        Some
+                          (fun (r : Delta_log.row) ->
+                             Sorted_ids.member ids r.Delta_log.ids.(lvl))
+                      | None ->
+                        fail "delta scan: no shipped id list for %s" g.Plan.g_table)
+                   | Plan.V_post | Plan.V_cross_post -> None)
+              plan.Plan.groups
+          in
+          let out = ref [] in
+          Delta_log.scan log (fun r ->
+            cpu ctx 5;
+            let ok =
+              not (Sorted_ids.member tombstones r.Delta_log.ids.(0))
+              && List.for_all (fun f -> f r) hidden_evals
+              && List.for_all (fun f -> f r) visible_pre_checks
+              && List.for_all
+                   (fun b ->
+                      cpu ctx (Bloom.k b.bf);
+                      Bloom.mem b.bf r.Delta_log.ids.(b.bf_level))
+                   blooms
+            in
+            if ok then
+              out :=
+                {
+                  ids = r.Delta_log.ids;
+                  attached = [];
+                  delta_hidden = Some (Delta_log.hidden_assoc log r);
+                }
+                :: !out);
+          (List.rev !out, List.length !out))
+    in
+    let surviving = surviving @ delta_rows in
+    (* 4. Projection joins: visible projected columns + verification of
+       Post-filtered tables. *)
+    let projected_visible =
+      List.filter_map
+        (fun (table, column) ->
+           let tbl = Schema.find_table schema table in
+           if column = tbl.Schema.key then None
+           else begin
+             let col = Schema.find_column tbl column in
+             if Column.is_hidden col then None
+             else Some (table, column, Value.ty_width col.Column.ty)
+           end)
+        plan.Plan.query.Bind.projections
+      |> List.sort_uniq compare
+    in
+    let post_tables = List.map (fun b -> b.bf_table) blooms in
+    let verify_only_tables =
+      if not exact_post then []
+      else
+        List.filter
+          (fun t -> not (List.exists (fun (t', _, _) -> t' = t) projected_visible))
+          post_tables
+    in
+    let visible_preds_on table =
+      List.filter
+        (fun (p : Predicate.t) ->
+           p.Predicate.table = table
+           &&
+           let tbl = Schema.find_table schema table in
+           not (Column.is_hidden (Schema.find_column tbl p.Predicate.column)))
+        plan.Plan.query.Bind.selections
+    in
+    let rows = ref surviving in
+    List.iter
+      (fun (table, column, width) ->
+         let fetch () =
+           let stream =
+             Public_store.stream_column ctx.public ~trace ~table ~column
+               ~preds:(visible_preds_on table)
+           in
+           Device.receive device
+             (Trace.Value_stream { table; column; count = Array.length stream })
+             ~bytes:((4 + width) * Array.length stream);
+           stream
+         in
+         let verify = exact_post && List.mem table post_tables in
+         rows :=
+           join_stream ctx
+             ~label:(Printf.sprintf "Project+Join(%s.%s)" table column)
+             ~level:(level_of table) ~verify ~attach_value:true ~value_width:width
+             ~rows:!rows fetch)
+      projected_visible;
+    List.iter
+      (fun table ->
+         let preds = visible_preds_on table in
+         rows :=
+           join_stream ctx
+             ~label:(Printf.sprintf "Verify(%s)" table)
+             ~level:(level_of table) ~verify:true ~attach_value:false ~value_width:0
+             ~rows:!rows
+             (fun () ->
+                let ids = ship_visible_ids ctx ~table preds in
+                Array.map (fun id -> (id, Value.Null)) ids))
+      verify_only_tables;
+    (* 5. Final projection + emission to the secure display. *)
+    let attach_order = List.map (fun (t, c, _) -> (t, c)) projected_visible in
+    let result_rows =
+      measure ctx "Project" ~tuples_in:(List.length !rows) (fun () ->
+        (* Readers for projected hidden columns. *)
+        let hidden_readers = Hashtbl.create 8 in
+        let reader_for table column =
+          match Hashtbl.find_opt hidden_readers (table, column) with
+          | Some r -> r
+          | None ->
+            let cs = column_store_exn ctx ~table ~column in
+            let r = Column_store.open_reader ~ram:ctx.ram ~buffer_bytes:256 cs in
+            Resources.defer resources (fun () -> Column_store.close_reader r);
+            Hashtbl.replace hidden_readers (table, column) r;
+            r
+        in
+        let emit_bytes = ref 0 in
+        let out =
+          List.map
+            (fun row ->
+               let attached = Array.of_list (List.rev row.attached) in
+               let tuple =
+                 Array.of_list
+                   (List.map
+                      (fun (table, column) ->
+                         cpu ctx 2;
+                         let tbl = Schema.find_table schema table in
+                         if column = tbl.Schema.key then
+                           Value.Int row.ids.(level_of table)
+                         else begin
+                           let col = Schema.find_column tbl column in
+                           emit_bytes := !emit_bytes + Value.ty_width col.Column.ty;
+                           if Column.is_hidden col then begin
+                             match row.delta_hidden with
+                             | Some assoc when table = root ->
+                               List.assoc column assoc
+                             | Some _ | None ->
+                               Column_store.get (reader_for table column)
+                                 row.ids.(level_of table)
+                           end
+                           else begin
+                             let rec pos i = function
+                               | [] -> fail "projection %s.%s not attached" table column
+                               | (t, c) :: rest ->
+                                 if t = table && c = column then i else pos (i + 1) rest
+                             in
+                             attached.(pos 0 attach_order)
+                           end
+                         end)
+                      plan.Plan.query.Bind.projections)
+               in
+               emit_bytes := !emit_bytes + (4 * List.length plan.Plan.query.Bind.projections);
+               tuple)
+            !rows
+        in
+        (* Aggregate queries fold the base rows on the device; the group
+           table is RAM-resident. *)
+        let out =
+          match plan.Plan.query.Bind.aggregate with
+          | None -> out
+          | Some spec ->
+            cpu ctx (5 * List.length out);
+            let grouped = Ghost_sql.Aggregate.apply spec out in
+            let group_bytes =
+              max 16
+                (List.length grouped
+                 * 8
+                 * max 1 (List.length spec.Ghost_sql.Aggregate.output))
+            in
+            Ram.with_alloc ctx.ram ~label:"aggregate-groups" group_bytes (fun _ -> ());
+            emit_bytes :=
+              List.length grouped * 8 * max 1 (List.length spec.Ghost_sql.Aggregate.output);
+            grouped
+        in
+        (* ORDER BY / LIMIT: the output rows are sorted in device RAM
+           just before emission. *)
+        let out =
+          match plan.Plan.query.Bind.order_by, plan.Plan.query.Bind.limit with
+          | [], None -> out
+          | order_by, limit ->
+            let n = List.length out in
+            cpu ctx (n * Ext_sort.log2_ceil n);
+            Ram.with_alloc ctx.ram ~label:"order-by"
+              (max 16 (n * 8))
+              (fun _ -> Ghost_sql.Postproc.apply ~order_by ~limit out)
+        in
+        Device.emit_result device ~count:(List.length out) ~bytes:!emit_bytes;
+        (out, List.length out))
+    in
+    (* 6. Reclaim the scratch region (block erases count). *)
+    let scratch = Device.scratch device in
+    if (Flash.stats scratch).Flash.page_programs > 0 then
+      ignore
+        (measure ctx "ScratchReclaim" ~tuples_in:0 (fun () ->
+           Flash.erase_live_blocks scratch;
+           ((), 0)));
+    Resources.release resources;
+    let total =
+      Device.usage_between device ~before:run_start ~after:(Device.snapshot device)
+    in
+    let ram_peak = Ram.close_scope ctx.ram global_scope in
+    {
+      rows = result_rows;
+      row_count = List.length result_rows;
+      ops = List.rev ctx.ops_rev;
+      total;
+      elapsed_us = total.Device.total_us;
+      ram_peak;
+      bloom_fp_candidates = ctx.bloom_fps;
+    })
+
+let pp_ops fmt ops =
+  Format.fprintf fmt "%-28s %10s %10s %10s %12s@." "operator" "in" "out" "ram(B)"
+    "time(us)";
+  List.iter
+    (fun o ->
+       Format.fprintf fmt "%-28s %10d %10d %10d %12.0f@." o.op_label o.tuples_in
+         o.tuples_out o.ram_peak o.usage.Device.total_us)
+    ops

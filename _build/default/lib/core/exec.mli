@@ -1,0 +1,54 @@
+module Value = Ghost_kernel.Value
+module Device = Ghost_device.Device
+module Public_store = Ghost_public.Public_store
+
+(** The device-side query executor.
+
+    Runs a {!Plan.t} over the catalog: Pre-filter sources are merged
+    and intersected into candidate root ids ("Merge+Index" in the
+    demo's Figure 6), the SKT is probed for surviving candidates, Bloom
+    filters and hidden-column checks post-filter them, visible
+    projection streams are joined (in RAM when they fit, by external
+    sort on the scratch Flash otherwise), and result tuples leave only
+    through the secure display channel.
+
+    Every stage charges the device clock and the RAM arena, and
+    reports the per-operator statistics the demo GUI shows (tuples
+    processed, local RAM consumption, processing time). *)
+
+type op_stats = {
+  op_label : string;
+  tuples_in : int;
+  tuples_out : int;
+  ram_peak : int;  (** bytes, high-water inside the operator *)
+  usage : Device.usage;
+}
+
+type result = {
+  rows : Value.t array list;  (** projected tuples, order unspecified *)
+  row_count : int;
+  ops : op_stats list;  (** in execution order *)
+  total : Device.usage;
+  elapsed_us : float;  (** simulated device time for the whole plan *)
+  ram_peak : int;
+  bloom_fp_candidates : int;
+      (** candidates admitted by a Bloom filter and later rejected by
+          the exact verification join (0 unless Post-filtering ran) *)
+}
+
+exception Exec_error of string
+
+val run :
+  ?exact_post:bool ->
+  ?bloom_fpr:float ->
+  Catalog.t ->
+  Public_store.t ->
+  Plan.t ->
+  result
+(** [exact_post] (default true) joins a verification stream for every
+    Post-filtered table so Bloom false positives never reach the
+    result; switching it off gives the pure-probabilistic variant.
+    [bloom_fpr] (default 0.01) is the target false-positive rate used
+    to size Bloom filters (subject to the RAM budget). *)
+
+val pp_ops : Format.formatter -> op_stats list -> unit

@@ -1,0 +1,101 @@
+module Value = Ghost_kernel.Value
+module Schema = Ghost_relation.Schema
+module Relation = Ghost_relation.Relation
+module Device = Ghost_device.Device
+module Trace = Ghost_device.Trace
+module Parser = Ghost_sql.Parser
+module Bind = Ghost_sql.Bind
+module Public_store = Ghost_public.Public_store
+module Spy = Ghost_public.Spy
+
+type t = {
+  catalog : Catalog.t;
+  public : Public_store.t;
+  trace : Trace.t;
+}
+
+let of_schema ?device_config ?index_hidden_fks schema rows =
+  let trace = Trace.create () in
+  let catalog, public =
+    Loader.load ?device_config ?index_hidden_fks ~trace schema rows
+  in
+  { catalog; public; trace }
+
+let create ?device_config ?index_hidden_fks ~ddl rows =
+  let schema = Bind.ddl_to_schema (Parser.parse_ddl ddl) in
+  of_schema ?device_config ?index_hidden_fks schema rows
+
+let schema t = t.catalog.Catalog.schema
+let catalog t = t.catalog
+let public t = t.public
+let device t = t.catalog.Catalog.device
+let trace t = t.trace
+
+let bind t sql = Bind.bind (schema t) sql
+
+let insert t rows = Insert.insert_root t.catalog t.public rows
+let delete t ids = Insert.delete_root t.catalog t.public ids
+
+let root_name t =
+  (Ghost_relation.Schema.root t.catalog.Catalog.schema).Ghost_relation.Schema.name
+
+let delta_count t = Catalog.delta_count t.catalog (root_name t)
+let tombstone_count t = Catalog.tombstone_count t.catalog (root_name t)
+
+let reorganize t =
+  let rows = Reorganize.snapshot t.catalog t.public in
+  of_schema ~device_config:(Device.config (t.catalog.Catalog.device)) t.catalog.Catalog.schema rows
+
+let plans t sql = Planner.with_estimates t.catalog (bind t sql)
+
+let query t ?exact_post ?bloom_fpr sql =
+  let q = bind t sql in
+  let plan, _ = Planner.best t.catalog q in
+  Exec.run ?exact_post ?bloom_fpr t.catalog t.public plan
+
+let run_plan t ?exact_post ?bloom_fpr plan =
+  Exec.run ?exact_post ?bloom_fpr t.catalog t.public plan
+
+let spy_report t = Spy.analyze t.trace
+let audit t = Privacy.audit t.trace
+let clear_trace t = Trace.clear t.trace
+let storage t = Catalog.storage t.catalog
+
+exception Image_error of string
+
+let image_magic = "GHOSTDB-IMAGE-1\n"
+
+let save_image t path =
+  let oc = open_out_bin path in
+  (try
+     output_string oc image_magic;
+     Marshal.to_channel oc (t : t) []
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let load_image path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> raise (Image_error msg)
+  in
+  let finish v =
+    close_in_noerr ic;
+    v
+  in
+  try
+    let magic = really_input_string ic (String.length image_magic) in
+    if magic <> image_magic then
+      raise (Image_error (path ^ " is not a GhostDB image"));
+    finish (Marshal.from_channel ic : t)
+  with
+  | Image_error _ as e ->
+    close_in_noerr ic;
+    raise e
+  | End_of_file | Failure _ ->
+    close_in_noerr ic;
+    raise (Image_error (path ^ " is truncated or incompatible"))
+
+let row_to_string row =
+  String.concat " | " (Array.to_list (Array.map Value.to_string row))

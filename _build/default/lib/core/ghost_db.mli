@@ -1,0 +1,112 @@
+module Value = Ghost_kernel.Value
+module Schema = Ghost_relation.Schema
+module Relation = Ghost_relation.Relation
+module Device = Ghost_device.Device
+module Trace = Ghost_device.Trace
+module Bind = Ghost_sql.Bind
+module Public_store = Ghost_public.Public_store
+module Spy = Ghost_public.Spy
+
+(** GhostDB: the public API.
+
+    {[
+      let db =
+        Ghost_db.create ~ddl:"CREATE TABLE Visit (VisID INTEGER PRIMARY KEY, \
+                              Date DATE, Purpose CHAR(20) HIDDEN, ...)" rows
+      in
+      let result = Ghost_db.query db "SELECT ... FROM ... WHERE ..." in
+      List.iter print_row result.Exec.rows
+    ]}
+
+    Columns marked [HIDDEN] in the DDL live only on the (simulated)
+    smart USB device; queries need no changes. [query] optimizes and
+    executes; [plans] exposes the strategy panel for exploration, and
+    [run_plan] executes a hand-built plan — the demo's phases 2
+    and 3. *)
+
+type t
+
+val create :
+  ?device_config:Device.config ->
+  ?index_hidden_fks:bool ->
+  ddl:string ->
+  (string * Relation.tuple list) list ->
+  t
+(** Parses the DDL (with [HIDDEN] markers), splits the data between the
+    public store and the device, and builds all on-device structures. *)
+
+val of_schema :
+  ?device_config:Device.config ->
+  ?index_hidden_fks:bool ->
+  Schema.t ->
+  (string * Relation.tuple list) list ->
+  t
+
+val schema : t -> Schema.t
+val catalog : t -> Catalog.t
+val public : t -> Public_store.t
+val device : t -> Device.t
+val trace : t -> Trace.t
+
+val bind : t -> string -> Bind.query
+(** Parse + resolve a SELECT against the schema. *)
+
+val insert : t -> Relation.tuple list -> unit
+(** Insert full tuples into the schema root (the fact table): visible
+    columns go to the public store, hidden columns to the device's
+    append-only delta log; queries see the new rows immediately. Keys
+    must densely continue the existing ids and foreign keys must
+    reference loaded dimension rows — see {!Insert}. *)
+
+val delta_count : t -> int
+(** Rows inserted since the load (pending offline reorganization). *)
+
+val delete : t -> int list -> unit
+(** Tombstone root tuples by id: queries stop seeing them immediately;
+    Flash space is reclaimed by {!reorganize}. *)
+
+val tombstone_count : t -> int
+
+val reorganize : t -> t
+(** Offline reorganization (the secure-setting reload): reads the
+    current logical state off the device and the public store, compacts
+    root ids (tombstoned gaps close, so root keys change), rebuilds
+    every index structure, and returns a fresh instance. The read cost
+    is charged to the old device's clock. *)
+
+val query : t -> ?exact_post:bool -> ?bloom_fpr:float -> string -> Exec.result
+(** Optimize and execute. *)
+
+val plans : t -> string -> (Plan.t * Cost.estimate) list
+(** The candidate-plan panel, best first. *)
+
+val run_plan : t -> ?exact_post:bool -> ?bloom_fpr:float -> Plan.t -> Exec.result
+(** Execute a specific plan (ad-hoc plans of the demo's game phase). *)
+
+val spy_report : t -> Spy.report
+(** What a spy has observed since the last {!clear_trace}. *)
+
+val audit : t -> Privacy.verdict
+val clear_trace : t -> unit
+
+val storage : t -> Catalog.storage_report
+(** Flash footprint of the hidden data and its indexes (E9). *)
+
+(** {2 Device images}
+
+    A GhostDB instance — simulated Flash content, catalog metadata,
+    public store and trace — can be saved to disk and reopened later,
+    standing for unplugging and re-plugging the USB device. *)
+
+exception Image_error of string
+
+val save_image : t -> string -> unit
+(** Writes the instance to a file. *)
+
+val load_image : string -> t
+(** Reopens a saved instance. Raises {!Image_error} on a file that is
+    not a GhostDB image or was written by an incompatible version.
+    The image format trusts its producer (it is a marshalled heap):
+    only load images you saved. *)
+
+val row_to_string : Value.t array -> string

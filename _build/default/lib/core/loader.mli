@@ -1,0 +1,34 @@
+module Schema = Ghost_relation.Schema
+module Relation = Ghost_relation.Relation
+module Device = Ghost_device.Device
+module Trace = Ghost_device.Trace
+module Public_store = Ghost_public.Public_store
+
+(** Initial loading.
+
+    The paper assumes the USB device is loaded in a secure setting
+    (Section 2), so loading is host-side OCaml: it splits each table
+    into its visible part (shipped to the {!Public_store}) and its
+    hidden part (column stores written to the device Flash), replicates
+    the dense primary keys, and precomputes every index structure —
+    SKTs for all non-leaf tables, sorted climbing indexes on hidden
+    attribute columns, dense key climbing indexes for all non-root
+    tables — plus the statistics metadata.
+
+    Flash statistics are reset after loading so that query-time
+    accounting starts from zero; storage sizes remain available through
+    {!Catalog.storage}. *)
+
+exception Load_error of string
+
+val load :
+  ?device_config:Device.config ->
+  ?index_hidden_fks:bool ->
+  trace:Trace.t ->
+  Schema.t ->
+  (string * Relation.tuple list) list ->
+  Catalog.t * Public_store.t
+(** [index_hidden_fks] (default false) also builds sorted climbing
+    indexes on hidden foreign-key columns. Raises {!Load_error} when a
+    table is missing, keys are not dense 1..N, or a foreign key
+    dangles. *)

@@ -1,0 +1,143 @@
+module Predicate = Ghost_relation.Predicate
+module Bind = Ghost_sql.Bind
+
+type hidden_strategy =
+  | H_index
+  | H_check
+
+type visible_strategy =
+  | V_pre
+  | V_post
+  | V_cross_pre
+  | V_cross_post
+
+let hidden_strategy_name = function
+  | H_index -> "index"
+  | H_check -> "check"
+
+let visible_strategy_name = function
+  | V_pre -> "pre"
+  | V_post -> "post"
+  | V_cross_pre -> "cross-pre"
+  | V_cross_post -> "cross-post"
+
+type hidden_pred = {
+  h_pred : Predicate.t;
+  h_strategy : hidden_strategy;
+}
+
+type group = {
+  g_table : string;
+  g_hidden : hidden_pred list;
+  g_visible : Predicate.t list;
+  g_visible_strategy : visible_strategy;
+  g_borrowed : (string * Predicate.t) list;
+}
+
+type t = {
+  query : Bind.query;
+  root : string;
+  groups : group list;
+  label : string;
+}
+
+let group_label g =
+  let hidden =
+    List.map
+      (fun h ->
+         Printf.sprintf "%s.%s:%s" g.g_table h.h_pred.Predicate.column
+           (hidden_strategy_name h.h_strategy))
+      g.g_hidden
+  in
+  let visible =
+    match g.g_visible with
+    | [] -> []
+    | ps ->
+      [
+        Printf.sprintf "%s{%s}:%s%s" g.g_table
+          (String.concat "," (List.map (fun p -> p.Predicate.column) ps))
+          (visible_strategy_name g.g_visible_strategy)
+          (match g.g_borrowed with
+           | [] -> ""
+           | bs ->
+             "+"
+             ^ String.concat "+"
+                 (List.map (fun (t, p) -> t ^ "." ^ p.Predicate.column) bs));
+      ]
+  in
+  String.concat " " (hidden @ visible)
+
+let make ~query ~root groups =
+  let label =
+    match groups with
+    | [] -> "scan"
+    | _ -> String.concat " | " (List.map group_label groups)
+  in
+  { query; root; groups; label }
+
+let group_produces_pre_source g =
+  List.exists (fun h -> h.h_strategy = H_index) g.g_hidden
+  || (g.g_visible <> []
+      && (match g.g_visible_strategy with
+          | V_pre | V_cross_pre -> true
+          | V_post | V_cross_post -> false))
+
+let describe t =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "plan [%s] rooted at %s\n" t.label t.root;
+  List.iter
+    (fun g ->
+       Printf.bprintf buf "  group %s:\n" g.g_table;
+       List.iter
+         (fun h ->
+            Printf.bprintf buf "    hidden %s via %s\n"
+              (Predicate.to_string h.h_pred)
+              (match h.h_strategy with
+               | H_index -> "climbing index (pre-filter)"
+               | H_check -> "per-candidate column check (post-filter)"))
+         g.g_hidden;
+       (match g.g_visible with
+        | [] -> ()
+        | ps ->
+          Printf.bprintf buf "    visible {%s} via %s\n"
+            (String.concat "; " (List.map Predicate.to_string ps))
+            (match g.g_visible_strategy with
+             | V_pre -> "shipped id list climbed to the root (pre-filter)"
+             | V_post -> "Bloom filter probe after hidden joins (post-filter)"
+             | V_cross_pre ->
+               "id list intersected with hidden index lists, then climbed (cross-pre)"
+             | V_cross_post ->
+               "Bloom filter over ids intersected with hidden index lists (cross-post)"));
+       List.iter
+         (fun (t, p) ->
+            Printf.bprintf buf "    borrowed from descendant %s: %s (intersected at %s \
+                                level before the climb)\n"
+              t (Predicate.to_string p) g.g_table)
+         g.g_borrowed)
+    t.groups;
+  if not (List.exists group_produces_pre_source t.groups) then
+    Printf.bprintf buf "  (no pre-filter source: sequential scan of root ids)\n";
+  Buffer.contents buf
+
+let validate t =
+  List.iter
+    (fun g ->
+       let has_indexed_hidden =
+         List.exists (fun h -> h.h_strategy = H_index) g.g_hidden
+       in
+       (match g.g_visible_strategy with
+        | (V_cross_pre | V_cross_post) when g.g_visible <> [] ->
+          if not (has_indexed_hidden || g.g_borrowed <> []) then
+            invalid_arg
+              (Printf.sprintf
+                 "Plan.validate: cross strategy on %s without an indexed hidden \
+                  predicate (own or borrowed)"
+                 g.g_table)
+        | V_pre | V_post | V_cross_pre | V_cross_post -> ());
+       if g.g_borrowed <> [] && g.g_visible_strategy <> V_cross_pre then
+         invalid_arg
+           (Printf.sprintf "Plan.validate: borrowed lists on %s require cross-pre"
+              g.g_table);
+       if g.g_hidden = [] && g.g_visible = [] then
+         invalid_arg "Plan.validate: empty group")
+    t.groups

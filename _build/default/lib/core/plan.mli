@@ -1,0 +1,72 @@
+module Predicate = Ghost_relation.Predicate
+module Bind = Ghost_sql.Bind
+
+(** Physical plans: the Pre- / Post- / Cross-filtering strategy space
+    of Section 4.
+
+    A plan fixes, for every table carrying predicates, how its
+    selections reach the subtree root [R]:
+
+    - hidden predicates either traverse their climbing index
+      ({!H_index}) or are checked per candidate against the on-device
+      column store ({!H_check});
+    - visible predicates are either {e Pre-filtered} — the matching id
+      list is shipped into the device and climbed to [R] through the
+      key climbing index — or {e Post-filtered} — streamed into a
+      Bloom filter probed after the hidden joins; the {e Cross}
+      variants intersect the visible ids with the hidden predicates'
+      own-level index lists first (before climbing, resp. before
+      filling the Bloom filter). *)
+
+type hidden_strategy =
+  | H_index  (** climbing-index traversal (Pre-filtering) *)
+  | H_check  (** per-candidate read of the hidden column (Post) *)
+
+type visible_strategy =
+  | V_pre
+  | V_post
+  | V_cross_pre
+  | V_cross_post
+
+val hidden_strategy_name : hidden_strategy -> string
+val visible_strategy_name : visible_strategy -> string
+
+type hidden_pred = {
+  h_pred : Predicate.t;
+  h_strategy : hidden_strategy;
+}
+
+type group = {
+  g_table : string;
+  g_hidden : hidden_pred list;
+  g_visible : Predicate.t list;  (** all visible atoms on this table *)
+  g_visible_strategy : visible_strategy;  (** meaningful when [g_visible <> []] *)
+  g_borrowed : (string * Predicate.t) list;
+      (** deep Cross-filtering (Section 4: selectivities of selections
+          on intermediate tables combine with hidden selections on
+          {e descendant} tables): indexed hidden predicates of
+          descendant tables whose list {e at this table's level} is
+          intersected with the shipped visible ids before the climb.
+          Only meaningful with [V_cross_pre]. *)
+}
+
+type t = {
+  query : Bind.query;
+  root : string;  (** the subtree root R whose SKT drives execution *)
+  groups : group list;
+  label : string;  (** short human-readable strategy summary *)
+}
+
+val make : query:Bind.query -> root:string -> group list -> t
+(** Computes the label. *)
+
+val describe : t -> string
+(** Multi-line description (for the demo's plan-building phase). *)
+
+val group_produces_pre_source : group -> bool
+(** True when the group contributes a sorted R-id stream (some
+    Pre-filtered predicate). *)
+
+val validate : t -> unit
+(** Structural sanity: cross strategies require an [H_index] hidden
+    predicate on the same table; raises [Invalid_argument]. *)

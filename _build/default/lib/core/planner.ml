@@ -1,0 +1,174 @@
+module Column = Ghost_relation.Column
+module Schema = Ghost_relation.Schema
+module Predicate = Ghost_relation.Predicate
+module Bind = Ghost_sql.Bind
+
+exception Planning_error of string
+
+let root_of cat (q : Bind.query) =
+  Schema.subtree_root cat.Catalog.schema q.Bind.tables
+
+(* Predicates grouped by table, split hidden/visible. *)
+let table_groups cat (q : Bind.query) =
+  let schema = cat.Catalog.schema in
+  let tables = List.sort_uniq String.compare (List.map (fun p -> p.Predicate.table) q.Bind.selections) in
+  List.map
+    (fun table ->
+       let preds = List.filter (fun p -> p.Predicate.table = table) q.Bind.selections in
+       let tbl = Schema.find_table schema table in
+       let hidden, visible =
+         List.partition
+           (fun (p : Predicate.t) ->
+              Column.is_hidden (Schema.find_column tbl p.Predicate.column))
+           preds
+       in
+       (table, hidden, visible))
+    tables
+
+let indexed cat ~table (p : Predicate.t) =
+  Catalog.attr_index cat ~table ~column:p.Predicate.column <> None
+
+(* Deep cross-filtering (Section 4): indexed hidden predicates on
+   strict descendants of [table] whose climbing index carries a list at
+   [table]'s level. *)
+let borrowable cat (q : Bind.query) ~table =
+  let schema = cat.Catalog.schema in
+  List.filter_map
+    (fun (p : Predicate.t) ->
+       let d = p.Predicate.table in
+       if d = table then None
+       else if not (Schema.is_ancestor schema ~ancestor:table d) then None
+       else begin
+         let tbl = Schema.find_table schema d in
+         let hidden =
+           Ghost_relation.Column.is_hidden (Schema.find_column tbl p.Predicate.column)
+         in
+         if hidden && indexed cat ~table:d p then Some (d, p) else None
+       end)
+    q.Bind.selections
+
+let hidden_plans cat ~table hidden ~strategy =
+  List.map
+    (fun (p : Predicate.t) ->
+       let s =
+         match strategy with
+         | Plan.H_index when indexed cat ~table p -> Plan.H_index
+         | Plan.H_index | Plan.H_check -> Plan.H_check
+       in
+       { Plan.h_pred = p; h_strategy = s })
+    hidden
+
+(* The strategy options of one table group:
+   (hidden_strategy, visible_strategy, borrowed) combinations. *)
+let group_options cat q (table, hidden, visible) =
+  let any_indexed = List.exists (indexed cat ~table) hidden in
+  let borrowed = borrowable cat q ~table in
+  let hidden_opts =
+    if hidden = [] then [ Plan.H_index ]  (* irrelevant *)
+    else if any_indexed then [ Plan.H_index; Plan.H_check ]
+    else [ Plan.H_check ]
+  in
+  let visible_opts h =
+    if visible = [] then [ (Plan.V_pre, []) ]  (* irrelevant *)
+    else begin
+      let base = [ (Plan.V_pre, []); (Plan.V_post, []) ] in
+      let cross =
+        if h = Plan.H_index && any_indexed then
+          [ (Plan.V_cross_pre, []); (Plan.V_cross_post, []) ]
+        else []
+      in
+      let deep =
+        if borrowed <> [] then [ (Plan.V_cross_pre, borrowed) ] else []
+      in
+      base @ cross @ deep
+    end
+  in
+  List.concat_map
+    (fun h ->
+       List.map
+         (fun (v, b) ->
+            {
+              Plan.g_table = table;
+              g_hidden = hidden_plans cat ~table hidden ~strategy:h;
+              g_visible = visible;
+              g_visible_strategy = v;
+              g_borrowed = b;
+            })
+         (visible_opts h))
+    hidden_opts
+
+let max_plans = 512
+
+let enumerate cat (q : Bind.query) =
+  let root = root_of cat q in
+  let groups = table_groups cat q in
+  let options = List.map (group_options cat q) groups in
+  let combos =
+    List.fold_left
+      (fun acc opts ->
+         if List.length acc * List.length opts > max_plans then
+           (* keep the panel bounded: extend with the first option only *)
+           match opts with
+           | first :: _ -> List.map (fun partial -> first :: partial) acc
+           | [] -> acc
+         else
+           List.concat_map (fun o -> List.map (fun partial -> o :: partial) acc) opts)
+      [ [] ] options
+  in
+  List.map (fun groups -> Plan.make ~query:q ~root (List.rev groups)) combos
+
+let with_estimates cat q =
+  let plans = enumerate cat q in
+  let scored = List.map (fun p -> (p, Cost.estimate cat p)) plans in
+  List.sort
+    (fun (_, a) (_, b) -> Float.compare a.Cost.est_time_us b.Cost.est_time_us)
+    scored
+
+let best cat q =
+  match with_estimates cat q with
+  | [] -> raise (Planning_error "empty plan panel")
+  | p :: _ -> p
+
+(* Canonical plans. *)
+let with_uniform_strategy cat (q : Bind.query) ~visible_strategy ~use_cross =
+  let root = root_of cat q in
+  let groups =
+    List.map
+      (fun (table, hidden, visible) ->
+         let any_indexed = List.exists (indexed cat ~table) hidden in
+         let v =
+           if use_cross && any_indexed && visible <> [] then
+             match visible_strategy with
+             | Plan.V_pre -> Plan.V_cross_pre
+             | Plan.V_post -> Plan.V_cross_post
+             | s -> s
+           else visible_strategy
+         in
+         let borrowed =
+           if use_cross && visible <> [] && visible_strategy = Plan.V_pre then
+             borrowable cat q ~table
+           else []
+         in
+         let v = if borrowed <> [] then Plan.V_cross_pre else v in
+         {
+           Plan.g_table = table;
+           g_hidden = hidden_plans cat ~table hidden ~strategy:Plan.H_index;
+           g_visible = visible;
+           g_visible_strategy = v;
+           g_borrowed = borrowed;
+         })
+      (table_groups cat q)
+  in
+  Plan.make ~query:q ~root groups
+
+let all_pre cat q = with_uniform_strategy cat q ~visible_strategy:Plan.V_pre ~use_cross:false
+let all_post cat q = with_uniform_strategy cat q ~visible_strategy:Plan.V_post ~use_cross:false
+let cross cat q = with_uniform_strategy cat q ~visible_strategy:Plan.V_pre ~use_cross:true
+
+let uniform cat q strategy =
+  match strategy with
+  | Plan.V_pre -> all_pre cat q
+  | Plan.V_post -> all_post cat q
+  | Plan.V_cross_pre -> cross cat q
+  | Plan.V_cross_post ->
+    with_uniform_strategy cat q ~visible_strategy:Plan.V_post ~use_cross:true

@@ -1,0 +1,65 @@
+module Trace = Ghost_device.Trace
+
+type verdict = {
+  ok : bool;
+  violations : string list;
+  outbound_payload_bytes : int;
+  inbound_bytes : int;
+  queries_leaked : string list;
+}
+
+let audit trace =
+  let violations = ref [] in
+  let outbound = ref 0 in
+  let inbound = ref 0 in
+  let queries = ref [] in
+  List.iter
+    (fun (e : Trace.event) ->
+       (match e.Trace.link, e.Trace.payload with
+        | Trace.Device_to_pc, Trace.Ack -> ()
+        | Trace.Device_to_pc, p ->
+          outbound := !outbound + e.Trace.bytes;
+          violations :=
+            Printf.sprintf "event #%d: device sent %s to the untrusted PC" e.Trace.seq
+              (Trace.payload_summary p)
+            :: !violations
+        | Trace.Device_to_display, Trace.Result_tuples _ -> ()
+        | Trace.Device_to_display, p ->
+          violations :=
+            Printf.sprintf "event #%d: unexpected payload %s on the display channel"
+              e.Trace.seq (Trace.payload_summary p)
+            :: !violations
+        | (Trace.Server_to_pc | Trace.Pc_to_server | Trace.Pc_to_device), Trace.Result_tuples _ ->
+          violations :=
+            Printf.sprintf "event #%d: result tuples on spy-visible link %s" e.Trace.seq
+              (Trace.link_name e.Trace.link)
+            :: !violations
+        | (Trace.Server_to_pc | Trace.Pc_to_server | Trace.Pc_to_device), _ -> ());
+       (match e.Trace.link, e.Trace.payload with
+        | Trace.Pc_to_device, _ -> inbound := !inbound + e.Trace.bytes
+        | _, _ -> ());
+       match e.Trace.payload with
+       | Trace.Query_text q when Trace.spy_visible e.Trace.link ->
+         queries := q :: !queries
+       | Trace.Query_text _ | Trace.Id_list _ | Trace.Value_stream _
+       | Trace.Result_tuples _ | Trace.Ack ->
+         ())
+    (Trace.events trace);
+  {
+    ok = !violations = [];
+    violations = List.rev !violations;
+    outbound_payload_bytes = !outbound;
+    inbound_bytes = !inbound;
+    queries_leaked = List.rev !queries;
+  }
+
+let pp fmt v =
+  if v.ok then
+    Format.fprintf fmt
+      "audit OK: nothing left the device (spy saw %d queries, %d B of visible data \
+       entering it)"
+      (List.length v.queries_leaked) v.inbound_bytes
+  else begin
+    Format.fprintf fmt "audit FAILED:@.";
+    List.iter (fun s -> Format.fprintf fmt "  %s@." s) v.violations
+  end

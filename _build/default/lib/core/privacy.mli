@@ -1,0 +1,22 @@
+module Trace = Ghost_device.Trace
+
+(** Privacy auditor: machine-checks the paper's guarantee — "the only
+    information revealed to a potential spy is which queries you pose
+    and the public data you access".
+
+    The audit walks the boundary trace and flags any event that would
+    contradict the guarantee: payloads other than protocol acks leaving
+    the device on a spy-visible link, or result tuples travelling
+    anywhere but the secure display channel. The property-based test
+    suite runs this over randomized queries and plans. *)
+
+type verdict = {
+  ok : bool;
+  violations : string list;
+  outbound_payload_bytes : int;  (** non-ack device bytes a spy saw *)
+  inbound_bytes : int;  (** visible data that entered the device *)
+  queries_leaked : string list;  (** the (expected) query-text leak *)
+}
+
+val audit : Trace.t -> verdict
+val pp : Format.formatter -> verdict -> unit

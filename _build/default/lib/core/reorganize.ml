@@ -1,0 +1,92 @@
+module Value = Ghost_kernel.Value
+module Column = Ghost_relation.Column
+module Schema = Ghost_relation.Schema
+module Relation = Ghost_relation.Relation
+module Column_store = Ghost_store.Column_store
+module Public_store = Ghost_public.Public_store
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+(* The full tuple of [id] in [table], combining device-resident hidden
+   columns with the public store's visible columns. [delta_hidden]
+   supplies the hidden values of delta rows (beyond the column
+   stores). *)
+let rebuild_rows cat public ~table ~ids ~new_key ~delta_hidden =
+  let schema = cat.Catalog.schema in
+  let tbl = Schema.find_table schema table in
+  let entry = Catalog.entry cat table in
+  let readers =
+    List.map
+      (fun (name, cs) -> (name, Column_store.open_reader cs))
+      entry.Catalog.hidden_columns
+  in
+  let rows =
+    List.map
+      (fun id ->
+         let values =
+           List.map
+             (fun (c : Column.t) ->
+                if Column.is_hidden c then begin
+                  if id <= entry.Catalog.count then
+                    Column_store.get (List.assoc c.Column.name readers) id
+                  else
+                    match delta_hidden id c.Column.name with
+                    | Some v -> v
+                    | None -> fail "reorganize: no delta value for %s.%s" table c.Column.name
+                end
+                else begin
+                  (* visible columns live in the public store *)
+                  match
+                    Public_store.lookup public ~table ~column:c.Column.name id
+                  with
+                  | Some v -> v
+                  | None -> fail "reorganize: public store has no %s row %d" table id
+                end)
+             tbl.Schema.columns
+         in
+         Array.of_list (Value.Int (new_key id) :: values))
+      ids
+  in
+  List.iter (fun (_, r) -> Column_store.close_reader r) readers;
+  rows
+
+let snapshot cat public =
+  let schema = cat.Catalog.schema in
+  let root = (Schema.root schema).Schema.name in
+  (* Hidden values of delta rows, by (id, column). *)
+  let delta_values = Hashtbl.create 64 in
+  (match Catalog.delta cat root with
+   | None -> ()
+   | Some log ->
+     let next = ref (Catalog.table_count cat root + 1) in
+     Delta_log.scan log (fun r ->
+       List.iter
+         (fun (col, v) -> Hashtbl.replace delta_values (!next, col) v)
+         (Delta_log.hidden_assoc log r);
+       incr next));
+  let delta_hidden id col = Hashtbl.find_opt delta_values (id, col) in
+  List.map
+    (fun (tbl : Schema.table) ->
+       let table = tbl.Schema.name in
+       if table = root then begin
+         let total = Catalog.total_count cat root in
+         let dead =
+           match Catalog.tombstone cat root with
+           | Some log -> fun id -> Tombstone_log.mem log id
+           | None -> fun _ -> false
+         in
+         let live = List.filter (fun id -> not (dead id)) (List.init total (fun i -> i + 1)) in
+         (* compact: live ids -> 1..n in order *)
+         let mapping = Hashtbl.create (List.length live) in
+         List.iteri (fun i id -> Hashtbl.replace mapping id (i + 1)) live;
+         let new_key id = Hashtbl.find mapping id in
+         (table, rebuild_rows cat public ~table ~ids:live ~new_key ~delta_hidden)
+       end
+       else begin
+         let n = Catalog.table_count cat table in
+         ( table,
+           rebuild_rows cat public ~table
+             ~ids:(List.init n (fun i -> i + 1))
+             ~new_key:Fun.id ~delta_hidden )
+       end)
+    (Schema.tables schema)

@@ -1,0 +1,16 @@
+module Relation = Ghost_relation.Relation
+module Public_store = Ghost_public.Public_store
+
+(** Offline reorganization (the secure-setting reload).
+
+    Reconstructs the database's current logical content — loaded rows,
+    plus the insert delta, minus the tombstoned rows — by reading the
+    hidden columns off the device (metered on the old device's clock)
+    and the visible columns from the public store. Root ids are
+    compacted to stay dense (tombstoned gaps close), so root keys
+    change across a reorganization; dimension ids are stable. The
+    caller reloads the snapshot through {!Loader.load} to obtain fresh
+    SKTs, climbing indexes and empty logs. *)
+
+val snapshot : Catalog.t -> Public_store.t -> (string * Relation.tuple list) list
+(** Full rows per table, loader-ready (dense keys). *)

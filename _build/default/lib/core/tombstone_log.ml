@@ -1,0 +1,71 @@
+module Codec = Ghost_kernel.Codec
+module Sorted_ids = Ghost_kernel.Sorted_ids
+module Flash = Ghost_flash.Flash
+
+type t = {
+  flash : Flash.t;
+  table : string;
+  ids_per_page : int;
+  mutable full_pages : int list;  (* reversed *)
+  mutable tail : int list;  (* reversed *)
+  mutable tail_page : int option;
+  mutable count : int;
+  mutable dead_bytes : int;
+  members : (int, unit) Hashtbl.t;
+}
+
+let create flash ~table = {
+  flash;
+  table;
+  ids_per_page = (Flash.geometry flash).Flash.page_size / 4;
+  full_pages = [];
+  tail = [];
+  tail_page = None;
+  count = 0;
+  dead_bytes = 0;
+  members = Hashtbl.create 64;
+}
+
+let table t = t.table
+let count t = t.count
+let size_bytes t = 4 * t.count
+let dead_bytes t = t.dead_bytes
+let mem t id = Hashtbl.mem t.members id
+
+let program_tail t =
+  let n = List.length t.tail in
+  let b = Bytes.create (4 * n) in
+  List.iteri (fun i id -> Codec.put_u32 b (4 * (n - 1 - i)) id) t.tail;
+  (match t.tail_page with
+   | Some _ -> t.dead_bytes <- t.dead_bytes + (4 * (n - 1))
+   | None -> ());
+  let page = Flash.append t.flash b in
+  if n = t.ids_per_page then begin
+    t.full_pages <- page :: t.full_pages;
+    t.tail <- [];
+    t.tail_page <- None
+  end
+  else t.tail_page <- Some page
+
+let append t ids =
+  List.iter
+    (fun id ->
+       t.tail <- id :: t.tail;
+       t.count <- t.count + 1;
+       Hashtbl.replace t.members id ();
+       program_tail t)
+    ids
+
+let load_sorted t =
+  let acc = ref [] in
+  let read_page page n =
+    let b = Flash.read t.flash ~page ~off:0 ~len:(4 * n) in
+    for i = 0 to n - 1 do
+      acc := Codec.get_u32 b (4 * i) :: !acc
+    done
+  in
+  List.iter (fun p -> read_page p t.ids_per_page) (List.rev t.full_pages);
+  (match t.tail_page with
+   | Some p -> read_page p (List.length t.tail)
+   | None -> ());
+  Sorted_ids.of_unsorted !acc

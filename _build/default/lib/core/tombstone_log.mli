@@ -1,0 +1,31 @@
+module Flash = Ghost_flash.Flash
+
+(** Append-only deletion log.
+
+    Deletes face the same NAND constraint as inserts: the SKT rows and
+    climbing-index lists of a deleted tuple cannot be rewritten in
+    place. Instead the deleted root id is appended here; at query time
+    the executor loads the (small) log into a sorted RAM array and
+    filters candidates against it. Offline reorganization compacts the
+    database and empties the log.
+
+    Like inserts, deletes apply to the schema root only. *)
+
+type t
+
+val create : Flash.t -> table:string -> t
+val table : t -> string
+val count : t -> int
+val size_bytes : t -> int
+val dead_bytes : t -> int
+
+val append : t -> int list -> unit
+(** Records deletions (same tail-page re-programming discipline as
+    {!Delta_log}). Duplicates are the caller's responsibility. *)
+
+val mem : t -> int -> bool
+(** Host-side membership (validation); not Flash-metered. *)
+
+val load_sorted : t -> int array
+(** Query-time load: reads the whole log off Flash (metered) and
+    returns the ids sorted. *)

@@ -1,0 +1,1 @@
+lib/device/device.ml: Float Format Ghost_flash Ram Trace

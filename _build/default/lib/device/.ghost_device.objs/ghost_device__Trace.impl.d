@@ -1,0 +1,1 @@
+lib/device/trace.ml: Format List Printf

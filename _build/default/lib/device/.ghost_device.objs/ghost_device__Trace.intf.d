@@ -1,0 +1,1 @@
+lib/device/trace.mli: Format

@@ -1,0 +1,150 @@
+module Flash = Ghost_flash.Flash
+
+type config = {
+  ram_budget : int;
+  usb_mbit_per_s : float;
+  usb_per_message_us : float;
+  cpu_mips : float;
+  flash_geometry : Flash.geometry;
+  flash_cost : Flash.cost;
+}
+
+let default_config = {
+  ram_budget = 64 * 1024;
+  usb_mbit_per_s = 12.0;
+  usb_per_message_us = 100.0;
+  cpu_mips = 50.0;
+  flash_geometry = Flash.default_geometry;
+  flash_cost = Flash.default_cost;
+}
+
+let high_speed_usb config = { config with usb_mbit_per_s = 480.0 }
+
+type t = {
+  config : config;
+  flash : Flash.t;
+  scratch : Flash.t;
+  ram : Ram.t;
+  trace : Trace.t;
+  mutable usb_bytes_in : int;
+  mutable usb_bytes_out : int;
+  mutable usb_us : float;
+  mutable cpu_ops : int;
+}
+
+let create ?(config = default_config) ~trace () = {
+  config;
+  flash = Flash.create ~geometry:config.flash_geometry ~cost:config.flash_cost ();
+  scratch = Flash.create ~geometry:config.flash_geometry ~cost:config.flash_cost ();
+  ram = Ram.create ~budget:config.ram_budget;
+  trace;
+  usb_bytes_in = 0;
+  usb_bytes_out = 0;
+  usb_us = 0.;
+  cpu_ops = 0;
+}
+
+let config t = t.config
+let flash t = t.flash
+let scratch t = t.scratch
+let ram t = t.ram
+let trace t = t.trace
+
+let cpu t n =
+  if n < 0 then invalid_arg "Device.cpu: negative";
+  t.cpu_ops <- t.cpu_ops + n
+
+let usb_transfer_us t bytes =
+  t.config.usb_per_message_us
+  +. (Float.of_int (bytes * 8) /. t.config.usb_mbit_per_s)
+
+let receive t payload ~bytes =
+  t.usb_bytes_in <- t.usb_bytes_in + bytes;
+  t.usb_us <- t.usb_us +. usb_transfer_us t bytes;
+  Trace.record t.trace Trace.Pc_to_device payload ~bytes
+
+let emit_result t ~count ~bytes =
+  t.usb_bytes_out <- t.usb_bytes_out + bytes;
+  t.usb_us <- t.usb_us +. usb_transfer_us t bytes;
+  Trace.record t.trace Trace.Device_to_display (Trace.Result_tuples { count }) ~bytes
+
+let emit_ack t =
+  t.usb_bytes_out <- t.usb_bytes_out + 1;
+  t.usb_us <- t.usb_us +. usb_transfer_us t 1;
+  Trace.record t.trace Trace.Device_to_pc Trace.Ack ~bytes:1
+
+let cpu_time_us t = Float.of_int t.cpu_ops /. t.config.cpu_mips
+let usb_time_us t = t.usb_us
+let elapsed_us t =
+  Flash.time_us t.flash +. Flash.time_us t.scratch +. t.usb_us +. cpu_time_us t
+
+type snapshot = {
+  flash : Flash.stats;
+  usb_bytes_in : int;
+  usb_bytes_out : int;
+  usb_us : float;
+  cpu_ops : int;
+  elapsed : float;
+}
+
+let snapshot (t : t) = {
+  flash = Flash.add_stats (Flash.stats t.flash) (Flash.stats t.scratch);
+  usb_bytes_in = t.usb_bytes_in;
+  usb_bytes_out = t.usb_bytes_out;
+  usb_us = t.usb_us;
+  cpu_ops = t.cpu_ops;
+  elapsed = elapsed_us t;
+}
+
+type usage = {
+  flash_page_reads : int;
+  flash_page_programs : int;
+  flash_us : float;
+  used_usb_bytes_in : int;
+  used_usb_us : float;
+  used_cpu_ops : int;
+  cpu_us : float;
+  total_us : float;
+}
+
+let usage_between t ~before ~after =
+  let f = Flash.diff_stats ~after:after.flash ~before:before.flash in
+  let cpu_ops = after.cpu_ops - before.cpu_ops in
+  {
+    flash_page_reads = f.Flash.page_reads;
+    flash_page_programs = f.Flash.page_programs;
+    flash_us = Flash.total_time_us f;
+    used_usb_bytes_in = after.usb_bytes_in - before.usb_bytes_in;
+    used_usb_us = after.usb_us -. before.usb_us;
+    used_cpu_ops = cpu_ops;
+    cpu_us = Float.of_int cpu_ops /. t.config.cpu_mips;
+    total_us = after.elapsed -. before.elapsed;
+  }
+
+let zero_usage = {
+  flash_page_reads = 0;
+  flash_page_programs = 0;
+  flash_us = 0.;
+  used_usb_bytes_in = 0;
+  used_usb_us = 0.;
+  used_cpu_ops = 0;
+  cpu_us = 0.;
+  total_us = 0.;
+}
+
+let add_usage a b = {
+  flash_page_reads = a.flash_page_reads + b.flash_page_reads;
+  flash_page_programs = a.flash_page_programs + b.flash_page_programs;
+  flash_us = a.flash_us +. b.flash_us;
+  used_usb_bytes_in = a.used_usb_bytes_in + b.used_usb_bytes_in;
+  used_usb_us = a.used_usb_us +. b.used_usb_us;
+  used_cpu_ops = a.used_cpu_ops + b.used_cpu_ops;
+  cpu_us = a.cpu_us +. b.cpu_us;
+  total_us = a.total_us +. b.total_us;
+}
+
+let pp_usage fmt u =
+  Format.fprintf fmt
+    "%.0f us (flash %.0f us / %d rd %d wr; usb %.0f us / %d B in; cpu %.0f us / %d ops)"
+    u.total_us u.flash_us u.flash_page_reads u.flash_page_programs u.used_usb_us
+    u.used_usb_bytes_in u.cpu_us u.used_cpu_ops

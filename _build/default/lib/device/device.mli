@@ -1,0 +1,92 @@
+module Flash = Ghost_flash.Flash
+
+(** The smart USB device (Figure 2 of the paper): a secure chip
+    (32-bit RISC CPU + tens-of-KB RAM) driving a large external NAND
+    Flash, connected to the terminal over USB 2.0 full speed.
+
+    The model combines the {!Flash} simulator, the {!Ram} arena, a
+    metered USB port and a CPU-operation counter into one simulated
+    clock. All device-side query processing charges its work here, so
+    plan execution times are deterministic and reproducible. *)
+
+type config = {
+  ram_budget : int;  (** bytes of secure-chip RAM (default 64 KiB) *)
+  usb_mbit_per_s : float;  (** link throughput (default 12, USB full speed) *)
+  usb_per_message_us : float;  (** per-transfer protocol latency *)
+  cpu_mips : float;  (** simulated RISC core speed (default 50 MIPS) *)
+  flash_geometry : Flash.geometry;
+  flash_cost : Flash.cost;
+}
+
+val default_config : config
+(** The paper's demo device: 64 KiB RAM, 12 Mbit/s USB, 50 MIPS,
+    default NAND geometry and costs. *)
+
+val high_speed_usb : config -> config
+(** Same device with a 480 Mbit/s link (the "future platforms" variant
+    of Section 3). *)
+
+type t
+
+val create : ?config:config -> trace:Trace.t -> unit -> t
+val config : t -> config
+val flash : t -> Flash.t
+(** The persistent Flash region holding the database and its indexes. *)
+
+val scratch : t -> Flash.t
+(** A Flash region reserved for query-time spills (external sort runs,
+    intermediate merges). Managed separately so its blocks can be
+    erased wholesale after a query without touching live data — the
+    role of an FTL partition on a real device. Same cost model as
+    {!flash}; its traffic counts toward the device clock. *)
+
+val ram : t -> Ram.t
+val trace : t -> Trace.t
+
+val cpu : t -> int -> unit
+(** [cpu t n] charges [n] simulated CPU operations. *)
+
+val receive : t -> Trace.payload -> bytes:int -> unit
+(** Meters an inbound USB transfer (visible data entering the device)
+    and records it on the [Pc_to_device] link. *)
+
+val emit_result : t -> count:int -> bytes:int -> unit
+(** Sends result tuples to the secure display ([Device_to_display]
+    link — not spy visible). *)
+
+val emit_ack : t -> unit
+(** A content-free protocol acknowledgement on [Device_to_pc]. *)
+
+(** {2 Accounting} *)
+
+val cpu_time_us : t -> float
+val usb_time_us : t -> float
+val elapsed_us : t -> float
+(** Flash time + USB time + CPU time, in simulated microseconds. *)
+
+type snapshot = {
+  flash : Flash.stats;  (** main + scratch regions combined *)
+  usb_bytes_in : int;
+  usb_bytes_out : int;
+  usb_us : float;
+  cpu_ops : int;
+  elapsed : float;
+}
+
+val snapshot : t -> snapshot
+
+type usage = {
+  flash_page_reads : int;
+  flash_page_programs : int;
+  flash_us : float;
+  used_usb_bytes_in : int;
+  used_usb_us : float;
+  used_cpu_ops : int;
+  cpu_us : float;
+  total_us : float;
+}
+
+val usage_between : t -> before:snapshot -> after:snapshot -> usage
+val zero_usage : usage
+val add_usage : usage -> usage -> usage
+val pp_usage : Format.formatter -> usage -> unit

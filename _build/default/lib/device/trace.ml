@@ -1,0 +1,65 @@
+type link =
+  | Server_to_pc
+  | Pc_to_server
+  | Pc_to_device
+  | Device_to_pc
+  | Device_to_display
+
+let link_name = function
+  | Server_to_pc -> "server->pc"
+  | Pc_to_server -> "pc->server"
+  | Pc_to_device -> "pc->device"
+  | Device_to_pc -> "device->pc"
+  | Device_to_display -> "device->display"
+
+let spy_visible = function
+  | Server_to_pc | Pc_to_server | Pc_to_device | Device_to_pc -> true
+  | Device_to_display -> false
+
+type payload =
+  | Query_text of string
+  | Id_list of { table : string; count : int }
+  | Value_stream of { table : string; column : string; count : int }
+  | Result_tuples of { count : int }
+  | Ack
+
+let payload_summary = function
+  | Query_text q -> Printf.sprintf "query %S" q
+  | Id_list { table; count } -> Printf.sprintf "id-list(%s) x%d" table count
+  | Value_stream { table; column; count } ->
+    Printf.sprintf "value-stream(%s.%s) x%d" table column count
+  | Result_tuples { count } -> Printf.sprintf "result-tuples x%d" count
+  | Ack -> "ack"
+
+type event = {
+  seq : int;
+  link : link;
+  payload : payload;
+  bytes : int;
+}
+
+type t = {
+  mutable rev_events : event list;
+  mutable next_seq : int;
+}
+
+let create () = { rev_events = []; next_seq = 0 }
+
+let record t link payload ~bytes =
+  let e = { seq = t.next_seq; link; payload; bytes } in
+  t.next_seq <- t.next_seq + 1;
+  t.rev_events <- e :: t.rev_events
+
+let events t = List.rev t.rev_events
+let spy_events t = List.filter (fun e -> spy_visible e.link) (events t)
+
+let clear t =
+  t.rev_events <- [];
+  t.next_seq <- 0
+
+let pp_event fmt e =
+  Format.fprintf fmt "#%03d %-16s %8d B  %s" e.seq (link_name e.link) e.bytes
+    (payload_summary e.payload)
+
+let pp fmt t =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) (events t)

@@ -1,0 +1,51 @@
+(** Boundary trace: every message crossing a link of the GhostDB
+    platform (Figure 1 of the paper).
+
+    This is what demo phase 1 ("checking security") visualizes: the
+    trace records, per link, what a Trojan horse on the untrusted
+    terminal would observe. The privacy auditor consumes it to verify
+    that no hidden-derived payload ever travels on a spy-visible
+    link. *)
+
+type link =
+  | Server_to_pc  (** public server answers the client *)
+  | Pc_to_server  (** client sub-queries on visible data *)
+  | Pc_to_device  (** visible data entering the secure device *)
+  | Device_to_pc  (** should carry nothing but protocol acks *)
+  | Device_to_display  (** secure rendering channel; invisible to a spy *)
+
+val link_name : link -> string
+
+val spy_visible : link -> bool
+(** True for every link except the secure display channel. *)
+
+type payload =
+  | Query_text of string
+  | Id_list of { table : string; count : int }
+  | Value_stream of { table : string; column : string; count : int }
+  | Result_tuples of { count : int }
+  | Ack
+
+val payload_summary : payload -> string
+
+type event = {
+  seq : int;
+  link : link;
+  payload : payload;
+  bytes : int;
+}
+
+type t
+
+val create : unit -> t
+val record : t -> link -> payload -> bytes:int -> unit
+val events : t -> event list
+(** In emission order. *)
+
+val spy_events : t -> event list
+(** Only the events a spy can observe. *)
+
+val clear : t -> unit
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

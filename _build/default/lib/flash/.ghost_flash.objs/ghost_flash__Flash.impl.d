@@ -1,0 +1,1 @@
+lib/flash/flash.ml: Array Bytes Float Int List Printf Set

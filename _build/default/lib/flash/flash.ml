@@ -1,0 +1,238 @@
+type geometry = {
+  page_size : int;
+  pages_per_block : int;
+}
+
+let default_geometry = { page_size = 2048; pages_per_block = 64 }
+
+type cost = {
+  read_seek_us : float;
+  read_byte_us : float;
+  program_seek_us : float;
+  program_byte_us : float;
+  erase_us : float;
+}
+
+(* Full-page read: 25 + 2048*0.025 ~ 76 us; full-page program:
+   200 + 2048*0.09 ~ 384 us, i.e. ~5x a read. Erase ~1.5 ms. These are
+   typical small-block NAND figures of the paper's era. *)
+let default_cost = {
+  read_seek_us = 25.0;
+  read_byte_us = 0.025;
+  program_seek_us = 200.0;
+  program_byte_us = 0.09;
+  erase_us = 1500.0;
+}
+
+let cost_with_write_ratio r =
+  if r <= 0. then invalid_arg "Flash.cost_with_write_ratio";
+  let g = default_geometry in
+  let read_full =
+    default_cost.read_seek_us +. (Float.of_int g.page_size *. default_cost.read_byte_us)
+  in
+  let target = r *. read_full in
+  (* Keep the seek/byte split of the default program cost. *)
+  let base =
+    default_cost.program_seek_us
+    +. (Float.of_int g.page_size *. default_cost.program_byte_us)
+  in
+  let scale = target /. base in
+  { default_cost with
+    program_seek_us = default_cost.program_seek_us *. scale;
+    program_byte_us = default_cost.program_byte_us *. scale }
+
+type stats = {
+  page_reads : int;
+  bytes_read : int;
+  page_programs : int;
+  bytes_programmed : int;
+  block_erases : int;
+  read_time_us : float;
+  write_time_us : float;
+}
+
+let zero_stats = {
+  page_reads = 0;
+  bytes_read = 0;
+  page_programs = 0;
+  bytes_programmed = 0;
+  block_erases = 0;
+  read_time_us = 0.;
+  write_time_us = 0.;
+}
+
+let add_stats a b = {
+  page_reads = a.page_reads + b.page_reads;
+  bytes_read = a.bytes_read + b.bytes_read;
+  page_programs = a.page_programs + b.page_programs;
+  bytes_programmed = a.bytes_programmed + b.bytes_programmed;
+  block_erases = a.block_erases + b.block_erases;
+  read_time_us = a.read_time_us +. b.read_time_us;
+  write_time_us = a.write_time_us +. b.write_time_us;
+}
+
+let diff_stats ~after ~before = {
+  page_reads = after.page_reads - before.page_reads;
+  bytes_read = after.bytes_read - before.bytes_read;
+  page_programs = after.page_programs - before.page_programs;
+  bytes_programmed = after.bytes_programmed - before.bytes_programmed;
+  block_erases = after.block_erases - before.block_erases;
+  read_time_us = after.read_time_us -. before.read_time_us;
+  write_time_us = after.write_time_us -. before.write_time_us;
+}
+
+let total_time_us s = s.read_time_us +. s.write_time_us
+
+type page_state =
+  | Erased
+  | Programmed of { data : bytes; len : int }
+
+type t = {
+  geometry : geometry;
+  mutable cost : cost;
+  mutable pages : page_state array;
+  mutable page_high_water : int;  (* pages ever allocated *)
+  mutable free : int list;  (* erased pages below the high-water mark *)
+  mutable stats : stats;
+}
+
+exception Program_error of string
+
+let create ?(geometry = default_geometry) ?(cost = default_cost) () = {
+  geometry;
+  cost;
+  pages = Array.make 1024 Erased;
+  page_high_water = 0;
+  free = [];
+  stats = zero_stats;
+}
+
+let geometry t = t.geometry
+let set_cost t cost = t.cost <- cost
+
+let grow t needed =
+  if needed > Array.length t.pages then begin
+    let pages = Array.make (max needed (2 * Array.length t.pages)) Erased in
+    Array.blit t.pages 0 pages 0 t.page_high_water;
+    t.pages <- pages
+  end
+
+let charge_program t len =
+  t.stats <- {
+    t.stats with
+    page_programs = t.stats.page_programs + 1;
+    bytes_programmed = t.stats.bytes_programmed + len;
+    write_time_us =
+      t.stats.write_time_us
+      +. t.cost.program_seek_us
+      +. (Float.of_int len *. t.cost.program_byte_us);
+  }
+
+let append t data =
+  let len = Bytes.length data in
+  if len > t.geometry.page_size then
+    raise (Program_error
+             (Printf.sprintf "append: %d bytes exceeds page size %d" len
+                t.geometry.page_size));
+  let page =
+    match t.free with
+    | p :: rest ->
+      t.free <- rest;
+      p
+    | [] ->
+      grow t (t.page_high_water + 1);
+      let p = t.page_high_water in
+      t.page_high_water <- p + 1;
+      p
+  in
+  (match t.pages.(page) with
+   | Erased -> ()
+   | Programmed _ ->
+     raise (Program_error (Printf.sprintf "page %d is not erased" page)));
+  t.pages.(page) <- Programmed { data = Bytes.copy data; len };
+  charge_program t len;
+  page
+
+let charge_read t len =
+  t.stats <- {
+    t.stats with
+    page_reads = t.stats.page_reads + 1;
+    bytes_read = t.stats.bytes_read + len;
+    read_time_us =
+      t.stats.read_time_us
+      +. t.cost.read_seek_us
+      +. (Float.of_int len *. t.cost.read_byte_us);
+  }
+
+let read t ~page ~off ~len =
+  if page < 0 || page >= t.page_high_water then
+    invalid_arg (Printf.sprintf "Flash.read: page %d out of range" page);
+  match t.pages.(page) with
+  | Erased -> invalid_arg (Printf.sprintf "Flash.read: page %d is erased" page)
+  | Programmed { data; len = plen } ->
+    if off < 0 || len < 0 || off + len > t.geometry.page_size then
+      invalid_arg "Flash.read: range out of page bounds";
+    charge_read t len;
+    let out = Bytes.make len '\000' in
+    (* Bytes past the programmed prefix read back as zeros (padding). *)
+    let avail = max 0 (min len (plen - off)) in
+    if avail > 0 then Bytes.blit data off out 0 avail;
+    out
+
+let read_page t page = read t ~page ~off:0 ~len:t.geometry.page_size
+
+let erase_block t block =
+  let first = block * t.geometry.pages_per_block in
+  if first < 0 then invalid_arg "Flash.erase_block";
+  let last = min (t.page_high_water - 1) (first + t.geometry.pages_per_block - 1) in
+  for p = first to last do
+    (match t.pages.(p) with
+     | Programmed _ ->
+       t.pages.(p) <- Erased;
+       t.free <- p :: t.free
+     | Erased -> ())
+  done;
+  t.stats <- {
+    t.stats with
+    block_erases = t.stats.block_erases + 1;
+    write_time_us = t.stats.write_time_us +. t.cost.erase_us;
+  }
+
+let erase_pages t pages =
+  let module Iset = Set.Make (Int) in
+  let blocks =
+    List.fold_left
+      (fun acc p -> Iset.add (p / t.geometry.pages_per_block) acc)
+      Iset.empty pages
+  in
+  Iset.iter (erase_block t) blocks
+
+let erase_live_blocks t =
+  let ppb = t.geometry.pages_per_block in
+  let n_blocks = (t.page_high_water + ppb - 1) / ppb in
+  for block = 0 to n_blocks - 1 do
+    let first = block * ppb in
+    let last = min (t.page_high_water - 1) (first + ppb - 1) in
+    let live = ref false in
+    for p = first to last do
+      match t.pages.(p) with
+      | Programmed _ -> live := true
+      | Erased -> ()
+    done;
+    if !live then erase_block t block
+  done
+
+let page_count t = t.page_high_water
+
+let live_bytes t =
+  let total = ref 0 in
+  for p = 0 to t.page_high_water - 1 do
+    match t.pages.(p) with
+    | Programmed { len; _ } -> total := !total + len
+    | Erased -> ()
+  done;
+  !total
+
+let stats t = t.stats
+let reset_stats t = t.stats <- zero_stats
+let time_us t = total_time_us t.stats

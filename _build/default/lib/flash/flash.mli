@@ -1,0 +1,102 @@
+(** NAND Flash simulator.
+
+    Models the external Flash of the smart USB device (Figure 2 of the
+    paper): page-granularity programming with {e no in-place writes}
+    (a page can only be programmed when in the erased state), block-
+    granularity erasure, and asymmetric costs — programming a page is
+    3–10× slower than reading it, and partial-page reads are cheaper
+    than full-page reads.
+
+    The simulator enforces the programming discipline (programming a
+    non-erased page raises) and meters every operation through a
+    configurable cost model, accumulating simulated time that the
+    device clock reports. *)
+
+type geometry = {
+  page_size : int;  (** bytes per page (default 2048) *)
+  pages_per_block : int;  (** pages per erase block (default 64) *)
+}
+
+val default_geometry : geometry
+
+type cost = {
+  read_seek_us : float;  (** fixed cost to open a page for reading *)
+  read_byte_us : float;  (** per byte actually transferred *)
+  program_seek_us : float;  (** fixed cost to program a page *)
+  program_byte_us : float;  (** per byte programmed *)
+  erase_us : float;  (** per block erase *)
+}
+
+val default_cost : cost
+(** Calibrated so that a full-page program costs ~5× a full-page read,
+    inside the 3–10× envelope the paper gives. *)
+
+val cost_with_write_ratio : float -> cost
+(** [cost_with_write_ratio r] — the default cost model rescaled so a
+    full-page program costs [r] × a full-page read (used by the Flash
+    asymmetry sweep, experiment E6). *)
+
+type stats = {
+  page_reads : int;
+  bytes_read : int;
+  page_programs : int;
+  bytes_programmed : int;
+  block_erases : int;
+  read_time_us : float;
+  write_time_us : float;
+}
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+val diff_stats : after:stats -> before:stats -> stats
+val total_time_us : stats -> float
+
+type t
+
+exception Program_error of string
+(** Raised on an attempt to program a non-erased page or to overflow a
+    page. *)
+
+val create : ?geometry:geometry -> ?cost:cost -> unit -> t
+val geometry : t -> geometry
+val set_cost : t -> cost -> unit
+
+val append : t -> bytes -> int
+(** Programs a fresh (erased) page with the given content — at most
+    [page_size] bytes; shorter content is implicitly padded with zeros.
+    Returns the page identifier. Prefers recycling erased pages before
+    growing the store. *)
+
+val read : t -> page:int -> off:int -> len:int -> bytes
+(** Partial-page read; cost = seek + [len] bytes. Raises
+    [Invalid_argument] on an out-of-bounds range or a never-programmed
+    page. *)
+
+val read_page : t -> int -> bytes
+(** Full-page read. *)
+
+val erase_block : t -> int -> unit
+(** Erases the given block (all its pages become programmable again;
+    their previous content is lost). *)
+
+val erase_pages : t -> int list -> unit
+(** Erases every block that intersects the given page list. Convenience
+    for reclaiming scratch runs; note whole blocks are erased, as on
+    real NAND. *)
+
+val erase_live_blocks : t -> unit
+(** Erases every block that currently holds programmed pages (used to
+    reclaim the scratch region after a query). *)
+
+val page_count : t -> int
+(** Number of pages ever allocated (high-water mark of the store). *)
+
+val live_bytes : t -> int
+(** Bytes currently programmed (storage-footprint metric for E9). *)
+
+val stats : t -> stats
+(** Snapshot of the counters since creation (or last {!reset_stats}). *)
+
+val reset_stats : t -> unit
+val time_us : t -> float
+(** [total_time_us (stats t)]. *)

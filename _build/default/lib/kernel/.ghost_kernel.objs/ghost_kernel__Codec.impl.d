@@ -1,0 +1,1 @@
+lib/kernel/codec.ml: Buffer Bytes Char Int32 Int64 String

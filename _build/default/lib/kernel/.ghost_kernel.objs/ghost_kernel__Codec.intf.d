@@ -1,0 +1,1 @@
+lib/kernel/codec.mli: Buffer

@@ -1,0 +1,1 @@
+lib/kernel/cursor.ml: Array List Option

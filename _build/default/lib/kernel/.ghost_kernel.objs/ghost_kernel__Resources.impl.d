@@ -1,0 +1,1 @@
+lib/kernel/resources.ml: List

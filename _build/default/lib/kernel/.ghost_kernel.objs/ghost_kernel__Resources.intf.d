@@ -1,0 +1,1 @@
+lib/kernel/resources.mli:

@@ -1,0 +1,1 @@
+lib/kernel/rng.ml: Array Float Int64

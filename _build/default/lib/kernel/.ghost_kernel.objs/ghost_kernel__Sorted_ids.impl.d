@@ -1,0 +1,1 @@
+lib/kernel/sorted_ids.ml: Array Int List

@@ -1,0 +1,1 @@
+lib/kernel/value.ml: Bytes Char Date Float Format Int Int64 Printf String

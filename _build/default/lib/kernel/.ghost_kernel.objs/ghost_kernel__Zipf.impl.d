@@ -1,0 +1,1 @@
+lib/kernel/zipf.ml: Array Float Rng

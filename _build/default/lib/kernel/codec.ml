@@ -1,0 +1,60 @@
+let put_u32 b off v =
+  Bytes.set_int32_be b off (Int32.of_int (v land 0xFFFFFFFF))
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_be b off) land 0xFFFFFFFF
+
+let put_u64 b off v = Bytes.set_int64_be b off (Int64.of_int v)
+let get_u64 b off = Int64.to_int (Bytes.get_int64_be b off)
+
+let varint_size v =
+  if v < 0 then invalid_arg "Codec.varint_size: negative";
+  let rec loop v n = if v < 0x80 then n else loop (v lsr 7) (n + 1) in
+  loop v 1
+
+let put_varint buf v =
+  if v < 0 then invalid_arg "Codec.put_varint: negative";
+  let rec loop v =
+    if v < 0x80 then Buffer.add_char buf (Char.chr v)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7F)));
+      loop (v lsr 7)
+    end
+  in
+  loop v
+
+let get_varint b off =
+  let rec loop off shift acc =
+    let c = Bytes.get_uint8 b off in
+    let acc = acc lor ((c land 0x7F) lsl shift) in
+    if c < 0x80 then (acc, off + 1) else loop (off + 1) (shift + 7) acc
+  in
+  loop off 0 0
+
+(* Like put_varint but accepts any 63-bit pattern, treated unsigned
+   (logical shifts), so zigzag covers the full int range. *)
+let put_varint_bits buf v =
+  let rec loop v =
+    if v lsr 7 = 0 then Buffer.add_char buf (Char.chr (v land 0x7F))
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7F)));
+      loop (v lsr 7)
+    end
+  in
+  loop v
+
+let put_zigzag buf v = put_varint_bits buf ((v lsl 1) lxor (v asr 62))
+
+let get_zigzag b off =
+  let u, off' = get_varint b off in
+  ((u lsr 1) lxor (-(u land 1)), off')
+
+let put_string16 buf s =
+  let n = String.length s in
+  if n > 0xFFFF then invalid_arg "Codec.put_string16: too long";
+  Buffer.add_char buf (Char.chr (n lsr 8));
+  Buffer.add_char buf (Char.chr (n land 0xFF));
+  Buffer.add_string buf s
+
+let get_string16 b off =
+  let n = (Bytes.get_uint8 b off lsl 8) lor Bytes.get_uint8 b (off + 1) in
+  (Bytes.sub_string b (off + 2) n, off + 2 + n)

@@ -1,0 +1,33 @@
+(** Low-level binary encodings shared by the on-flash structures.
+
+    All multi-byte fixed-width integers are big-endian. Varints are
+    LEB128 (7 bits per byte, high bit = continuation). *)
+
+val put_u32 : bytes -> int -> int -> unit
+(** [put_u32 b off v] writes [v land 0xFFFFFFFF]. *)
+
+val get_u32 : bytes -> int -> int
+
+val put_u64 : bytes -> int -> int -> unit
+val get_u64 : bytes -> int -> int
+
+val varint_size : int -> int
+(** Encoded size in bytes of a non-negative varint. *)
+
+val put_varint : Buffer.t -> int -> unit
+(** Appends a non-negative varint. Raises [Invalid_argument] on
+    negative input. *)
+
+val get_varint : bytes -> int -> int * int
+(** [get_varint b off] is [(value, next_off)]. *)
+
+val put_zigzag : Buffer.t -> int -> unit
+(** Signed varint via zigzag mapping. *)
+
+val get_zigzag : bytes -> int -> int * int
+
+val put_string16 : Buffer.t -> string -> unit
+(** Length-prefixed (u16) string, for full-key verification records.
+    Raises [Invalid_argument] if longer than 65535 bytes. *)
+
+val get_string16 : bytes -> int -> string * int

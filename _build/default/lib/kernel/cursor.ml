@@ -1,0 +1,187 @@
+type 'a t = { mutable pull : unit -> 'a option }
+
+let next t = t.pull ()
+let make f = { pull = f }
+
+let empty () = make (fun () -> None)
+
+let of_array a =
+  let i = ref 0 in
+  make (fun () ->
+    if !i >= Array.length a then None
+    else begin
+      let x = a.(!i) in
+      incr i;
+      Some x
+    end)
+
+let of_list l =
+  let rest = ref l in
+  make (fun () ->
+    match !rest with
+    | [] -> None
+    | x :: tl ->
+      rest := tl;
+      Some x)
+
+let map f c = make (fun () -> Option.map f (next c))
+
+let filter p c =
+  let rec pull () =
+    match next c with
+    | None -> None
+    | Some x -> if p x then Some x else pull ()
+  in
+  make pull
+
+let filter_map f c =
+  let rec pull () =
+    match next c with
+    | None -> None
+    | Some x ->
+      (match f x with
+       | Some _ as r -> r
+       | None -> pull ())
+  in
+  make pull
+
+let append a b =
+  let first = ref true in
+  let rec pull () =
+    if !first then
+      match next a with
+      | Some _ as r -> r
+      | None ->
+        first := false;
+        pull ()
+    else next b
+  in
+  make pull
+
+let fold f init c =
+  let rec loop acc =
+    match next c with
+    | None -> acc
+    | Some x -> loop (f acc x)
+  in
+  loop init
+
+let iter f c = fold (fun () x -> f x) () c
+let to_list c = List.rev (fold (fun acc x -> x :: acc) [] c)
+let to_array c = Array.of_list (to_list c)
+let count c = fold (fun n _ -> n + 1) 0 c
+
+let intersect_sorted ~cmp a b =
+  let pending_a = ref None and pending_b = ref None in
+  let pull_a () =
+    match !pending_a with
+    | Some _ as r ->
+      pending_a := None;
+      r
+    | None -> next a
+  in
+  let pull_b () =
+    match !pending_b with
+    | Some _ as r ->
+      pending_b := None;
+      r
+    | None -> next b
+  in
+  let rec advance xa xb =
+    match xa, xb with
+    | None, _ | _, None -> None
+    | Some x, Some y ->
+      let c = cmp x y in
+      if c = 0 then Some x
+      else if c < 0 then advance (pull_a ()) (Some y)
+      else advance (Some x) (pull_b ())
+  in
+  make (fun () -> advance (pull_a ()) (pull_b ()))
+
+let union_sorted ~cmp a b =
+  let la = ref None and lb = ref None in
+  let peek_a () =
+    match !la with
+    | Some _ as r -> r
+    | None ->
+      la := next a;
+      !la
+  in
+  let peek_b () =
+    match !lb with
+    | Some _ as r -> r
+    | None ->
+      lb := next b;
+      !lb
+  in
+  make (fun () ->
+    match peek_a (), peek_b () with
+    | None, None -> None
+    | Some x, None ->
+      la := None;
+      Some x
+    | None, Some y ->
+      lb := None;
+      Some y
+    | Some x, Some y ->
+      let c = cmp x y in
+      if c < 0 then begin
+        la := None;
+        Some x
+      end
+      else if c > 0 then begin
+        lb := None;
+        Some y
+      end
+      else begin
+        la := None;
+        lb := None;
+        Some x
+      end)
+
+let merge_join ~left_key ~right_key left right =
+  let cur_right = ref None in
+  let right_exhausted = ref false in
+  let rec advance_right k =
+    match !cur_right with
+    | Some r when right_key r >= k -> Some r
+    | Some _ | None ->
+      if !right_exhausted then None
+      else
+        (match next right with
+         | None ->
+           right_exhausted := true;
+           cur_right := None;
+           None
+         | Some r ->
+           cur_right := Some r;
+           advance_right k)
+  in
+  let rec pull () =
+    match next left with
+    | None -> None
+    | Some l ->
+      let k = left_key l in
+      (match advance_right k with
+       | Some r when right_key r = k -> Some (l, r)
+       | Some _ | None -> pull ())
+  in
+  make pull
+
+let peekable c =
+  let buffer = ref None in
+  let pull () =
+    match !buffer with
+    | Some x ->
+      buffer := None;
+      Some x
+    | None -> next c
+  in
+  let peek () =
+    match !buffer with
+    | Some _ as r -> r
+    | None ->
+      buffer := next c;
+      !buffer
+  in
+  (make pull, peek)

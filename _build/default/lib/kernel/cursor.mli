@@ -1,0 +1,50 @@
+(** Pull-based streams.
+
+    The device-side executor is streaming by necessity — tens of KB of
+    RAM cannot hold intermediate results — so operators exchange
+    cursors rather than materialized arrays. A cursor is a mutable
+    producer: each [next] yields the following element or [None] once
+    exhausted. *)
+
+type 'a t
+
+val next : 'a t -> 'a option
+
+val make : (unit -> 'a option) -> 'a t
+val empty : unit -> 'a t
+val of_array : 'a array -> 'a t
+val of_list : 'a list -> 'a t
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val filter : ('a -> bool) -> 'a t -> 'a t
+val filter_map : ('a -> 'b option) -> 'a t -> 'b t
+val append : 'a t -> 'a t -> 'a t
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val iter : ('a -> unit) -> 'a t -> unit
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array
+val count : 'a t -> int
+(** Drains the cursor. *)
+
+val intersect_sorted : cmp:('a -> 'a -> int) -> 'a t -> 'a t -> 'a t
+(** Streaming intersection of two strictly-increasing cursors. *)
+
+val union_sorted : cmp:('a -> 'a -> int) -> 'a t -> 'a t -> 'a t
+(** Streaming duplicate-free union of two strictly-increasing
+    cursors. *)
+
+val merge_join :
+  left_key:('a -> int) ->
+  right_key:('b -> int) ->
+  'a t ->
+  'b t ->
+  ('a * 'b) t
+(** Equi-join of two cursors sorted (non-strictly for the left, strictly
+    for the right) on an integer key. Each left element pairs with the
+    unique right element of equal key, if any — the right side is a key
+    stream (e.g. a sorted (id, value) column). *)
+
+val peekable : 'a t -> 'a t * (unit -> 'a option)
+(** [peekable c] is [(c', peek)] where [peek] inspects the next element
+    of [c'] without consuming it. *)

@@ -1,0 +1,18 @@
+(** Calendar dates represented as days since 1970-01-01 (may be
+    negative). Conversions use the proleptic Gregorian calendar. *)
+
+val of_ymd : int -> int -> int -> int
+(** [of_ymd year month day] — days since epoch. Raises
+    [Invalid_argument] on an invalid calendar date. *)
+
+val to_ymd : int -> int * int * int
+
+val of_string : string -> int
+(** Parses ["YYYY-MM-DD"]. Raises [Invalid_argument] on malformed
+    input. *)
+
+val to_string : int -> string
+(** Renders as ["YYYY-MM-DD"]. *)
+
+val is_leap_year : int -> bool
+val days_in_month : int -> int -> int

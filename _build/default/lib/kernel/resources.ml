@@ -1,0 +1,27 @@
+type t = { mutable cleanups : (unit -> unit) list }
+
+let create () = { cleanups = [] }
+let defer t f = t.cleanups <- f :: t.cleanups
+
+let release t =
+  let fs = t.cleanups in
+  t.cleanups <- [];
+  let first_error = ref None in
+  List.iter
+    (fun f ->
+       try f ()
+       with e -> if !first_error = None then first_error := Some e)
+    fs;
+  match !first_error with
+  | Some e -> raise e
+  | None -> ()
+
+let with_resources f =
+  let t = create () in
+  match f t with
+  | v ->
+    release t;
+    v
+  | exception e ->
+    (try release t with _ -> ());
+    raise e

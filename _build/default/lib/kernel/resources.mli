@@ -1,0 +1,22 @@
+(** Deferred cleanup registry.
+
+    Query execution opens many Flash readers whose buffers are charged
+    to device RAM; operators register their releases here and the
+    executor runs them when the plan finishes (or fails), so RAM
+    accounting stays exact without every operator handling
+    exceptions. *)
+
+type t
+
+val create : unit -> t
+
+val defer : t -> (unit -> unit) -> unit
+(** Registers a cleanup, run in reverse registration order. *)
+
+val release : t -> unit
+(** Runs all pending cleanups; idempotent. A cleanup that raises does
+    not prevent the others from running (the first exception is
+    re-raised at the end). *)
+
+val with_resources : (t -> 'a) -> 'a
+(** Releases on both normal and exceptional exit. *)

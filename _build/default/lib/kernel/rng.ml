@@ -1,0 +1,40 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let split t = { state = next64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  next t mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound = Float.of_int (next t) /. Float.ldexp 1.0 62 *. bound
+let bool t = next t land 1 = 1
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,30 @@
+(** Algebra of strictly-increasing identifier arrays.
+
+    Climbing-index entries, visible selection results and SKT probe
+    lists are all sorted duplicate-free ID lists; plan execution is
+    largely merging such lists. All functions assume (and produce)
+    strictly increasing [int array]s. *)
+
+val is_sorted : int array -> bool
+(** Strictly increasing (hence duplicate-free). *)
+
+val of_unsorted : int list -> int array
+(** Sorts and deduplicates. *)
+
+val intersect : int array -> int array -> int array
+(** Galloping (exponential-search) intersection: O(m log(n/m)) when one
+    side is much smaller. *)
+
+val intersect_many : int array list -> int array
+(** Intersection of all lists, smallest first. The intersection of an
+    empty list of lists is undefined: raises [Invalid_argument]. *)
+
+val union : int array -> int array -> int array
+val union_many : int array list -> int array
+val difference : int array -> int array -> int array
+
+val member : int array -> int -> bool
+(** Binary search. *)
+
+val rank : int array -> int -> int
+(** Number of elements strictly below the probe. *)

@@ -1,0 +1,153 @@
+type ty =
+  | T_int
+  | T_float
+  | T_date
+  | T_char of int
+
+type t =
+  | Int of int
+  | Float of float
+  | Date of int
+  | Str of string
+  | Null
+
+let ty_width = function
+  | T_int | T_float | T_date -> 8
+  | T_char n -> n
+
+let ty_name = function
+  | T_int -> "INTEGER"
+  | T_float -> "FLOAT"
+  | T_date -> "DATE"
+  | T_char n -> Printf.sprintf "CHAR(%d)" n
+
+let ty_equal a b =
+  match a, b with
+  | T_int, T_int | T_float, T_float | T_date, T_date -> true
+  | T_char n, T_char m -> n = m
+  | (T_int | T_float | T_date | T_char _), _ -> false
+
+let has_ty ty v =
+  match ty, v with
+  | _, Null -> true
+  | T_int, Int _ | T_float, Float _ | T_date, Date _ -> true
+  | T_char _, Str _ -> true
+  | (T_int | T_float | T_date | T_char _), _ -> false
+
+(* CHAR(n) padding normalization: trailing '\000' are not significant. *)
+let strip_pad s =
+  let n = ref (String.length s) in
+  while !n > 0 && s.[!n - 1] = '\000' do decr n done;
+  if !n = String.length s then s else String.sub s 0 !n
+
+let rank = function
+  | Null -> 0
+  | Int _ -> 1
+  | Float _ -> 2
+  | Date _ -> 3
+  | Str _ -> 4
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Date x, Date y -> Int.compare x y
+  | Str x, Str y -> String.compare (strip_pad x) (strip_pad y)
+  | (Null | Int _ | Float _ | Date _ | Str _), _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+let is_null v = v = Null
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Date d -> Date.to_string d
+  | Str s -> strip_pad s
+  | Null -> "NULL"
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+(* Sign-biased big-endian int64: order-preserving byte encoding. *)
+let put_biased_i64 b off i =
+  let u = Int64.add (Int64.of_int i) Int64.min_int in
+  Bytes.set_int64_be b off u
+
+let get_biased_i64 b off =
+  Int64.to_int (Int64.sub (Bytes.get_int64_be b off) Int64.min_int)
+
+(* Order-preserving float encoding: flip sign bit for positives, flip
+   all bits for negatives, then big-endian. *)
+let float_to_ord f =
+  let bits = Int64.bits_of_float f in
+  if Int64.compare bits 0L >= 0 then Int64.logxor bits Int64.min_int
+  else Int64.lognot bits
+
+let ord_to_float u =
+  if Int64.compare u 0L < 0 then Int64.float_of_bits (Int64.logxor u Int64.min_int)
+  else Int64.float_of_bits (Int64.lognot u)
+
+let encode ty v =
+  let fail () =
+    invalid_arg
+      (Printf.sprintf "Value.encode: %s does not fit %s" (to_string v) (ty_name ty))
+  in
+  match ty, v with
+  | T_int, Int i | T_date, Date i ->
+    let b = Bytes.create 8 in
+    put_biased_i64 b 0 i;
+    b
+  | T_float, Float f ->
+    let b = Bytes.create 8 in
+    Bytes.set_int64_be b 0 (float_to_ord f);
+    b
+  | T_char n, Str s ->
+    let b = Bytes.make n '\000' in
+    let len = min n (String.length s) in
+    Bytes.blit_string s 0 b 0 len;
+    b
+  | (T_int | T_float | T_date | T_char _), _ -> fail ()
+
+let decode ty b off =
+  match ty with
+  | T_int -> Int (get_biased_i64 b off)
+  | T_date -> Date (get_biased_i64 b off)
+  | T_float -> Float (ord_to_float (Bytes.get_int64_be b off))
+  | T_char n -> Str (strip_pad (Bytes.sub_string b off n))
+
+let key_prefix v =
+  let b = Bytes.make 16 '\000' in
+  Bytes.set_uint8 b 0 (rank v);
+  (match v with
+   | Null -> ()
+   | Int i | Date i -> put_biased_i64 b 1 i
+   | Float f -> Bytes.set_int64_be b 1 (float_to_ord f)
+   | Str s ->
+     let s = strip_pad s in
+     let len = min 15 (String.length s) in
+     Bytes.blit_string s 0 b 1 len);
+  b
+
+(* FNV-1a-style multiply/xor over a canonical byte representation
+   (seed truncated to fit OCaml's 63-bit int); stable across runs. *)
+let hash v =
+  let bytes =
+    match v with
+    | Null -> Bytes.make 1 '\255'
+    | Int _ | Date _ | Float _ | Str _ -> key_prefix v
+  in
+  let h = ref 0x100000001b3 in
+  Bytes.iter
+    (fun c ->
+       h := !h lxor Char.code c;
+       h := !h * 0x100000001b3)
+    bytes;
+  (match v with
+   | Str s ->
+     String.iter
+       (fun c ->
+          h := !h lxor Char.code c;
+          h := !h * 0x100000001b3)
+       (strip_pad s)
+   | Null | Int _ | Date _ | Float _ -> ());
+  !h land max_int

@@ -1,0 +1,59 @@
+(** Typed scalar values manipulated by the engine.
+
+    GhostDB stores fixed-width encodings on Flash, so every type carries
+    a definite byte width: integers and dates are 8 bytes, floats are
+    8 bytes, [Char n] strings occupy exactly [n] bytes (padded with
+    ['\000'], truncated if longer, as in SQL [CHAR(n)]). *)
+
+type ty =
+  | T_int
+  | T_float
+  | T_date
+  | T_char of int  (** fixed-width string of the given byte width *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Date of int  (** days since 1970-01-01 *)
+  | Str of string
+  | Null
+
+val ty_width : ty -> int
+(** Encoded width in bytes of any value of that type. *)
+
+val ty_name : ty -> string
+val ty_equal : ty -> ty -> bool
+
+val has_ty : ty -> t -> bool
+(** [has_ty ty v] is true when [v] is [Null] or a value of type [ty]. *)
+
+val compare : t -> t -> int
+(** Total order. [Null] sorts first; values of distinct constructors are
+    ordered by constructor. Strings compare after CHAR(n) padding
+    normalization (trailing ['\000'] ignored). *)
+
+val equal : t -> t -> bool
+val is_null : t -> bool
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val encode : ty -> t -> bytes
+(** Fixed-width encoding; order-preserving within a type (byte-wise
+    lexicographic comparison of encodings matches {!compare}). Columns
+    are loaded NOT NULL in this reproduction: raises [Invalid_argument]
+    on [Null] or when the value does not match the type. *)
+
+val decode : ty -> bytes -> int -> t
+(** [decode ty b off] reads a value of type [ty] at offset [off]. *)
+
+val key_prefix : t -> bytes
+(** 16-byte order-preserving prefix used by index directories. For
+    values of the same type, [Bytes.compare (key_prefix a) (key_prefix b)]
+    has the same sign as [compare a b] whenever the prefixes differ;
+    equal prefixes require a full-key check (strings longer than 14
+    bytes may collide). *)
+
+val hash : t -> int
+(** Deterministic hash, stable across runs (used by Bloom filters and
+    hash partitioning in the baselines). *)

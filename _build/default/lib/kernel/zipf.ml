@@ -1,0 +1,35 @@
+type t = {
+  n : int;
+  cdf : float array;  (* cdf.(i) = P(rank <= i+1) *)
+}
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n <= 0";
+  if theta < 0. then invalid_arg "Zipf.create: theta < 0";
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1. /. Float.pow (Float.of_int (i + 1)) theta);
+    cdf.(i) <- !acc
+  done;
+  let total = !acc in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. total
+  done;
+  { n; cdf }
+
+let n t = t.n
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* First index with cdf >= u. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo + 1
+
+let probability t rank =
+  if rank < 1 || rank > t.n then invalid_arg "Zipf.probability: rank out of range";
+  if rank = 1 then t.cdf.(0) else t.cdf.(rank - 1) -. t.cdf.(rank - 2)

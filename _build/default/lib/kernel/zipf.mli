@@ -1,0 +1,20 @@
+(** Zipfian sampler over ranks [1..n] with exponent [theta].
+
+    Used by the workload generator to skew attribute-value frequencies,
+    which is what makes predicate selectivities uneven — the phenomenon
+    GhostDB's Pre-/Post-filtering choice responds to. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** Precomputes the cumulative distribution; O(n) space. [theta = 0.]
+    degenerates to uniform. Raises [Invalid_argument] if [n <= 0] or
+    [theta < 0.]. *)
+
+val n : t -> int
+
+val sample : t -> Rng.t -> int
+(** A rank in [1..n]; rank 1 is the most frequent. *)
+
+val probability : t -> int -> float
+(** [probability t rank] — the sampling probability of [rank]. *)

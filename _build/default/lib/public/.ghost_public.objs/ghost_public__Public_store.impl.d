@@ -1,0 +1,1 @@
+lib/public/public_store.ml: Array Ghost_device Ghost_kernel Ghost_relation Hashtbl Int List Option Printf String

@@ -1,0 +1,1 @@
+lib/public/public_store.mli: Ghost_device Ghost_kernel Ghost_relation

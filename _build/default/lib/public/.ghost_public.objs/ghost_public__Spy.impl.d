@@ -1,0 +1,1 @@
+lib/public/spy.ml: Format Ghost_device List

@@ -1,0 +1,1 @@
+lib/public/spy.mli: Format Ghost_device

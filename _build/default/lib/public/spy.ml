@@ -1,0 +1,105 @@
+module Trace = Ghost_device.Trace
+
+type link_summary = {
+  link : Trace.link;
+  messages : int;
+  bytes : int;
+}
+
+type report = {
+  per_link : link_summary list;
+  queries_observed : string list;
+  id_lists_observed : (string * int) list;
+  value_streams_observed : (string * string * int) list;
+  device_outbound_payload_bytes : int;
+}
+
+let analyze trace =
+  let events = Trace.spy_events trace in
+  let links =
+    [ Trace.Server_to_pc; Trace.Pc_to_server; Trace.Pc_to_device; Trace.Device_to_pc ]
+  in
+  let per_link =
+    List.map
+      (fun link ->
+         let on_link = List.filter (fun e -> e.Trace.link = link) events in
+         {
+           link;
+           messages = List.length on_link;
+           bytes = List.fold_left (fun acc e -> acc + e.Trace.bytes) 0 on_link;
+         })
+      links
+  in
+  let queries_observed =
+    List.filter_map
+      (fun e ->
+         match e.Trace.payload with
+         | Trace.Query_text q -> Some q
+         | Trace.Id_list _ | Trace.Value_stream _ | Trace.Result_tuples _ | Trace.Ack ->
+           None)
+      events
+  in
+  let id_lists_observed =
+    List.filter_map
+      (fun e ->
+         match e.Trace.payload with
+         (* report the device-entering copy only (the same list is also
+            visible on the server->pc link) *)
+         | Trace.Id_list { table; count } when e.Trace.link = Trace.Pc_to_device ->
+           Some (table, count)
+         | Trace.Id_list _ | Trace.Query_text _ | Trace.Value_stream _
+         | Trace.Result_tuples _ | Trace.Ack ->
+           None)
+      events
+  in
+  let value_streams_observed =
+    List.filter_map
+      (fun e ->
+         match e.Trace.payload with
+         | Trace.Value_stream { table; column; count }
+           when e.Trace.link = Trace.Pc_to_device ->
+           Some (table, column, count)
+         | Trace.Value_stream _ | Trace.Query_text _ | Trace.Id_list _
+         | Trace.Result_tuples _ | Trace.Ack ->
+           None)
+      events
+  in
+  let device_outbound_payload_bytes =
+    List.fold_left
+      (fun acc e ->
+         match e.Trace.link, e.Trace.payload with
+         | Trace.Device_to_pc, Trace.Ack -> acc
+         | Trace.Device_to_pc, _ -> acc + e.Trace.bytes
+         | (Trace.Server_to_pc | Trace.Pc_to_server | Trace.Pc_to_device
+           | Trace.Device_to_display), _ ->
+           acc)
+      0 events
+  in
+  {
+    per_link;
+    queries_observed;
+    id_lists_observed;
+    value_streams_observed;
+    device_outbound_payload_bytes;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>spy view (all spy-visible links):@,";
+  List.iter
+    (fun s ->
+       Format.fprintf fmt "  %-14s %4d msg %10d B@," (Trace.link_name s.link)
+         s.messages s.bytes)
+    r.per_link;
+  Format.fprintf fmt "  queries observed: %d@," (List.length r.queries_observed);
+  List.iter (fun q -> Format.fprintf fmt "    %s@," q) r.queries_observed;
+  List.iter
+    (fun (t, n) -> Format.fprintf fmt "  id list: %s x%d@," t n)
+    r.id_lists_observed;
+  List.iter
+    (fun (t, c, n) -> Format.fprintf fmt "  value stream: %s.%s x%d@," t c n)
+    r.value_streams_observed;
+  Format.fprintf fmt "  device outbound payload: %d B%s@]"
+    r.device_outbound_payload_bytes
+    (if r.device_outbound_payload_bytes = 0 then "  (nothing leaks)" else "  (LEAK!)")
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,30 @@
+module Trace = Ghost_device.Trace
+
+(** What a pirate sees (demo phase 1, "checking security").
+
+    A Trojan horse on the user's terminal observes every message on the
+    public links. This module aggregates the trace into the view the
+    demo GUI shows: per-link message counts and byte volumes, the
+    queries posed, and — crucially — the absence of anything else. *)
+
+type link_summary = {
+  link : Trace.link;
+  messages : int;
+  bytes : int;
+}
+
+type report = {
+  per_link : link_summary list;  (** spy-visible links only *)
+  queries_observed : string list;
+  id_lists_observed : (string * int) list;
+      (** (table, count) — id lists entering the device *)
+  value_streams_observed : (string * string * int) list;
+      (** (table, column, count) — value streams entering the device *)
+  device_outbound_payload_bytes : int;
+      (** bytes the device sent on spy-visible links, protocol acks
+          excluded — the number the paper promises is 0 *)
+}
+
+val analyze : Trace.t -> report
+val pp : Format.formatter -> report -> unit
+val to_string : report -> string

@@ -1,0 +1,1 @@
+lib/relation/column.ml: Format Ghost_kernel Printf

@@ -1,0 +1,1 @@
+lib/relation/column.mli: Format Ghost_kernel

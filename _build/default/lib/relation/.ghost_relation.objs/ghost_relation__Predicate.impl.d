@@ -1,0 +1,1 @@
+lib/relation/predicate.ml: Char Format Ghost_kernel List Printf String

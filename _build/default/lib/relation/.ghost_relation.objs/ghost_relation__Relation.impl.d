@@ -1,0 +1,1 @@
+lib/relation/relation.ml: Array Column Ghost_kernel Hashtbl Int List Predicate Printf Schema

@@ -1,0 +1,1 @@
+lib/relation/relation.mli: Ghost_kernel Predicate Schema

@@ -1,0 +1,1 @@
+lib/relation/schema.ml: Column Format Ghost_kernel Hashtbl List Option Printf String

@@ -1,0 +1,165 @@
+module Value = Ghost_kernel.Value
+
+type table = {
+  name : string;
+  key : string;
+  columns : Column.t list;
+}
+
+let table ~name ~key columns =
+  if List.exists (fun (c : Column.t) -> c.Column.name = key) columns then
+    invalid_arg "Schema.table: key listed among columns";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Column.t) ->
+       if Hashtbl.mem seen c.Column.name then
+         invalid_arg (Printf.sprintf "Schema.table: duplicate column %s" c.Column.name);
+       Hashtbl.add seen c.Column.name ())
+    columns;
+  { name; key; columns }
+
+let key_column t = Column.make t.key Value.T_int
+
+let all_columns t = key_column t :: t.columns
+
+let find_column t name =
+  if name = t.key then key_column t
+  else List.find (fun (c : Column.t) -> c.Column.name = name) t.columns
+
+let column_index t name =
+  let rec loop i = function
+    | [] -> raise Not_found
+    | (c : Column.t) :: rest -> if c.Column.name = name then i else loop (i + 1) rest
+  in
+  loop 0 (all_columns t)
+
+let arity t = 1 + List.length t.columns
+
+exception Not_a_tree of string
+
+type t = {
+  tables : table list;
+  by_name : (string, table) Hashtbl.t;
+  parents : (string, string * string) Hashtbl.t;
+      (* child table -> (parent table, fk column in parent) *)
+  root : table;
+}
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Not_a_tree s)) fmt
+
+let create tables =
+  if tables = [] then fail "empty schema";
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+       if Hashtbl.mem by_name t.name then fail "duplicate table %s" t.name;
+       Hashtbl.add by_name t.name t)
+    tables;
+  let parents = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+       List.iter
+         (fun (c : Column.t) ->
+            match c.Column.refs with
+            | None -> ()
+            | Some target ->
+              if not (Hashtbl.mem by_name target) then
+                fail "%s.%s references unknown table %s" t.name c.Column.name target;
+              if target = t.name then
+                fail "%s.%s is a self reference" t.name c.Column.name;
+              if Hashtbl.mem parents target then
+                fail "table %s is referenced by more than one foreign key" target;
+              Hashtbl.add parents target (t.name, c.Column.name))
+         t.columns)
+    tables;
+  let roots = List.filter (fun t -> not (Hashtbl.mem parents t.name)) tables in
+  let root =
+    match roots with
+    | [ r ] -> r
+    | [] -> fail "no root table (cycle)"
+    | rs ->
+      fail "schema is a forest, not a tree: roots %s"
+        (String.concat ", " (List.map (fun t -> t.name) rs))
+  in
+  (* Reachability from the root also rules out cycles among non-roots. *)
+  let visited = Hashtbl.create 16 in
+  let rec visit name =
+    if Hashtbl.mem visited name then fail "cycle through table %s" name;
+    Hashtbl.add visited name ();
+    List.iter
+      (fun (c : Column.t) ->
+         match c.Column.refs with
+         | Some target -> visit target
+         | None -> ())
+      (Hashtbl.find by_name name).columns
+  in
+  visit root.name;
+  if Hashtbl.length visited <> List.length tables then
+    fail "tables unreachable from root %s" root.name;
+  { tables; by_name; parents; root }
+
+let tables t = t.tables
+let find_table t name = Hashtbl.find t.by_name name
+let mem_table t name = Hashtbl.mem t.by_name name
+let root t = t.root
+let parent t name = Hashtbl.find_opt t.parents name
+
+let children t name =
+  let tbl = find_table t name in
+  List.filter_map
+    (fun (c : Column.t) ->
+       Option.map (fun target -> (target, c.Column.name)) c.Column.refs)
+    tbl.columns
+
+let rec climb_path t name =
+  match parent t name with
+  | None -> [ name ]
+  | Some (p, _) -> name :: climb_path t p
+
+let rec subtree t name =
+  name :: List.concat_map (fun (child, _) -> subtree t child) (children t name)
+
+let depth t name = List.length (climb_path t name) - 1
+
+let is_ancestor t ~ancestor name = List.mem ancestor (climb_path t name)
+
+let subtree_root t names =
+  match names with
+  | [] -> invalid_arg "Schema.subtree_root: empty list"
+  | first :: rest ->
+    (* Intersect climb paths; the first common element scanning from the
+       deepest end of [first]'s path is the LCA. *)
+    let common =
+      List.fold_left
+        (fun acc name ->
+           let path = climb_path t name in
+           List.filter (fun x -> List.mem x path) acc)
+        (climb_path t first) rest
+    in
+    (match common with
+     | deepest :: _ -> deepest
+     | [] -> assert false (* the root is on every climb path *))
+
+let fk_path t ~from_root name =
+  if not (is_ancestor t ~ancestor:from_root name) then
+    invalid_arg
+      (Printf.sprintf "Schema.fk_path: %s is not in the subtree of %s" name from_root);
+  (* climb_path name = [name; ...; from_root; ...]; collect fk columns
+     from from_root down to name. *)
+  let rec collect name acc =
+    if name = from_root then acc
+    else
+      match parent t name with
+      | None -> assert false
+      | Some (p, fk) -> collect p (fk :: acc)
+  in
+  collect name []
+
+let pp fmt t =
+  List.iter
+    (fun tbl ->
+       Format.fprintf fmt "@[<v 2>TABLE %s (key %s)@,%a@]@,"
+         tbl.name tbl.key
+         (Format.pp_print_list Column.pp)
+         tbl.columns)
+    t.tables

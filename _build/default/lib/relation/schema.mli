@@ -1,0 +1,87 @@
+module Value = Ghost_kernel.Value
+
+(** Database schemas and tree-schema analysis.
+
+    GhostDB's indexing model (SKTs, climbing indexes) is defined over
+    {e tree schemas}: there is one root table (the "fact" table —
+    Prescription in Figure 3) and every other table is referenced by
+    exactly one table through a foreign key. The functions here compute
+    the tree structure — parents, subtrees, climb paths, lowest common
+    subtree root — that the planner relies on. *)
+
+type table = {
+  name : string;
+  key : string;  (** primary-key column name; dense 1..N integers *)
+  columns : Column.t list;  (** attribute + foreign-key columns, key excluded *)
+}
+
+val table : name:string -> key:string -> Column.t list -> table
+
+val find_column : table -> string -> Column.t
+(** Raises [Not_found]. The key column is returned as a synthetic
+    visible INTEGER column. *)
+
+val column_index : table -> string -> int
+(** Position of a column in the full tuple layout (key first, then
+    declared columns, in order). Raises [Not_found]. *)
+
+val all_columns : table -> Column.t list
+(** Key first, then declared columns. *)
+
+val arity : table -> int
+
+type t
+(** A validated tree-schema database. *)
+
+exception Not_a_tree of string
+
+val create : table list -> t
+(** Validates: unique table names, foreign keys reference existing
+    tables, exactly one root, every non-root table referenced by
+    exactly one foreign key, no cycles. Raises {!Not_a_tree}. *)
+
+val tables : t -> table list
+val find_table : t -> string -> table
+(** Raises [Not_found]. *)
+
+val mem_table : t -> string -> bool
+
+val root : t -> table
+(** The table no foreign key references. *)
+
+val parent : t -> string -> (string * string) option
+(** [parent t name] is [Some (parent_table, fk_column)] — the unique
+    table holding a foreign key to [name] and that column's name; [None]
+    for the root. *)
+
+val children : t -> string -> (string * string) list
+(** [(child_table, fk_column_in_this_table)] — tables this table
+    references, i.e. one step away from the root. *)
+
+val climb_path : t -> string -> string list
+(** [climb_path t name] — [name] first, then its parent, up to the
+    root (inclusive). This is the list of ID levels a climbing index on
+    a column of [name] precomputes. *)
+
+val subtree : t -> string -> string list
+(** Preorder walk of the subtree rooted at the given table: the tables
+    an SKT rooted there spans. *)
+
+val depth : t -> string -> int
+(** Root has depth 0. *)
+
+val is_ancestor : t -> ancestor:string -> string -> bool
+(** Reflexive: a table is its own ancestor. *)
+
+val subtree_root : t -> string list -> string
+(** The deepest table whose subtree contains all the given tables (the
+    lowest common ancestor in the schema tree) — the root of the SKT a
+    query over those tables uses. Raises [Invalid_argument] on an empty
+    list. *)
+
+val fk_path : t -> from_root:string -> string -> string list
+(** [fk_path t ~from_root:r d] — the chain of foreign-key column names
+    leading from table [r] down to descendant [d]; [[]] when [r = d].
+    Raises [Invalid_argument] if [d] is not in [r]'s subtree. *)
+
+val pp : Format.formatter -> t -> unit

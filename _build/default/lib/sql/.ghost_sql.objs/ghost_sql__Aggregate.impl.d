@@ -1,0 +1,1 @@
+lib/sql/aggregate.ml: Array Ast Float Ghost_kernel Hashtbl List

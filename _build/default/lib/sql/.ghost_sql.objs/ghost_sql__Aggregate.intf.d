@@ -1,0 +1,1 @@
+lib/sql/aggregate.mli: Ast Ghost_kernel

@@ -1,0 +1,1 @@
+lib/sql/bind.ml: Aggregate Ast Float Ghost_kernel Ghost_relation Hashtbl List Option Parser Printf String

@@ -1,0 +1,1 @@
+lib/sql/bind.mli: Aggregate Ast Ghost_relation

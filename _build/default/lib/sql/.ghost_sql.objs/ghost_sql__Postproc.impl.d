@@ -1,0 +1,1 @@
+lib/sql/postproc.ml: Array Ghost_kernel List

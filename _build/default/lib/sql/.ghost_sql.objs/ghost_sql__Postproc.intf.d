@@ -1,0 +1,1 @@
+lib/sql/postproc.mli: Ghost_kernel

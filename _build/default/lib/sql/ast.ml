@@ -1,0 +1,129 @@
+type ty_ast =
+  | Ty_integer
+  | Ty_float
+  | Ty_date
+  | Ty_char of int
+
+type ddl_column = {
+  col_name : string;
+  col_ty : ty_ast;
+  primary_key : bool;
+  references : string option;
+  hidden : bool;
+}
+
+type create_table = {
+  table_name : string;
+  ddl_columns : ddl_column list;
+}
+
+type literal =
+  | L_int of int
+  | L_float of float
+  | L_string of string
+
+type col_ref = {
+  qualifier : string option;
+  column : string;
+}
+
+type cmp_op = Op_eq | Op_ne | Op_lt | Op_le | Op_gt | Op_ge
+
+type agg_fn = Count | Sum | Avg | Min | Max
+
+type projection_item =
+  | P_col of col_ref
+  | P_agg of agg_fn * col_ref option
+
+type condition =
+  | C_cmp of col_ref * cmp_op * literal
+  | C_between of col_ref * literal * literal
+  | C_in of col_ref * literal list
+  | C_like of col_ref * string
+  | C_join of col_ref * col_ref
+
+type select = {
+  projections : projection_item list;
+  from : (string * string option) list;
+  where : condition list;
+  group_by : col_ref list;
+  order_by : (col_ref * bool) list;
+  limit : int option;
+}
+
+type statement =
+  | Create_table of create_table
+  | Select of select
+
+let col_ref_to_string r =
+  match r.qualifier with
+  | Some q -> q ^ "." ^ r.column
+  | None -> r.column
+
+let literal_to_string = function
+  | L_int i -> string_of_int i
+  | L_float f -> Printf.sprintf "%g" f
+  | L_string s -> Printf.sprintf "'%s'" s
+
+let agg_fn_name = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+
+let projection_item_to_string = function
+  | P_col r -> col_ref_to_string r
+  | P_agg (f, None) -> Printf.sprintf "%s(*)" (agg_fn_name f)
+  | P_agg (f, Some r) -> Printf.sprintf "%s(%s)" (agg_fn_name f) (col_ref_to_string r)
+
+let cmp_op_to_string = function
+  | Op_eq -> "="
+  | Op_ne -> "<>"
+  | Op_lt -> "<"
+  | Op_le -> "<="
+  | Op_gt -> ">"
+  | Op_ge -> ">="
+
+let condition_to_string = function
+  | C_cmp (r, op, l) ->
+    Printf.sprintf "%s %s %s" (col_ref_to_string r) (cmp_op_to_string op)
+      (literal_to_string l)
+  | C_between (r, lo, hi) ->
+    Printf.sprintf "%s BETWEEN %s AND %s" (col_ref_to_string r) (literal_to_string lo)
+      (literal_to_string hi)
+  | C_in (r, ls) ->
+    Printf.sprintf "%s IN (%s)" (col_ref_to_string r)
+      (String.concat ", " (List.map literal_to_string ls))
+  | C_like (r, pat) -> Printf.sprintf "%s LIKE '%s'" (col_ref_to_string r) pat
+  | C_join (a, b) ->
+    Printf.sprintf "%s = %s" (col_ref_to_string a) (col_ref_to_string b)
+
+let select_to_string s =
+  Printf.sprintf "SELECT %s FROM %s%s%s"
+    (String.concat ", " (List.map projection_item_to_string s.projections))
+    (String.concat ", "
+       (List.map
+          (fun (t, alias) ->
+             match alias with
+             | Some a -> t ^ " " ^ a
+             | None -> t)
+          s.from))
+    (match s.where with
+     | [] -> ""
+     | conds ->
+       " WHERE " ^ String.concat " AND " (List.map condition_to_string conds))
+    (match s.group_by with
+     | [] -> ""
+     | cols -> " GROUP BY " ^ String.concat ", " (List.map col_ref_to_string cols))
+  ^ (match s.order_by with
+     | [] -> ""
+     | cols ->
+       " ORDER BY "
+       ^ String.concat ", "
+           (List.map
+              (fun (r, desc) -> col_ref_to_string r ^ (if desc then " DESC" else ""))
+              cols))
+  ^ (match s.limit with
+     | None -> ""
+     | Some n -> Printf.sprintf " LIMIT %d" n)

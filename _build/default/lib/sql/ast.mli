@@ -1,0 +1,71 @@
+(** Abstract syntax for the SQL subset GhostDB accepts: [CREATE TABLE]
+    with the extra [HIDDEN] keyword, and conjunctive
+    select-project-join queries. The paper stresses that query text
+    needs {e no} changes — only the schema declarations do. *)
+
+type ty_ast =
+  | Ty_integer
+  | Ty_float
+  | Ty_date
+  | Ty_char of int
+
+type ddl_column = {
+  col_name : string;
+  col_ty : ty_ast;
+  primary_key : bool;
+  references : string option;  (** referenced table *)
+  hidden : bool;
+}
+
+type create_table = {
+  table_name : string;
+  ddl_columns : ddl_column list;
+}
+
+type literal =
+  | L_int of int
+  | L_float of float
+  | L_string of string  (** also the surface form of date literals *)
+
+type col_ref = {
+  qualifier : string option;  (** table name or alias *)
+  column : string;
+}
+
+type cmp_op = Op_eq | Op_ne | Op_lt | Op_le | Op_gt | Op_ge
+
+type agg_fn = Count | Sum | Avg | Min | Max
+
+type projection_item =
+  | P_col of col_ref
+  | P_agg of agg_fn * col_ref option
+      (** [P_agg (Count, None)] is the star-count; every other
+          aggregate takes a column *)
+
+type condition =
+  | C_cmp of col_ref * cmp_op * literal
+  | C_between of col_ref * literal * literal
+  | C_in of col_ref * literal list
+  | C_like of col_ref * string  (** pattern as written, e.g. ["abc%"] *)
+  | C_join of col_ref * col_ref  (** equi-join *)
+
+type select = {
+  projections : projection_item list;
+  from : (string * string option) list;  (** (table, alias) *)
+  where : condition list;  (** conjunction *)
+  group_by : col_ref list;
+  order_by : (col_ref * bool) list;  (** (column, descending) *)
+  limit : int option;
+}
+
+type statement =
+  | Create_table of create_table
+  | Select of select
+
+val col_ref_to_string : col_ref -> string
+val agg_fn_name : agg_fn -> string
+val projection_item_to_string : projection_item -> string
+val literal_to_string : literal -> string
+val cmp_op_to_string : cmp_op -> string
+val condition_to_string : condition -> string
+val select_to_string : select -> string

@@ -1,0 +1,108 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Kw of string * string
+  | Symbol of string
+  | Eof
+
+exception Lex_error of { position : int; message : string }
+
+let keywords = [
+  "CREATE"; "TABLE"; "SELECT"; "FROM"; "WHERE"; "AND"; "BETWEEN"; "IN";
+  "PRIMARY"; "KEY"; "REFERENCES"; "HIDDEN"; "INTEGER"; "INT"; "FLOAT";
+  "DATE"; "CHAR"; "AS"; "NOT"; "NULL"; "COUNT"; "SUM"; "AVG"; "MIN"; "MAX";
+  "GROUP"; "BY"; "ORDER"; "ASC"; "DESC"; "LIMIT"; "LIKE";
+]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let error pos fmt =
+  Printf.ksprintf (fun message -> raise (Lex_error { position = pos; message })) fmt
+
+let tokenize src =
+  let n = String.length src in
+  let rec loop i acc =
+    if i >= n then List.rev (Eof :: acc)
+    else
+      let c = src.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then loop (i + 1) acc
+      else if c = '-' && i + 1 < n && src.[i + 1] = '-' then begin
+        (* line comment *)
+        let j = ref i in
+        while !j < n && src.[!j] <> '\n' do incr j done;
+        loop !j acc
+      end
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do incr j done;
+        let word = String.sub src i (!j - i) in
+        let upper = String.uppercase_ascii word in
+        let tok = if List.mem upper keywords then Kw (upper, word) else Ident word in
+        loop !j (tok :: acc)
+      end
+      else if is_digit c
+              || (c = '-' && i + 1 < n && is_digit src.[i + 1]) then begin
+        let j = ref (if c = '-' then i + 1 else i) in
+        while !j < n && is_digit src.[!j] do incr j done;
+        let is_float =
+          !j + 1 < n && src.[!j] = '.' && is_digit src.[!j + 1]
+        in
+        if is_float then begin
+          incr j;
+          while !j < n && is_digit src.[!j] do incr j done
+        end;
+        let text = String.sub src i (!j - i) in
+        let tok =
+          if is_float then Float_lit (float_of_string text)
+          else
+            match int_of_string_opt text with
+            | Some v -> Int_lit v
+            | None -> error i "invalid number %S" text
+        in
+        loop !j (tok :: acc)
+      end
+      else if c = '\'' then begin
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then error i "unterminated string literal"
+          else if src.[j] = '\'' then
+            if j + 1 < n && src.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              scan (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf src.[j];
+            scan (j + 1)
+          end
+        in
+        let next = scan (i + 1) in
+        loop next (String_lit (Buffer.contents buf) :: acc)
+      end
+      else begin
+        let two = if i + 1 < n then String.sub src i 2 else "" in
+        match two with
+        | "<>" | "<=" | ">=" | "!=" ->
+          let sym = if two = "!=" then "<>" else two in
+          loop (i + 2) (Symbol sym :: acc)
+        | _ ->
+          (match c with
+           | '(' | ')' | ',' | ';' | '.' | '*' | '=' | '<' | '>' ->
+             loop (i + 1) (Symbol (String.make 1 c) :: acc)
+           | _ -> error i "unexpected character %C" c)
+      end
+  in
+  loop 0 []
+
+let token_to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int_lit i -> Printf.sprintf "integer %d" i
+  | Float_lit f -> Printf.sprintf "float %g" f
+  | String_lit s -> Printf.sprintf "string %S" s
+  | Kw (k, _) -> k
+  | Symbol s -> Printf.sprintf "%S" s
+  | Eof -> "end of input"

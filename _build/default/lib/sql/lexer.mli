@@ -1,0 +1,19 @@
+(** Hand-written lexer for the SQL subset. Keywords are recognized
+    case-insensitively; identifiers keep their spelling. *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Kw of string * string
+      (** uppercased keyword (CREATE, SELECT, HIDDEN, ...) and its raw
+          spelling, so schema identifiers that collide with keywords
+          ([Date]) keep their case *)
+  | Symbol of string  (** one of ( ) , ; . * = <> < <= > >= *)
+  | Eof
+
+exception Lex_error of { position : int; message : string }
+
+val tokenize : string -> token list
+val token_to_string : token -> string

@@ -1,0 +1,335 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = {
+  mutable tokens : Lexer.token list;
+}
+
+let peek st =
+  match st.tokens with
+  | [] -> Lexer.Eof
+  | t :: _ -> t
+
+let advance st =
+  match st.tokens with
+  | [] -> ()
+  | _ :: rest -> st.tokens <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect_kw st kw =
+  match next st with
+  | Lexer.Kw (k, _) when k = kw -> ()
+  | t -> fail "expected %s, got %s" kw (Lexer.token_to_string t)
+
+let expect_symbol st sym =
+  match next st with
+  | Lexer.Symbol s when s = sym -> ()
+  | t -> fail "expected %S, got %s" sym (Lexer.token_to_string t)
+
+let accept_symbol st sym =
+  match peek st with
+  | Lexer.Symbol s when s = sym ->
+    advance st;
+    true
+  | _ -> false
+
+let accept_kw st kw =
+  match peek st with
+  | Lexer.Kw (k, _) when k = kw ->
+    advance st;
+    true
+  | _ -> false
+
+let ident st =
+  match next st with
+  | Lexer.Ident s -> s
+  (* Unreserved-ish keywords usable as identifiers in practice:
+     DATE and KEY appear as column names in real schemas. *)
+  | Lexer.Kw (("DATE" | "KEY"), raw) -> raw
+  | t -> fail "expected identifier, got %s" (Lexer.token_to_string t)
+
+let int_lit st =
+  match next st with
+  | Lexer.Int_lit i -> i
+  | t -> fail "expected integer, got %s" (Lexer.token_to_string t)
+
+(* ---- DDL ---- *)
+
+let parse_type st =
+  match next st with
+  | Lexer.Kw (("INTEGER" | "INT"), _) -> Ast.Ty_integer
+  | Lexer.Kw ("FLOAT", _) -> Ast.Ty_float
+  | Lexer.Kw ("DATE", _) -> Ast.Ty_date
+  | Lexer.Kw ("CHAR", _) ->
+    expect_symbol st "(";
+    let n = int_lit st in
+    expect_symbol st ")";
+    if n <= 0 then fail "CHAR width must be positive";
+    Ast.Ty_char n
+  | t -> fail "expected a type, got %s" (Lexer.token_to_string t)
+
+let parse_coldef st =
+  let col_name = ident st in
+  let col_ty = parse_type st in
+  let primary_key = ref false in
+  let references = ref None in
+  let hidden = ref false in
+  let rec modifiers () =
+    if accept_kw st "PRIMARY" then begin
+      expect_kw st "KEY";
+      primary_key := true;
+      modifiers ()
+    end
+    else if accept_kw st "REFERENCES" then begin
+      let target = ident st in
+      if accept_symbol st "(" then begin
+        let _referenced_col = ident st in
+        expect_symbol st ")"
+      end;
+      references := Some target;
+      modifiers ()
+    end
+    else if accept_kw st "HIDDEN" then begin
+      hidden := true;
+      modifiers ()
+    end
+    else if accept_kw st "NOT" then begin
+      expect_kw st "NULL";
+      modifiers ()
+    end
+  in
+  modifiers ();
+  {
+    Ast.col_name;
+    col_ty;
+    primary_key = !primary_key;
+    references = !references;
+    hidden = !hidden;
+  }
+
+let parse_create_table st =
+  expect_kw st "CREATE";
+  expect_kw st "TABLE";
+  let table_name = ident st in
+  expect_symbol st "(";
+  let rec cols acc =
+    let c = parse_coldef st in
+    if accept_symbol st "," then cols (c :: acc) else List.rev (c :: acc)
+  in
+  let ddl_columns = cols [] in
+  expect_symbol st ")";
+  ignore (accept_symbol st ";");
+  { Ast.table_name; ddl_columns }
+
+(* ---- SELECT ---- *)
+
+let parse_col_ref st =
+  let first = ident st in
+  if accept_symbol st "." then
+    let column = ident st in
+    { Ast.qualifier = Some first; column }
+  else { Ast.qualifier = None; column = first }
+
+let parse_literal st =
+  match next st with
+  | Lexer.Int_lit i -> Ast.L_int i
+  | Lexer.Float_lit f -> Ast.L_float f
+  | Lexer.String_lit s -> Ast.L_string s
+  | Lexer.Kw ("DATE", _) ->
+    (match next st with
+     | Lexer.String_lit s -> Ast.L_string s
+     | t -> fail "expected date string after DATE, got %s" (Lexer.token_to_string t))
+  | t -> fail "expected literal, got %s" (Lexer.token_to_string t)
+
+let parse_condition st =
+  let left = parse_col_ref st in
+  match peek st with
+  | Lexer.Kw ("BETWEEN", _) ->
+    advance st;
+    let lo = parse_literal st in
+    expect_kw st "AND";
+    let hi = parse_literal st in
+    Ast.C_between (left, lo, hi)
+  | Lexer.Kw ("LIKE", _) ->
+    advance st;
+    (match next st with
+     | Lexer.String_lit pat -> Ast.C_like (left, pat)
+     | t -> fail "expected pattern string after LIKE, got %s" (Lexer.token_to_string t))
+  | Lexer.Kw ("IN", _) ->
+    advance st;
+    expect_symbol st "(";
+    let rec lits acc =
+      let l = parse_literal st in
+      if accept_symbol st "," then lits (l :: acc) else List.rev (l :: acc)
+    in
+    let ls = lits [] in
+    expect_symbol st ")";
+    Ast.C_in (left, ls)
+  | Lexer.Symbol ("=" | "<>" | "<" | "<=" | ">" | ">=") ->
+    let op =
+      match next st with
+      | Lexer.Symbol "=" -> Ast.Op_eq
+      | Lexer.Symbol "<>" -> Ast.Op_ne
+      | Lexer.Symbol "<" -> Ast.Op_lt
+      | Lexer.Symbol "<=" -> Ast.Op_le
+      | Lexer.Symbol ">" -> Ast.Op_gt
+      | Lexer.Symbol ">=" -> Ast.Op_ge
+      | t -> fail "expected comparison operator, got %s" (Lexer.token_to_string t)
+    in
+    (* A right-hand side that is an identifier makes this a join. *)
+    (* Keywords that double as identifiers need lookahead: DATE '...'
+       is a literal; a lone Date is a column reference. *)
+    let rhs_is_col_ref =
+      match st.tokens with
+      | Lexer.Ident _ :: _ | Lexer.Kw ("KEY", _) :: _ -> true
+      | Lexer.Kw ("DATE", _) :: Lexer.String_lit _ :: _ -> false
+      | Lexer.Kw ("DATE", _) :: _ -> true
+      | _ -> false
+    in
+    if rhs_is_col_ref then begin
+      if op <> Ast.Op_eq then fail "joins must use =";
+      let right = parse_col_ref st in
+      Ast.C_join (left, right)
+    end
+    else
+      let lit = parse_literal st in
+      Ast.C_cmp (left, op, lit)
+  | t -> fail "expected condition operator, got %s" (Lexer.token_to_string t)
+
+let parse_projection_item st =
+  match peek st with
+  | Lexer.Kw (("COUNT" | "SUM" | "AVG" | "MIN" | "MAX"), _) ->
+    let fn =
+      match next st with
+      | Lexer.Kw ("COUNT", _) -> Ast.Count
+      | Lexer.Kw ("SUM", _) -> Ast.Sum
+      | Lexer.Kw ("AVG", _) -> Ast.Avg
+      | Lexer.Kw ("MIN", _) -> Ast.Min
+      | Lexer.Kw ("MAX", _) -> Ast.Max
+      | t -> fail "expected aggregate, got %s" (Lexer.token_to_string t)
+    in
+    expect_symbol st "(";
+    let arg =
+      if accept_symbol st "*" then begin
+        if fn <> Ast.Count then fail "%s(*) is only valid for COUNT" (Ast.agg_fn_name fn);
+        None
+      end
+      else Some (parse_col_ref st)
+    in
+    expect_symbol st ")";
+    (match fn, arg with
+     | Ast.Count, _ | (Ast.Sum | Ast.Avg | Ast.Min | Ast.Max), Some _ ->
+       Ast.P_agg (fn, arg)
+     | (Ast.Sum | Ast.Avg | Ast.Min | Ast.Max), None ->
+       fail "%s needs a column argument" (Ast.agg_fn_name fn))
+  | _ -> Ast.P_col (parse_col_ref st)
+
+let parse_select_body st =
+  expect_kw st "SELECT";
+  let rec projections acc =
+    let r = parse_projection_item st in
+    if accept_symbol st "," then projections (r :: acc) else List.rev (r :: acc)
+  in
+  let projections = projections [] in
+  expect_kw st "FROM";
+  let parse_from_item () =
+    let table = ident st in
+    let alias =
+      if accept_kw st "AS" then Some (ident st)
+      else
+        match peek st with
+        | Lexer.Ident a ->
+          advance st;
+          Some a
+        | _ -> None
+    in
+    (table, alias)
+  in
+  let rec from acc =
+    let item = parse_from_item () in
+    if accept_symbol st "," then from (item :: acc) else List.rev (item :: acc)
+  in
+  let from = from [] in
+  let where =
+    if accept_kw st "WHERE" then begin
+      let rec conds acc =
+        let c = parse_condition st in
+        if accept_kw st "AND" then conds (c :: acc) else List.rev (c :: acc)
+      in
+      conds []
+    end
+    else []
+  in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      let rec cols acc =
+        let r = parse_col_ref st in
+        if accept_symbol st "," then cols (r :: acc) else List.rev (r :: acc)
+      in
+      cols []
+    end
+    else []
+  in
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let rec cols acc =
+        let r = parse_col_ref st in
+        let desc =
+          if accept_kw st "DESC" then true
+          else begin
+            ignore (accept_kw st "ASC");
+            false
+          end
+        in
+        if accept_symbol st "," then cols ((r, desc) :: acc)
+        else List.rev ((r, desc) :: acc)
+      in
+      cols []
+    end
+    else []
+  in
+  let limit =
+    if accept_kw st "LIMIT" then begin
+      let n = int_lit st in
+      if n < 0 then fail "LIMIT must be non-negative";
+      Some n
+    end
+    else None
+  in
+  ignore (accept_symbol st ";");
+  { Ast.projections; from; where; group_by; order_by; limit }
+
+let parse_statement src =
+  let st = { tokens = Lexer.tokenize src } in
+  let stmt =
+    match peek st with
+    | Lexer.Kw ("CREATE", _) -> Ast.Create_table (parse_create_table st)
+    | Lexer.Kw ("SELECT", _) -> Ast.Select (parse_select_body st)
+    | t -> fail "expected CREATE or SELECT, got %s" (Lexer.token_to_string t)
+  in
+  (match peek st with
+   | Lexer.Eof -> ()
+   | t -> fail "trailing input: %s" (Lexer.token_to_string t));
+  stmt
+
+let parse_select src =
+  match parse_statement src with
+  | Ast.Select s -> s
+  | Ast.Create_table _ -> fail "expected a SELECT statement"
+
+let parse_ddl src =
+  let st = { tokens = Lexer.tokenize src } in
+  let rec loop acc =
+    match peek st with
+    | Lexer.Eof -> List.rev acc
+    | Lexer.Kw ("CREATE", _) -> loop (parse_create_table st :: acc)
+    | t -> fail "expected CREATE TABLE, got %s" (Lexer.token_to_string t)
+  in
+  loop []

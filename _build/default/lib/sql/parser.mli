@@ -1,0 +1,24 @@
+(** Recursive-descent parser for the SQL subset.
+
+    Grammar (conjunctive SPJ, as in the paper's examples):
+    {v
+    statement   ::= create_table | select
+    create_table::= CREATE TABLE ident '(' coldef (',' coldef)* ')' [';']
+    coldef      ::= ident type [PRIMARY KEY] [REFERENCES ident ['(' ident ')']] [HIDDEN]
+    type        ::= INTEGER | INT | FLOAT | DATE | CHAR '(' int ')'
+    select      ::= SELECT colref (',' colref)* FROM fromitem (',' fromitem)*
+                    [WHERE cond (AND cond)*] [';']
+    fromitem    ::= ident [[AS] ident]
+    cond        ::= colref op literal | colref BETWEEN literal AND literal
+                  | colref IN '(' literal (',' literal)* ')' | colref '=' colref
+    literal     ::= int | float | string | DATE string
+    v} *)
+
+exception Parse_error of string
+
+val parse_statement : string -> Ast.statement
+val parse_select : string -> Ast.select
+(** Raises {!Parse_error} if the statement is not a [SELECT]. *)
+
+val parse_ddl : string -> Ast.create_table list
+(** Parses a script of one or more [CREATE TABLE] statements. *)

@@ -1,0 +1,29 @@
+module Value = Ghost_kernel.Value
+
+let order_rows ~order_by rows =
+  match order_by with
+  | [] -> rows
+  | keys ->
+    let compare_rows a b =
+      let rec loop = function
+        | [] -> 0
+        | (i, desc) :: rest ->
+          let c = Value.compare a.(i) b.(i) in
+          if c <> 0 then if desc then -c else c else loop rest
+      in
+      loop keys
+    in
+    List.stable_sort compare_rows rows
+
+let truncate limit rows =
+  match limit with
+  | None -> rows
+  | Some n ->
+    let rec take n = function
+      | [] -> []
+      | _ when n <= 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    take n rows
+
+let apply ~order_by ~limit rows = truncate limit (order_rows ~order_by rows)

@@ -1,0 +1,18 @@
+module Value = Ghost_kernel.Value
+
+(** ORDER BY / LIMIT applied to final output rows — shared by the
+    device executor, the baselines and the reference evaluator so the
+    semantics cannot drift. *)
+
+val order_rows :
+  order_by:(int * bool) list -> Value.t array list -> Value.t array list
+(** Stable sort by the given (output index, descending) keys, leftmost
+    key most significant; {!Value.compare} per key. Rows equal on all
+    keys keep their relative order. *)
+
+val apply :
+  order_by:(int * bool) list ->
+  limit:int option ->
+  Value.t array list ->
+  Value.t array list
+(** [order_rows] then keep the first [limit] rows. *)

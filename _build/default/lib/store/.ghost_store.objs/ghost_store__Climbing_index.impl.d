@@ -1,0 +1,1 @@
+lib/store/climbing_index.ml: Array Buffer Bytes Char Ghost_device Ghost_flash Ghost_kernel Ghost_relation Id_list Int64 List Merge_union Pager Printf String

@@ -1,0 +1,1 @@
+lib/store/climbing_index.mli: Ghost_device Ghost_flash Ghost_kernel Ghost_relation Merge_union

@@ -1,0 +1,1 @@
+lib/store/column_store.ml: Array Ghost_device Ghost_flash Ghost_kernel Ghost_relation Pager Printf

@@ -1,0 +1,1 @@
+lib/store/column_store.mli: Ghost_device Ghost_flash Ghost_kernel Ghost_relation Pager

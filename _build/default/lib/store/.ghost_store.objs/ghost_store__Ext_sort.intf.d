@@ -1,0 +1,1 @@
+lib/store/ext_sort.mli: Ghost_device Ghost_flash Ghost_kernel

@@ -1,0 +1,1 @@
+lib/store/id_list.ml: Array Buffer Bytes Ghost_kernel List Pager

@@ -1,0 +1,1 @@
+lib/store/id_list.mli: Ghost_kernel Pager

@@ -1,0 +1,1 @@
+lib/store/merge_union.ml: Buffer Ghost_device Ghost_flash Ghost_kernel Id_list Int List Pager

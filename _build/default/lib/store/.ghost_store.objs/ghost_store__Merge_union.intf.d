@@ -1,0 +1,1 @@
+lib/store/merge_union.mli: Ghost_device Ghost_flash Ghost_kernel

@@ -1,0 +1,1 @@
+lib/store/pager.ml: Array Buffer Bytes Ghost_device Ghost_flash List Option Printf String

@@ -1,0 +1,1 @@
+lib/store/pager.mli: Buffer Ghost_device Ghost_flash

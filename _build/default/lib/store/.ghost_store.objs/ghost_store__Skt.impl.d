@@ -1,0 +1,1 @@
+lib/store/skt.ml: Array Bytes Ghost_device Ghost_flash Ghost_kernel List Pager Printf

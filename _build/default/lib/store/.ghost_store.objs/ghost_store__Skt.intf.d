@@ -1,0 +1,1 @@
+lib/store/skt.mli: Ghost_device Ghost_flash Ghost_kernel

@@ -1,0 +1,176 @@
+module Cursor = Ghost_kernel.Cursor
+module Heap = Ghost_kernel.Heap
+module Resources = Ghost_kernel.Resources
+module Flash = Ghost_flash.Flash
+module Ram = Ghost_device.Ram
+
+let log2_ceil k =
+  let rec bits n acc = if n <= 1 then acc else bits (n lsr 1) (acc + 1) in
+  max 1 (bits (max 1 k) 0)
+
+(* A source of records, in the style of Merge_union.source. *)
+type source = unit -> bytes Cursor.t * (unit -> unit)
+
+let run_source ~ram ~scratch ~chunk ~record_bytes segment : source =
+  fun () ->
+    let reader = Pager.Reader.open_ ~ram ~buffer_bytes:chunk scratch segment in
+    let pos = ref 0 in
+    let len = segment.Pager.length in
+    let cursor =
+      Cursor.make (fun () ->
+        if !pos >= len then None
+        else begin
+          let b = Pager.Reader.read reader ~off:!pos ~len:record_bytes in
+          pos := !pos + record_bytes;
+          Some b
+        end)
+    in
+    (cursor, fun () -> Pager.Reader.close reader)
+
+let write_run ~ram ~scratch records n =
+  let writer = Pager.Writer.create scratch in
+  Ram.with_alloc ram ~label:"sort-run-write-buffer"
+    (Flash.geometry scratch).Flash.page_size (fun _ ->
+      for i = 0 to n - 1 do
+        Pager.Writer.append_bytes writer records.(i)
+      done);
+  Pager.Writer.finish writer
+
+let heap_merge ~cpu ~compare cursors =
+  let heap = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  List.iter
+    (fun c ->
+       match Cursor.next c with
+       | Some r -> Heap.push heap (r, c)
+       | None -> ())
+    cursors;
+  let log_k = log2_ceil (Heap.size heap) in
+  Cursor.make (fun () ->
+    match Heap.pop heap with
+    | None -> None
+    | Some (r, c) ->
+      cpu log_k;
+      (match Cursor.next c with
+       | Some r' -> Heap.push heap (r', c)
+       | None -> ());
+      Some r)
+
+let sort ~ram ~scratch ~resources ?(cpu = fun _ -> ()) ?(chunk_bytes = 512)
+    ~record_bytes ~compare input =
+  if record_bytes <= 0 then invalid_arg "Ext_sort.sort: record_bytes <= 0";
+  (* Run-read buffers shrink when the arena is tight, so a 2-way merge
+     always fits (at the price of more Flash seeks). *)
+  let entry_free = Ram.budget ram - Ram.in_use ram in
+  let chunk = max 16 (min chunk_bytes (entry_free / 8)) in
+  let check r =
+    if Bytes.length r <> record_bytes then
+      invalid_arg
+        (Printf.sprintf "Ext_sort.sort: record of %d bytes, expected %d"
+           (Bytes.length r) record_bytes);
+    r
+  in
+  (* Records per in-RAM run: half the free arena, at least 2 records. *)
+  let free = Ram.budget ram - Ram.in_use ram in
+  let run_records = max 2 (free / 2 / record_bytes) in
+  let buffer = Array.make run_records Bytes.empty in
+  let fill () =
+    let n = ref 0 in
+    let rec loop () =
+      if !n >= run_records then ()
+      else
+        match Cursor.next input with
+        | None -> ()
+        | Some r ->
+          buffer.(!n) <- check r;
+          incr n;
+          loop ()
+    in
+    loop ();
+    !n
+  in
+  let sort_buffer n =
+    let sub = Array.sub buffer 0 n in
+    cpu (n * log2_ceil n);
+    Array.sort compare sub;
+    sub
+  in
+  let first_cell = Ram.alloc ram ~label:"sort-run" (run_records * record_bytes) in
+  let n0 = fill () in
+  if n0 < run_records then begin
+    (* Everything fits: RAM-only sort, no Flash traffic. *)
+    Ram.resize ram first_cell (n0 * record_bytes);
+    let sorted = sort_buffer n0 in
+    Resources.defer resources (fun () -> Ram.free ram first_cell);
+    Cursor.of_array sorted
+  end
+  else begin
+    let runs = ref [] in
+    let flush n =
+      let sorted = sort_buffer n in
+      runs := write_run ~ram ~scratch sorted n :: !runs
+    in
+    flush n0;
+    let rec more () =
+      let n = fill () in
+      if n > 0 then begin
+        flush n;
+        if n = run_records then more ()
+      end
+    in
+    more ();
+    Ram.free ram first_cell;
+    let sources =
+      List.rev_map (run_source ~ram ~scratch ~chunk ~record_bytes) !runs
+    in
+    (* Hierarchical k-way merge under the arena's fan-in. *)
+    let fan () =
+      let free = Ram.budget ram - Ram.in_use ram in
+      max 2 (free / 2 / chunk)
+    in
+    let rec reduce (sources : source list) =
+      match sources with
+      | [] -> Cursor.empty ()
+      | [ s ] ->
+        let cursor, close = s () in
+        Resources.defer resources close;
+        cursor
+      | _ ->
+        let k = List.length sources in
+        let f = fan () in
+        if k <= f then begin
+          let opened = List.map (fun s -> s ()) sources in
+          List.iter (fun (_, close) -> Resources.defer resources close) opened;
+          heap_merge ~cpu ~compare (List.map fst opened)
+        end
+        else begin
+          let rec take n acc rest =
+            match n, rest with
+            | 0, _ | _, [] -> (List.rev acc, rest)
+            | n, x :: tl -> take (n - 1) (x :: acc) tl
+          in
+          let rec groups acc rest =
+            match rest with
+            | [] -> List.rev acc
+            | _ ->
+              let g, rest = take f [] rest in
+              groups (g :: acc) rest
+          in
+          let merged =
+            List.map
+              (fun group ->
+                 let opened = List.map (fun s -> s ()) group in
+                 let merged = heap_merge ~cpu ~compare (List.map fst opened) in
+                 let writer = Pager.Writer.create scratch in
+                 Ram.with_alloc ram ~label:"sort-merge-write-buffer"
+                   (Flash.geometry scratch).Flash.page_size (fun _ ->
+                     Cursor.iter (fun r -> Pager.Writer.append_bytes writer r) merged);
+                 let segment = Pager.Writer.finish writer in
+                 List.iter (fun (_, close) -> close ()) opened;
+                 run_source ~ram ~scratch ~chunk ~record_bytes segment)
+              (groups [] sources)
+          in
+          reduce merged
+        end
+    in
+    reduce sources
+  end

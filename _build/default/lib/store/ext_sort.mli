@@ -1,0 +1,34 @@
+module Cursor = Ghost_kernel.Cursor
+module Resources = Ghost_kernel.Resources
+module Flash = Ghost_flash.Flash
+module Ram = Ghost_device.Ram
+
+(** External merge sort of fixed-width records under the RAM budget.
+
+    Used by the projection phase when the visible (id, value) stream
+    joining the result does not fit the arena as a hash table: result
+    rows are sorted by the join id on the scratch Flash, merge-joined
+    against the incoming stream, and the Flash write cost of the runs
+    is exactly the penalty the optimizer weighs. Also the workhorse of
+    the grace-hash-join baseline. *)
+
+val log2_ceil : int -> int
+(** Number of comparison levels of a sort of that many items (>= 1). *)
+
+val sort :
+  ram:Ram.t ->
+  scratch:Flash.t ->
+  resources:Resources.t ->
+  ?cpu:(int -> unit) ->
+  ?chunk_bytes:int ->
+  record_bytes:int ->
+  compare:(bytes -> bytes -> int) ->
+  bytes Cursor.t ->
+  bytes Cursor.t
+(** Sorts the records of the input cursor (each exactly
+    [record_bytes] long). When the whole input fits in half the free
+    arena it is sorted in RAM without touching Flash; otherwise sorted
+    runs are spilled to [scratch] and k-way merged with the fan-in the
+    arena allows. The output cursor's resources are released through
+    [resources]. Raises [Invalid_argument] on a record of the wrong
+    width. *)

@@ -1,0 +1,51 @@
+module Codec = Ghost_kernel.Codec
+module Cursor = Ghost_kernel.Cursor
+
+let encode ids =
+  let buf = Buffer.create (Array.length ids * 2) in
+  let prev = ref (-1) in
+  Array.iter
+    (fun id ->
+       if id <= !prev || id < 0 then
+         invalid_arg "Id_list.encode: not strictly increasing non-negative";
+       Codec.put_varint buf (id - !prev - 1);
+       prev := id)
+    ids;
+  Buffer.contents buf
+
+let encoded_size ids =
+  let total = ref 0 and prev = ref (-1) in
+  Array.iter
+    (fun id ->
+       total := !total + Codec.varint_size (id - !prev - 1);
+       prev := id)
+    ids;
+  !total
+
+let cursor reader ~off ~len =
+  let pos = ref off in
+  let stop = off + len in
+  let prev = ref (-1) in
+  Cursor.make (fun () ->
+    if !pos >= stop then None
+    else begin
+      let look = min 10 (stop - !pos) in
+      let chunk = Pager.Reader.read reader ~off:!pos ~len:look in
+      let delta, next = Codec.get_varint chunk 0 in
+      pos := !pos + next;
+      let id = !prev + 1 + delta in
+      prev := id;
+      Some id
+    end)
+
+let decode b =
+  let acc = ref [] in
+  let pos = ref 0 and prev = ref (-1) in
+  while !pos < Bytes.length b do
+    let delta, next = Codec.get_varint b !pos in
+    pos := next;
+    let id = !prev + 1 + delta in
+    prev := id;
+    acc := id :: !acc
+  done;
+  Array.of_list (List.rev !acc)

@@ -1,0 +1,164 @@
+module Flash = Ghost_flash.Flash
+module Ram = Ghost_device.Ram
+
+type segment = {
+  pages : int array;
+  length : int;
+}
+
+let segment_bytes s = s.length
+
+module Writer = struct
+  type t = {
+    flash : Flash.t;
+    page_size : int;
+    buf : Buffer.t;  (* current partial page *)
+    mutable pages : int list;  (* reversed *)
+    mutable flushed : int;  (* bytes already on flash *)
+    mutable finished : bool;
+  }
+
+  let create flash = {
+    flash;
+    page_size = (Flash.geometry flash).Flash.page_size;
+    buf = Buffer.create 2048;
+    pages = [];
+    flushed = 0;
+    finished = false;
+  }
+
+  let flush_page t =
+    let data = Buffer.to_bytes t.buf in
+    let page = Flash.append t.flash data in
+    t.pages <- page :: t.pages;
+    t.flushed <- t.flushed + Bytes.length data;
+    Buffer.clear t.buf
+
+  let check t = if t.finished then invalid_arg "Pager.Writer: already finished"
+
+  let append_substring t s off len =
+    check t;
+    let off = ref off and remaining = ref len in
+    while !remaining > 0 do
+      let room = t.page_size - Buffer.length t.buf in
+      let chunk = min room !remaining in
+      Buffer.add_substring t.buf s !off chunk;
+      off := !off + chunk;
+      remaining := !remaining - chunk;
+      if Buffer.length t.buf = t.page_size then flush_page t
+    done
+
+  let append_string t s = append_substring t s 0 (String.length s)
+  let append_bytes t b = append_string t (Bytes.to_string b)
+  let append_buffer t b = append_string t (Buffer.contents b)
+  let position t = t.flushed + Buffer.length t.buf
+
+  let finish t =
+    check t;
+    if Buffer.length t.buf > 0 then flush_page t;
+    t.finished <- true;
+    { pages = Array.of_list (List.rev t.pages); length = t.flushed }
+end
+
+let write_segment flash s =
+  let w = Writer.create flash in
+  Writer.append_string w s;
+  Writer.finish w
+
+module Reader = struct
+  type t = {
+    flash : Flash.t;
+    segment : segment;
+    page_size : int;
+    buffer_bytes : int;
+    window : Bytes.t;  (* cached window *)
+    mutable win_off : int;
+    mutable win_len : int;
+    ram : Ram.t option;
+    mutable cell : Ram.cell option;
+    mutable closed : bool;
+  }
+
+  let open_ ?ram ?buffer_bytes flash segment =
+    let page_size = (Flash.geometry flash).Flash.page_size in
+    let buffer_bytes = Option.value buffer_bytes ~default:page_size in
+    if buffer_bytes <= 0 then invalid_arg "Pager.Reader.open_: buffer_bytes <= 0";
+    let cell =
+      Option.map (fun r -> Ram.alloc r ~label:"pager-buffer" buffer_bytes) ram
+    in
+    {
+      flash;
+      segment;
+      page_size;
+      buffer_bytes;
+      window = Bytes.make buffer_bytes '\000';
+      win_off = 0;
+      win_len = 0;
+      ram;
+      cell;
+      closed = false;
+    }
+
+  let length t = t.segment.length
+
+  (* Copy [len] bytes at logical offset [off] into [dst] at [dst_off],
+     issuing one Flash read per touched page. *)
+  let fetch t ~off ~len dst dst_off =
+    let remaining = ref len and src = ref off and out = ref dst_off in
+    while !remaining > 0 do
+      let page_idx = !src / t.page_size in
+      let in_page = !src mod t.page_size in
+      let chunk = min !remaining (t.page_size - in_page) in
+      let data =
+        Flash.read t.flash ~page:t.segment.pages.(page_idx) ~off:in_page ~len:chunk
+      in
+      Bytes.blit data 0 dst !out chunk;
+      src := !src + chunk;
+      out := !out + chunk;
+      remaining := !remaining - chunk
+    done
+
+  let read t ~off ~len =
+    if t.closed then invalid_arg "Pager.Reader.read: closed";
+    if off < 0 || len < 0 || off + len > t.segment.length then
+      invalid_arg
+        (Printf.sprintf "Pager.Reader.read: [%d, %d) out of segment of %d bytes" off
+           (off + len) t.segment.length);
+    let out = Bytes.make len '\000' in
+    if len = 0 then out
+    else if off >= t.win_off && off + len <= t.win_off + t.win_len then begin
+      Bytes.blit t.window (off - t.win_off) out 0 len;
+      out
+    end
+    else if len >= t.buffer_bytes then begin
+      (* Too big to cache: stream straight through. *)
+      fetch t ~off ~len out 0;
+      out
+    end
+    else begin
+      let win_len = min t.buffer_bytes (t.segment.length - off) in
+      fetch t ~off ~len:win_len t.window 0;
+      t.win_off <- off;
+      t.win_len <- win_len;
+      Bytes.blit t.window 0 out 0 len;
+      out
+    end
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      match t.ram, t.cell with
+      | Some r, Some c -> Ram.free r c
+      | _, _ -> ()
+    end
+end
+
+let with_reader ?ram ?buffer_bytes flash segment f =
+  let r = Reader.open_ ?ram ?buffer_bytes flash segment in
+  match f r with
+  | v ->
+    Reader.close r;
+    v
+  | exception e ->
+    Reader.close r;
+    raise e

@@ -1,0 +1,1 @@
+lib/workload/csv_load.ml: Array Ghost_kernel Ghost_relation In_channel List Printf String

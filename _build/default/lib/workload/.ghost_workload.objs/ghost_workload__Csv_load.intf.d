@@ -1,0 +1,1 @@
+lib/workload/csv_load.mli: Ghost_relation

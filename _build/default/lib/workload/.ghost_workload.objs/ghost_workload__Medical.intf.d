@@ -1,0 +1,1 @@
+lib/workload/medical.mli: Ghost_kernel Ghost_relation

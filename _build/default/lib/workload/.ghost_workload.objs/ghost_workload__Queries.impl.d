@@ -1,0 +1,1 @@
+lib/workload/queries.ml: Ghost_kernel Medical Printf

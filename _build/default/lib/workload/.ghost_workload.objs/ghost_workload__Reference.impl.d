@@ -1,0 +1,1 @@
+lib/workload/reference.ml: Array Ghost_kernel Ghost_relation Ghost_sql Hashtbl Int List Printf

@@ -1,0 +1,1 @@
+lib/workload/reference.mli: Ghost_kernel Ghost_relation Ghost_sql

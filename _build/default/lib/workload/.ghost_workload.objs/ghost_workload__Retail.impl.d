@@ -1,0 +1,1 @@
+lib/workload/retail.ml: Array Float Ghost_kernel Ghost_relation Ghost_sql List Printf

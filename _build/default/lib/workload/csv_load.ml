@@ -1,0 +1,82 @@
+module Value = Ghost_kernel.Value
+module Date = Ghost_kernel.Date
+module Column = Ghost_relation.Column
+module Schema = Ghost_relation.Schema
+module Relation = Ghost_relation.Relation
+
+exception Csv_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Csv_error { line; message })) fmt
+
+let parse_value ~line (col : Column.t) raw =
+  let raw = String.trim raw in
+  match col.Column.ty with
+  | Value.T_int ->
+    (match int_of_string_opt raw with
+     | Some i -> Value.Int i
+     | None -> fail line "column %s: %S is not an integer" col.Column.name raw)
+  | Value.T_float ->
+    (match float_of_string_opt raw with
+     | Some f -> Value.Float f
+     | None -> fail line "column %s: %S is not a float" col.Column.name raw)
+  | Value.T_date ->
+    (try Value.Date (Date.of_string raw)
+     with Invalid_argument _ ->
+       fail line "column %s: %S is not a YYYY-MM-DD date" col.Column.name raw)
+  | Value.T_char n ->
+    if String.length raw > n then
+      fail line "column %s: %S exceeds CHAR(%d)" col.Column.name raw n;
+    Value.Str raw
+
+let parse_table ?(separator = ',') schema ~table text =
+  let tbl =
+    try Schema.find_table schema table
+    with Not_found -> fail 0 "unknown table %s" table
+  in
+  let cols = Schema.all_columns tbl in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "")
+  in
+  match lines with
+  | [] -> fail 0 "empty input (a header line is required)"
+  | (header_line, header) :: rows ->
+    let names = List.map String.trim (String.split_on_char separator header) in
+    if List.sort_uniq String.compare names <> List.sort String.compare names then
+      fail header_line "duplicate column in header";
+    List.iter
+      (fun (c : Column.t) ->
+         if not (List.mem c.Column.name names) then
+           fail header_line "header is missing column %s" c.Column.name)
+      cols;
+    List.iter
+      (fun name ->
+         if not (List.exists (fun (c : Column.t) -> c.Column.name = name) cols) then
+           fail header_line "header names unknown column %s" name)
+      names;
+    (* position of each schema column in the CSV line *)
+    let position name =
+      let rec loop i = function
+        | [] -> assert false
+        | n :: rest -> if n = name then i else loop (i + 1) rest
+      in
+      loop 0 names
+    in
+    List.map
+      (fun (line, text) ->
+         let fields = Array.of_list (String.split_on_char separator text) in
+         if Array.length fields <> List.length names then
+           fail line "expected %d fields, found %d" (List.length names)
+             (Array.length fields);
+         Array.of_list
+           (List.map
+              (fun (c : Column.t) ->
+                 parse_value ~line c fields.(position c.Column.name))
+              cols))
+      rows
+
+let parse_file ?separator schema ~table path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  parse_table ?separator schema ~table text

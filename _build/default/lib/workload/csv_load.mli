@@ -1,0 +1,24 @@
+module Schema = Ghost_relation.Schema
+module Relation = Ghost_relation.Relation
+
+(** Minimal CSV ingestion: turn delimiter-separated text into
+    loader-ready tuples, typed against the schema.
+
+    Format: first line is a header naming every column of the table
+    (key included, any order); each further non-empty line is one row.
+    Values are parsed by column type — INTEGER and FLOAT literals,
+    DATE as [YYYY-MM-DD], CHAR(n) taken verbatim. No quoting: the
+    separator must not occur inside values (use a tab separator for
+    free-text columns). *)
+
+exception Csv_error of { line : int; message : string }
+
+val parse_table :
+  ?separator:char -> Schema.t -> table:string -> string -> Relation.tuple list
+(** [parse_table schema ~table text] — tuples in schema layout (key
+    first). Raises {!Csv_error} with a 1-based line number on malformed
+    input. *)
+
+val parse_file :
+  ?separator:char -> Schema.t -> table:string -> string -> Relation.tuple list
+(** Same, reading from a file path. *)

@@ -1,0 +1,55 @@
+module Date = Ghost_kernel.Date
+
+let demo_with ?(date_selectivity = 0.05) ?(purpose = "Sclerosis")
+    ?(med_type = "Antibiotic") () =
+  let cutoff = Medical.date_cutoff_for_selectivity date_selectivity in
+  Printf.sprintf
+    {|SELECT Med.Name, Pre.Quantity, Vis.Date
+FROM Medicine Med, Prescription Pre, Visit Vis
+WHERE Vis.Date > '%s'
+  AND Vis.Purpose = '%s'
+  AND Med.Type = '%s'
+  AND Med.MedID = Pre.MedID
+  AND Vis.VisID = Pre.VisID|}
+    (Date.to_string cutoff) purpose med_type
+
+let demo = demo_with ~date_selectivity:0.05 ()
+
+let all = [
+  ("demo", demo);
+  ( "hidden_only",
+    {|SELECT Pre.PreID, Pre.Quantity
+FROM Prescription Pre, Visit Vis
+WHERE Vis.Purpose = 'Sclerosis' AND Vis.VisID = Pre.VisID|} );
+  ( "visible_only",
+    {|SELECT Med.Name, Pre.Frequency
+FROM Medicine Med, Prescription Pre
+WHERE Med.Type = 'Antibiotic' AND Med.MedID = Pre.MedID|} );
+  ( "deep_climb",
+    {|SELECT Pre.PreID, Doc.Name
+FROM Prescription Pre, Visit Vis, Doctor Doc
+WHERE Doc.Country = 'Spain'
+  AND Vis.DocID = Doc.DocID AND Pre.VisID = Vis.VisID|} );
+  ( "doctor_patient",
+    {|SELECT Doc.Name, Pat.Age
+FROM Doctor Doc, Patient Pat, Visit Vis
+WHERE Doc.Country = 'Spain' AND Pat.Age > 60
+  AND Vis.DocID = Doc.DocID AND Vis.PatID = Pat.PatID|} );
+  ( "range_hidden",
+    {|SELECT Pre.PreID, Pre.Quantity
+FROM Prescription Pre
+WHERE Pre.Quantity BETWEEN 8 AND 10|} );
+  ( "single_table_visible",
+    {|SELECT Doc.Name, Doc.Speciality
+FROM Doctor Doc
+WHERE Doc.Country = 'France'|} );
+  ( "five_way",
+    {|SELECT Med.Name, Doc.Name, Pat.Age, Vis.Date, Pre.Quantity
+FROM Medicine Med, Prescription Pre, Visit Vis, Doctor Doc, Patient Pat
+WHERE Vis.Purpose = 'Diabetes'
+  AND Med.Type = 'Antibiotic'
+  AND Pat.Age > 50
+  AND Doc.Country = 'France'
+  AND Med.MedID = Pre.MedID AND Vis.VisID = Pre.VisID
+  AND Vis.DocID = Doc.DocID AND Vis.PatID = Pat.PatID|} );
+]

@@ -1,0 +1,20 @@
+(** The demonstration query set.
+
+    [demo] is the paper's Section 4 example; the others exercise every
+    strategy dimension: visible/hidden mixes at different levels of the
+    tree, ranges, single-table selections, and the deep Doctor–Patient
+    linkage the demo's privacy story is about. *)
+
+val demo : string
+(** SELECT Med.Name, Pre.Quantity, Vis.Date ... (the paper's
+    query verbatim, with a 2006-11-05 date cutoff). *)
+
+val demo_with :
+  ?date_selectivity:float -> ?purpose:string -> ?med_type:string -> unit -> string
+(** The demo query with tunable predicate parameters:
+    [date_selectivity] picks the Vis.Date cutoff (fraction of visits
+    selected); [purpose] and [med_type] replace the hidden/visible
+    equality constants. *)
+
+val all : (string * string) list
+(** [(name, sql)] — the full suite. *)

@@ -1,0 +1,111 @@
+module Value = Ghost_kernel.Value
+module Schema = Ghost_relation.Schema
+module Relation = Ghost_relation.Relation
+module Predicate = Ghost_relation.Predicate
+module Bind = Ghost_sql.Bind
+
+type db = (string * Relation.t) list
+
+let db_of_rows schema tables_with_rows =
+  List.map
+    (fun (name, rows) -> (name, Relation.create (Schema.find_table schema name) rows))
+    tables_with_rows
+
+let run schema db (q : Bind.query) =
+  let rel name =
+    try List.assoc name db
+    with Not_found -> invalid_arg (Printf.sprintf "Reference.run: no data for %s" name)
+  in
+  let top = Schema.subtree_root schema q.Bind.tables in
+  if not (List.mem top q.Bind.tables) then
+    invalid_arg
+      (Printf.sprintf
+         "Reference.run: subtree root %s is not in the FROM clause (disconnected query)"
+         top);
+  (* Edges in an order that always extends from an already-bound table;
+     q.join_edges are (parent, child) with parent closer to the root. *)
+  let rec order bound remaining =
+    match remaining with
+    | [] -> []
+    | _ ->
+      let ready, later =
+        List.partition (fun (p, _) -> List.mem p bound) remaining
+      in
+      if ready = [] then
+        invalid_arg "Reference.run: join edges do not form a connected tree";
+      ready @ order (bound @ List.map snd ready) later
+  in
+  let edges = order [ top ] q.Bind.join_edges in
+  let fk_col_of parent child =
+    match List.assoc_opt child (Schema.children schema parent) with
+    | Some fk -> fk
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Reference.run: %s -> %s is not a schema edge" parent child)
+  in
+  let top_rel = rel top in
+  let results = ref [] in
+  Relation.iter
+    (fun top_row ->
+       (* Bind every FROM table's row by walking the edges. *)
+       let env = Hashtbl.create 8 in
+       Hashtbl.replace env top top_row;
+       let ok =
+         List.for_all
+           (fun (parent, child) ->
+              match Hashtbl.find_opt env parent with
+              | None -> false
+              | Some parent_row ->
+                let parent_rel = rel parent in
+                (match Relation.value parent_rel parent_row (fk_col_of parent child) with
+                 | Value.Int fk ->
+                   (match Relation.find (rel child) fk with
+                    | Some child_row ->
+                      Hashtbl.replace env child child_row;
+                      true
+                    | None -> false)
+                 | Value.Null | Value.Float _ | Value.Date _ | Value.Str _ -> false))
+           edges
+       in
+       if ok then begin
+         let selected =
+           List.for_all
+             (fun (p : Predicate.t) ->
+                match Hashtbl.find_opt env p.Predicate.table with
+                | None -> invalid_arg "Reference.run: predicate on unbound table"
+                | Some row ->
+                  Predicate.holds p (Relation.value (rel p.Predicate.table) row p.Predicate.column))
+             q.Bind.selections
+         in
+         if selected then begin
+           let row =
+             Array.of_list
+               (List.map
+                  (fun (table, column) ->
+                     match Hashtbl.find_opt env table with
+                     | None -> invalid_arg "Reference.run: projection on unbound table"
+                     | Some r -> Relation.value (rel table) r column)
+                  q.Bind.projections)
+           in
+           results := row :: !results
+         end
+       end)
+    top_rel;
+  let rows =
+    match q.Bind.aggregate with
+    | None -> !results
+    | Some spec -> Ghost_sql.Aggregate.apply spec !results
+  in
+  Ghost_sql.Postproc.apply ~order_by:q.Bind.order_by ~limit:q.Bind.limit rows
+
+let compare_rows (a : Value.t array) (b : Value.t array) =
+  let rec loop i =
+    if i >= Array.length a || i >= Array.length b then
+      Int.compare (Array.length a) (Array.length b)
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let sort_rows rows = List.sort compare_rows rows

@@ -1,0 +1,21 @@
+module Value = Ghost_kernel.Value
+module Schema = Ghost_relation.Schema
+module Relation = Ghost_relation.Relation
+module Bind = Ghost_sql.Bind
+
+(** Reference query evaluator: a naive, trusted, in-memory
+    implementation of the SPJ semantics over the full (hidden +
+    visible) data. The test suite checks that {e every} device plan
+    returns the same multiset of tuples as this evaluator. *)
+
+type db = (string * Relation.t) list
+
+val db_of_rows : Schema.t -> (string * Relation.tuple list) list -> db
+
+val run : Schema.t -> db -> Bind.query -> Value.t array list
+(** One output row per tuple of the query's top table that joins to
+    satisfying tuples in every other FROM table, projected as the
+    query lists. Order unspecified. *)
+
+val sort_rows : Value.t array list -> Value.t array list
+(** Canonical order, for multiset comparison. *)

@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Alcotest Ghost_kernel Ghost_relation Ghost_sql Ghost_workload Ghostdb Lazy List

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Ghost_baseline Ghost_device Ghost_workload Ghostdb Lazy List Printf

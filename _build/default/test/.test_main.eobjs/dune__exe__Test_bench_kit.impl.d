@@ -1,0 +1,1 @@
+test/test_bench_kit.ml: Alcotest Ghost_bench Ghost_workload List String

@@ -1,0 +1,1 @@
+test/test_bloom.ml: Alcotest Array Float Ghost_bloom Ghost_kernel List Printf QCheck QCheck_alcotest

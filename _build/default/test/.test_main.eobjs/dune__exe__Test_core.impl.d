@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Ghost_device Ghost_kernel Ghost_public Ghost_relation Ghost_workload Ghostdb Lazy List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array Float Ghost_device Ghost_flash Ghost_kernel Ghost_relation Ghost_workload Ghostdb Lazy List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Array Ghost_kernel Ghost_relation Ghost_workload Ghostdb List

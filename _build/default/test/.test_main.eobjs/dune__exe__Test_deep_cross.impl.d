@@ -1,0 +1,1 @@
+test/test_deep_cross.ml: Alcotest Ghost_kernel Ghost_relation Ghost_workload Ghostdb Lazy List Printf String

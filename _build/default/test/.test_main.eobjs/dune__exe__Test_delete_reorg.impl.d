@@ -1,0 +1,1 @@
+test/test_delete_reorg.ml: Alcotest Array Ghost_device Ghost_kernel Ghost_workload Ghostdb List Printf

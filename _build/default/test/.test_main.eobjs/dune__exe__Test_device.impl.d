@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Bytes Ghost_device Ghost_flash List

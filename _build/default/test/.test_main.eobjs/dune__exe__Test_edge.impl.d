@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Ghost_device Ghost_kernel Ghost_relation Ghost_workload Ghostdb Lazy List String

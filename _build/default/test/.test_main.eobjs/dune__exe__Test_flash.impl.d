@@ -1,0 +1,1 @@
+test/test_flash.ml: Alcotest Bytes Float Ghost_flash List QCheck QCheck_alcotest String

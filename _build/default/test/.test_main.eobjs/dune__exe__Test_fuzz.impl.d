@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Char Fun Ghost_sql Ghost_workload Lazy List QCheck QCheck_alcotest String

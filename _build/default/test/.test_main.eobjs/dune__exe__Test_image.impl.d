@@ -1,0 +1,1 @@
+test/test_image.ml: Alcotest Filename Ghost_kernel Ghost_workload Ghostdb In_channel List Out_channel String Sys

@@ -1,0 +1,1 @@
+test/test_insert.ml: Alcotest Ghost_baseline Ghost_device Ghost_flash Ghost_kernel Ghost_workload Ghostdb List

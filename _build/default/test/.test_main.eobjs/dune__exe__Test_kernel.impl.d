@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Buffer Bytes Float Ghost_kernel Int List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_like.ml: Alcotest Ghost_kernel Ghost_relation Ghost_sql Ghost_workload Ghostdb Lazy List

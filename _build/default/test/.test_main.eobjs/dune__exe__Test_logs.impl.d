@@ -1,0 +1,1 @@
+test/test_logs.ml: Alcotest Array Ghost_flash Ghost_kernel Ghostdb List Printf

@@ -1,0 +1,1 @@
+test/test_order_limit.ml: Alcotest Array Ghost_kernel Ghost_sql Ghost_workload Ghostdb Int Lazy List String

@@ -1,0 +1,1 @@
+test/test_public.ml: Alcotest Array Ghost_device Ghost_kernel Ghost_public Ghost_relation List

@@ -1,0 +1,1 @@
+test/test_random_schema.ml: Array Float Ghost_device Ghost_kernel Ghost_relation Ghost_workload Ghostdb List Printf QCheck QCheck_alcotest String

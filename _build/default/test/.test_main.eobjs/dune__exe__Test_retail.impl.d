@@ -1,0 +1,1 @@
+test/test_retail.ml: Alcotest Ghost_device Ghost_relation Ghost_sql Ghost_workload Ghostdb Lazy List

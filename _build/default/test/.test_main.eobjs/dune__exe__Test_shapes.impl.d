@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Array Ghost_kernel Ghost_relation Ghost_workload Ghostdb List Printf

@@ -1,0 +1,1 @@
+test/test_spill.ml: Alcotest Ghost_device Ghost_flash Ghost_workload Ghostdb List Printf

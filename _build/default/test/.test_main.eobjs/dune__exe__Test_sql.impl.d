@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Ghost_kernel Ghost_relation Ghost_sql Ghost_workload List

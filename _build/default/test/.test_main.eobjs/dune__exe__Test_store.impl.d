@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Bytes Char Ghost_device Ghost_flash Ghost_kernel Ghost_relation Ghost_store Int List Option QCheck QCheck_alcotest String

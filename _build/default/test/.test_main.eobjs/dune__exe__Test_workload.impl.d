@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Ghost_kernel Ghost_relation Ghost_sql Ghost_workload Lazy List

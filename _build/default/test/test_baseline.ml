@@ -1,0 +1,80 @@
+(* Baseline correctness + the paper's performance claim: both
+   last-resort algorithms return the reference rows and lose to the
+   GhostDB executor. *)
+
+module Ram = Ghost_device.Ram
+module Device = Ghost_device.Device
+module Medical = Ghost_workload.Medical
+module Queries = Ghost_workload.Queries
+module Reference = Ghost_workload.Reference
+module Ghost_db = Ghostdb.Ghost_db
+module Exec = Ghostdb.Exec
+module Baseline = Ghost_baseline.Baseline
+
+let check = Alcotest.check
+
+let instance =
+  lazy
+    (let rows = Medical.generate Medical.tiny in
+     let db = Ghost_db.of_schema (Medical.schema ()) rows in
+     let refdb = Reference.db_of_rows (Ghost_db.schema db) rows in
+     (db, refdb))
+
+let rows_equal got expected = Reference.sort_rows got = Reference.sort_rows expected
+
+let run_baseline db algo sql =
+  Baseline.run algo (Ghost_db.catalog db) (Ghost_db.public db) (Ghost_db.bind db sql)
+
+let test_baselines_match_reference () =
+  let db, refdb = Lazy.force instance in
+  List.iter
+    (fun (name, sql) ->
+       let expected =
+         Reference.run (Ghost_db.schema db) refdb (Ghost_db.bind db sql)
+       in
+       List.iter
+         (fun algo ->
+            let r = run_baseline db algo sql in
+            if not (rows_equal r.Baseline.rows expected) then
+              Alcotest.failf "%s via %s: %d rows, reference %d rows" name
+                (Baseline.algorithm_name algo) r.Baseline.row_count
+                (List.length expected);
+            check Alcotest.int
+              (name ^ " ram released (" ^ Baseline.algorithm_name algo ^ ")")
+              0
+              (Ram.in_use (Device.ram (Ghost_db.device db))))
+         [ Baseline.Grace_hash; Baseline.Sort_merge ])
+    Queries.all
+
+let test_baselines_slower_than_ghostdb () =
+  let db, _ = Lazy.force instance in
+  let sql = Queries.demo_with ~date_selectivity:0.1 () in
+  let ghost = Ghost_db.query db sql in
+  let hash = run_baseline db Baseline.Grace_hash sql in
+  let merge = run_baseline db Baseline.Sort_merge sql in
+  check Alcotest.bool
+    (Printf.sprintf "grace hash slower (ghost %.0f vs hash %.0f us)"
+       ghost.Exec.elapsed_us hash.Baseline.elapsed_us)
+    true
+    (hash.Baseline.elapsed_us > ghost.Exec.elapsed_us);
+  check Alcotest.bool
+    (Printf.sprintf "sort merge slower (ghost %.0f vs merge %.0f us)"
+       ghost.Exec.elapsed_us merge.Baseline.elapsed_us)
+    true
+    (merge.Baseline.elapsed_us > ghost.Exec.elapsed_us)
+
+let test_baseline_privacy () =
+  let db, _ = Lazy.force instance in
+  Ghost_db.clear_trace db;
+  ignore (run_baseline db Baseline.Grace_hash Queries.demo);
+  ignore (run_baseline db Baseline.Sort_merge Queries.demo);
+  let verdict = Ghost_db.audit db in
+  check Alcotest.bool "baselines leak nothing either" true verdict.Ghostdb.Privacy.ok
+
+let suite = [
+  Alcotest.test_case "baselines match reference on all queries" `Slow
+    test_baselines_match_reference;
+  Alcotest.test_case "baselines slower than GhostDB" `Quick
+    test_baselines_slower_than_ghostdb;
+  Alcotest.test_case "baselines pass the privacy audit" `Quick test_baseline_privacy;
+]

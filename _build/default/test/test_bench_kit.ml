@@ -1,0 +1,65 @@
+(* Report formatting and experiment harness smoke tests. *)
+
+module Report = Ghost_bench.Report
+module Experiments = Ghost_bench.Experiments
+module Medical = Ghost_workload.Medical
+
+let check = Alcotest.check
+
+let test_report_rendering () =
+  let r =
+    Report.make ~id:"X1" ~title:"demo" ~header:[ "a"; "bb" ]
+      ~notes:[ "a note" ]
+      [ [ "1"; "2" ]; [ "10"; "20" ] ]
+  in
+  let text = Report.to_string r in
+  let contains sub =
+    let n = String.length sub in
+    let rec loop i = i + n <= String.length text && (String.sub text i n = sub || loop (i + 1)) in
+    loop 0
+  in
+  check Alcotest.bool "title" true (contains "== X1: demo ==");
+  check Alcotest.bool "note" true (contains "note: a note");
+  check Alcotest.bool "cells" true (contains "10" && contains "20")
+
+let test_unit_rendering () =
+  check Alcotest.string "us" "123 us" (Report.us 123.);
+  check Alcotest.string "ms" "12.3 ms" (Report.us 12_300.);
+  check Alcotest.string "s" "2.50 s" (Report.us 2_500_000.);
+  check Alcotest.string "b" "123 B" (Report.bytes 123);
+  check Alcotest.string "kb" "12.0 KB" (Report.bytes (12 * 1024));
+  check Alcotest.string "mb" "3.0 MB" (Report.bytes (3 * 1024 * 1024));
+  check Alcotest.string "factor" "x2.5" (Report.factor 2.5)
+
+(* Each experiment must produce a well-formed, non-empty table at tiny
+   scale (the shapes themselves are asserted by the sweep tests; here
+   we guard the harness plumbing). *)
+let test_experiments_run_at_tiny_scale () =
+  let scale = Medical.tiny in
+  let reports = [
+    Experiments.fig6_plans ~scale ();
+    Experiments.operator_stats ~scale ();
+    Experiments.privacy_trace ~scale ();
+    Experiments.baseline_compare ~scale ();
+    Experiments.storage_overhead ~scales:[ scale ] ();
+    Experiments.insert_sweep ~scale ();
+    Experiments.ablation_exact_post ~scale ();
+    Experiments.ablation_bloom_fpr ~scale ();
+    Experiments.ablation_hidden_fk_indexes ~scale ();
+  ] in
+  List.iter
+    (fun (r : Report.t) ->
+       check Alcotest.bool (r.Report.id ^ " has rows") true (r.Report.rows <> []);
+       let w = List.length r.Report.header in
+       List.iter
+         (fun row ->
+            check Alcotest.int (r.Report.id ^ " row width") w (List.length row))
+         r.Report.rows)
+    reports
+
+let suite = [
+  Alcotest.test_case "report rendering" `Quick test_report_rendering;
+  Alcotest.test_case "unit rendering" `Quick test_unit_rendering;
+  Alcotest.test_case "experiments run at tiny scale" `Slow
+    test_experiments_run_at_tiny_scale;
+]

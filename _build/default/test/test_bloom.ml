@@ -1,0 +1,81 @@
+(* Tests for Bloom filters. *)
+
+module Bloom = Ghost_bloom.Bloom
+module Value = Ghost_kernel.Value
+module Rng = Ghost_kernel.Rng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let prop_no_false_negatives =
+  QCheck.Test.make ~name:"bloom has no false negatives" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 200) int)
+    (fun keys ->
+       let b = Bloom.create ~m_bits:4096 ~k:4 in
+       List.iter (Bloom.add b) keys;
+       List.for_all (Bloom.mem b) keys)
+
+let test_fpr_within_bound () =
+  let n = 1000 in
+  let m_bits = Bloom.bits_for_fpr ~n ~fpr:0.01 in
+  let b = Bloom.create ~m_bits ~k:(Bloom.optimal_k ~m_bits ~n) in
+  let rng = Rng.create 99 in
+  let members = Array.init n (fun i -> i) in
+  Array.iter (Bloom.add b) members;
+  (* probe 10_000 non-members *)
+  let false_positives = ref 0 in
+  let probes = 10_000 in
+  for _ = 1 to probes do
+    let probe = n + 1 + Rng.int rng 1_000_000 in
+    if Bloom.mem b probe then incr false_positives
+  done;
+  let measured = Float.of_int !false_positives /. Float.of_int probes in
+  check Alcotest.bool
+    (Printf.sprintf "measured fpr %.4f < 0.03" measured)
+    true (measured < 0.03);
+  let predicted = Bloom.estimated_fpr b ~n in
+  check Alcotest.bool "prediction in the ballpark" true
+    (Float.abs (predicted -. 0.01) < 0.01)
+
+let test_sizing () =
+  let b = Bloom.sized_for ~budget_bytes:1024 ~n:500 in
+  check Alcotest.int "ram footprint" 1024 (Bloom.size_bytes b);
+  check Alcotest.int "m bits" 8192 (Bloom.m_bits b);
+  check Alcotest.bool "k reasonable" true (Bloom.k b >= 1 && Bloom.k b <= 30)
+
+let test_smaller_ram_worse_fpr () =
+  let n = 2000 in
+  let big = Bloom.sized_for ~budget_bytes:4096 ~n in
+  let small = Bloom.sized_for ~budget_bytes:256 ~n in
+  check Alcotest.bool "fpr degrades with ram" true
+    (Bloom.estimated_fpr small ~n > Bloom.estimated_fpr big ~n)
+
+let test_values () =
+  let b = Bloom.create ~m_bits:2048 ~k:3 in
+  Bloom.add_value b (Value.Str "Antibiotic");
+  check Alcotest.bool "member" true (Bloom.mem_value b (Value.Str "Antibiotic"));
+  check Alcotest.bool "padding-insensitive" true
+    (Bloom.mem_value b (Value.Str "Antibiotic\000\000"))
+
+let test_invalid_args () =
+  Alcotest.check_raises "m_bits" (Invalid_argument "Bloom.create: m_bits <= 0")
+    (fun () -> ignore (Bloom.create ~m_bits:0 ~k:1));
+  Alcotest.check_raises "fpr" (Invalid_argument "Bloom.bits_for_fpr: fpr out of (0,1)")
+    (fun () -> ignore (Bloom.bits_for_fpr ~n:10 ~fpr:1.5))
+
+let test_count_set_bits () =
+  let b = Bloom.create ~m_bits:64 ~k:2 in
+  check Alcotest.int "empty" 0 (Bloom.count_set_bits b);
+  Bloom.add b 42;
+  check Alcotest.bool "some bits set" true
+    (Bloom.count_set_bits b >= 1 && Bloom.count_set_bits b <= 2)
+
+let suite = [
+  qtest prop_no_false_negatives;
+  Alcotest.test_case "fpr within bound" `Quick test_fpr_within_bound;
+  Alcotest.test_case "sizing for budget" `Quick test_sizing;
+  Alcotest.test_case "smaller ram, worse fpr" `Quick test_smaller_ram_worse_fpr;
+  Alcotest.test_case "value api" `Quick test_values;
+  Alcotest.test_case "invalid args" `Quick test_invalid_args;
+  Alcotest.test_case "count set bits" `Quick test_count_set_bits;
+]

@@ -1,0 +1,233 @@
+(* End-to-end tests of the GhostDB core: loader, planner, executor,
+   privacy — every candidate plan must return exactly the reference
+   evaluator's rows. *)
+
+module Value = Ghost_kernel.Value
+module Rng = Ghost_kernel.Rng
+module Ram = Ghost_device.Ram
+module Device = Ghost_device.Device
+module Predicate = Ghost_relation.Predicate
+module Medical = Ghost_workload.Medical
+module Queries = Ghost_workload.Queries
+module Reference = Ghost_workload.Reference
+module Ghost_db = Ghostdb.Ghost_db
+module Catalog = Ghostdb.Catalog
+module Planner = Ghostdb.Planner
+module Plan = Ghostdb.Plan
+module Exec = Ghostdb.Exec
+module Cost = Ghostdb.Cost
+module Privacy = Ghostdb.Privacy
+module Col_stats = Ghostdb.Col_stats
+
+let check = Alcotest.check
+
+(* One shared tiny instance (loading is the expensive part). *)
+let instance =
+  lazy
+    (let rows = Medical.generate Medical.tiny in
+     let db = Ghost_db.of_schema (Medical.schema ()) rows in
+     let refdb = Reference.db_of_rows (Ghost_db.schema db) rows in
+     (db, refdb))
+
+let rows_equal got expected =
+  Reference.sort_rows got = Reference.sort_rows expected
+
+let reference_rows db refdb sql =
+  Reference.run (Ghost_db.schema db) refdb (Ghost_db.bind db sql)
+
+let check_query_all_plans name sql =
+  let db, refdb = Lazy.force instance in
+  let expected = reference_rows db refdb sql in
+  let panel = Ghost_db.plans db sql in
+  check Alcotest.bool (name ^ ": panel non-empty") true (panel <> []);
+  List.iter
+    (fun (plan, _est) ->
+       let result = Ghost_db.run_plan db plan in
+       if not (rows_equal result.Exec.rows expected) then
+         Alcotest.failf "%s: plan [%s] returned %d rows, reference %d rows" name
+           plan.Plan.label (List.length result.Exec.rows) (List.length expected);
+       check Alcotest.int
+         (name ^ " ram released after [" ^ plan.Plan.label ^ "]")
+         0
+         (Ram.in_use (Device.ram (Ghost_db.device db))))
+    panel
+
+let test_all_queries_all_plans () =
+  List.iter (fun (name, sql) -> check_query_all_plans name sql) Queries.all
+
+let test_optimizer_pick_runs () =
+  let db, refdb = Lazy.force instance in
+  let expected = reference_rows db refdb Queries.demo in
+  let result = Ghost_db.query db Queries.demo in
+  check Alcotest.bool "optimizer plan correct" true (rows_equal result.Exec.rows expected);
+  check Alcotest.bool "has operators" true (List.length result.Exec.ops >= 3);
+  check Alcotest.bool "positive simulated time" true (result.Exec.elapsed_us > 0.)
+
+let test_nonempty_results () =
+  (* Guard against vacuous comparisons: the demo query must actually
+     select something at tiny scale. *)
+  let db, refdb = Lazy.force instance in
+  let sql =
+    Queries.demo_with ~date_selectivity:0.8 ~purpose:"Checkup" ~med_type:"Analgesic" ()
+  in
+  let expected = reference_rows db refdb sql in
+  check Alcotest.bool "demo-shaped query selects rows" true (List.length expected > 0);
+  let result = Ghost_db.query db sql in
+  check Alcotest.bool "and the engine returns them" true
+    (rows_equal result.Exec.rows expected)
+
+let test_canonical_plans_differ () =
+  let db, _ = Lazy.force instance in
+  let q = Ghost_db.bind db Queries.demo in
+  let cat = Ghost_db.catalog db in
+  let p1 = Planner.all_pre cat q in
+  let p2 = Planner.all_post cat q in
+  check Alcotest.bool "labels differ" true (p1.Plan.label <> p2.Plan.label);
+  let r1 = Ghost_db.run_plan db p1 in
+  let r2 = Ghost_db.run_plan db p2 in
+  check Alcotest.bool "same answer" true
+    (rows_equal r1.Exec.rows r2.Exec.rows);
+  (* all_post must have built at least one Bloom filter *)
+  check Alcotest.bool "post plan uses bloom" true
+    (List.exists
+       (fun o -> String.length o.Exec.op_label >= 5 && String.sub o.Exec.op_label 0 5 = "Bloom")
+       r2.Exec.ops)
+
+let test_privacy_audit () =
+  let db, _ = Lazy.force instance in
+  Ghost_db.clear_trace db;
+  List.iter (fun (_, sql) -> ignore (Ghost_db.query db sql)) Queries.all;
+  let verdict = Ghost_db.audit db in
+  if not verdict.Privacy.ok then
+    Alcotest.failf "privacy audit failed: %s" (String.concat "; " verdict.Privacy.violations);
+  check Alcotest.int "no outbound payload" 0 verdict.Privacy.outbound_payload_bytes;
+  check Alcotest.bool "visible data entered the device" true (verdict.Privacy.inbound_bytes > 0)
+
+let test_spy_sees_only_public () =
+  let db, _ = Lazy.force instance in
+  Ghost_db.clear_trace db;
+  ignore (Ghost_db.query db Queries.demo);
+  let report = Ghost_db.spy_report db in
+  check Alcotest.int "device leaked nothing" 0
+    report.Ghost_public.Spy.device_outbound_payload_bytes;
+  check Alcotest.bool "spy saw the query" true
+    (report.Ghost_public.Spy.queries_observed <> [])
+
+let test_hidden_predicates_never_reach_public () =
+  (* Defense in depth: asking the public store for a hidden column
+     raises. *)
+  let db, _ = Lazy.force instance in
+  let public = Ghost_db.public db in
+  try
+    ignore
+      (Ghost_public.Public_store.select_ids public ~trace:(Ghost_db.trace db)
+         (Predicate.make ~table:"Visit" ~column:"Purpose"
+            (Predicate.Eq (Value.Str "Sclerosis"))));
+    Alcotest.fail "expected Hidden_column"
+  with Ghost_public.Public_store.Hidden_column { table = "Visit"; column = "Purpose" } -> ()
+
+let test_storage_report () =
+  let db, _ = Lazy.force instance in
+  let s = Ghost_db.storage db in
+  check Alcotest.bool "base data stored" true (s.Catalog.base_bytes > 0);
+  check Alcotest.bool "skts stored" true (s.Catalog.skt_bytes > 0);
+  check Alcotest.bool "indexes stored" true (s.Catalog.attr_index_bytes > 0);
+  check Alcotest.bool "key indexes stored" true (s.Catalog.key_index_bytes > 0)
+
+let test_op_stats_consistency () =
+  let db, _ = Lazy.force instance in
+  let result = Ghost_db.query db Queries.demo in
+  List.iter
+    (fun o ->
+       check Alcotest.bool (o.Exec.op_label ^ " time >= 0") true
+         (o.Exec.usage.Device.total_us >= 0.);
+       check Alcotest.bool (o.Exec.op_label ^ " ram >= 0") true (o.Exec.ram_peak >= 0))
+    result.Exec.ops;
+  let sum_ops =
+    List.fold_left (fun acc o -> acc +. o.Exec.usage.Device.total_us) 0. result.Exec.ops
+  in
+  check Alcotest.bool "ops time <= total" true (sum_ops <= result.Exec.elapsed_us +. 1e-6)
+
+let test_exact_post_blocks_bloom_fps () =
+  (* With a deliberately terrible Bloom filter, exact verification must
+     still give the correct answer. *)
+  let db, refdb = Lazy.force instance in
+  let sql = Queries.demo_with ~date_selectivity:0.4 () in
+  let expected = reference_rows db refdb sql in
+  let cat = Ghost_db.catalog db in
+  let plan = Planner.all_post cat (Ghost_db.bind db sql) in
+  let result = Ghost_db.run_plan db ~bloom_fpr:0.9 plan in
+  check Alcotest.bool "exact despite terrible bloom" true
+    (rows_equal result.Exec.rows expected)
+
+let test_estimates_are_finite () =
+  let db, _ = Lazy.force instance in
+  List.iter
+    (fun (_, sql) ->
+       List.iter
+         (fun (_, est) ->
+            check Alcotest.bool "finite" true (Float.is_finite est.Cost.est_time_us);
+            check Alcotest.bool "non-negative" true (est.Cost.est_time_us >= 0.))
+         (Ghost_db.plans db sql))
+    Queries.all
+
+(* ---- randomized plan/query property ---- *)
+
+let random_query rng =
+  let purpose = Medical.purposes.(Rng.int rng (Array.length Medical.purposes)) in
+  let med_type = Medical.medicine_types.(Rng.int rng (Array.length Medical.medicine_types)) in
+  let sel = [| 0.01; 0.1; 0.3; 0.7 |].(Rng.int rng 4) in
+  match Rng.int rng 4 with
+  | 0 -> Queries.demo_with ~date_selectivity:sel ~purpose ~med_type ()
+  | 1 ->
+    Printf.sprintf
+      "SELECT Pre.PreID, Pat.Age FROM Prescription Pre, Visit Vis, Patient Pat WHERE \
+       Pat.Age > %d AND Vis.Purpose = '%s' AND Pre.VisID = Vis.VisID AND Vis.PatID = \
+       Pat.PatID"
+      (Rng.int_in rng 20 80) purpose
+  | 2 ->
+    Printf.sprintf
+      "SELECT Vis.VisID, Vis.Date FROM Visit Vis WHERE Vis.Purpose = '%s' AND \
+       Vis.Date > '%s'"
+      purpose
+      (Ghost_kernel.Date.to_string (Medical.date_cutoff_for_selectivity sel))
+  | _ ->
+    Printf.sprintf
+      "SELECT Med.Name, Pre.Quantity FROM Medicine Med, Prescription Pre WHERE \
+       Med.Type = '%s' AND Pre.Quantity BETWEEN %d AND 10 AND Med.MedID = Pre.MedID"
+      med_type (Rng.int_in rng 1 9)
+
+let prop_random_plans_match_reference =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"random query: every plan = reference" ~count:25
+       QCheck.(int_range 0 10_000)
+       (fun seed ->
+          let db, refdb = Lazy.force instance in
+          let rng = Rng.create seed in
+          let sql = random_query rng in
+          let expected = reference_rows db refdb sql in
+          let panel = Ghost_db.plans db sql in
+          (* run up to 6 random plans from the panel *)
+          let picked =
+            List.filteri (fun i _ -> i < 6) (List.sort_uniq compare panel)
+          in
+          List.for_all
+            (fun (plan, _) ->
+               let result = Ghost_db.run_plan db plan in
+               rows_equal result.Exec.rows expected)
+            picked))
+
+let suite = [
+  Alcotest.test_case "all queries x all plans = reference" `Slow test_all_queries_all_plans;
+  Alcotest.test_case "optimizer pick runs" `Quick test_optimizer_pick_runs;
+  Alcotest.test_case "demo query non-vacuous" `Quick test_nonempty_results;
+  Alcotest.test_case "canonical plans differ, agree on answer" `Quick test_canonical_plans_differ;
+  Alcotest.test_case "privacy audit over full suite" `Quick test_privacy_audit;
+  Alcotest.test_case "spy sees only public data" `Quick test_spy_sees_only_public;
+  Alcotest.test_case "hidden predicates rejected publicly" `Quick test_hidden_predicates_never_reach_public;
+  Alcotest.test_case "storage report" `Quick test_storage_report;
+  Alcotest.test_case "operator stats consistency" `Quick test_op_stats_consistency;
+  Alcotest.test_case "exact post beats bad bloom" `Quick test_exact_post_blocks_bloom_fps;
+  Alcotest.test_case "cost estimates finite" `Quick test_estimates_are_finite;
+  prop_random_plans_match_reference;
+]

@@ -1,0 +1,93 @@
+(* CSV ingestion. *)
+
+module Value = Ghost_kernel.Value
+module Schema = Ghost_relation.Schema
+module Column = Ghost_relation.Column
+module Csv_load = Ghost_workload.Csv_load
+
+let check = Alcotest.check
+
+let schema () =
+  Schema.create
+    [
+      Schema.table ~name:"T" ~key:"ID"
+        [
+          Column.make "n" Value.T_int;
+          Column.make "f" Value.T_float;
+          Column.make "d" Value.T_date;
+          Column.make ~visibility:Column.Hidden "s" (Value.T_char 8);
+        ];
+    ]
+
+let test_basic_parse () =
+  let rows =
+    Csv_load.parse_table (schema ()) ~table:"T"
+      "ID,n,f,d,s\n1,10,2.5,2006-01-02,abc\n2,-3,0.0,1999-12-31,xy\n"
+  in
+  check Alcotest.int "two rows" 2 (List.length rows);
+  match rows with
+  | [ r1; _ ] ->
+    check Alcotest.bool "key" true (r1.(0) = Value.Int 1);
+    check Alcotest.bool "int" true (r1.(1) = Value.Int 10);
+    check Alcotest.bool "float" true (r1.(2) = Value.Float 2.5);
+    check Alcotest.bool "date" true
+      (r1.(3) = Value.Date (Ghost_kernel.Date.of_string "2006-01-02"));
+    check Alcotest.bool "str" true (r1.(4) = Value.Str "abc")
+  | _ -> Alcotest.fail "row shape"
+
+let test_header_any_order () =
+  let rows =
+    Csv_load.parse_table (schema ()) ~table:"T"
+      "s,d,f,n,ID\nhello,2006-01-02,1.0,7,1\n"
+  in
+  match rows with
+  | [ r ] ->
+    check Alcotest.bool "reordered" true
+      (r.(0) = Value.Int 1 && r.(1) = Value.Int 7 && r.(4) = Value.Str "hello")
+  | _ -> Alcotest.fail "row shape"
+
+let test_tab_separator () =
+  let rows =
+    Csv_load.parse_table ~separator:'\t' (schema ()) ~table:"T"
+      "ID\tn\tf\td\ts\n1\t1\t1.0\t2006-01-02\ta,b c\n"
+  in
+  match rows with
+  | [ r ] -> check Alcotest.bool "comma inside value" true (r.(4) = Value.Str "a,b c")
+  | _ -> Alcotest.fail "row shape"
+
+let expect_error ~line text =
+  try
+    ignore (Csv_load.parse_table (schema ()) ~table:"T" text);
+    Alcotest.failf "expected Csv_error on %S" text
+  with Csv_load.Csv_error { line = got; _ } ->
+    check Alcotest.int ("line of " ^ text) line got
+
+let test_errors () =
+  expect_error ~line:2 "ID,n,f,d,s\n1,zz,1.0,2006-01-02,a\n";
+  expect_error ~line:2 "ID,n,f,d,s\n1,1,1.0,not-a-date,a\n";
+  expect_error ~line:3 "ID,n,f,d,s\n1,1,1.0,2006-01-02,a\n2,1,1.0,2006-01-02,toolongstring\n";
+  expect_error ~line:1 "ID,n,f,d\n";
+  expect_error ~line:1 "ID,n,f,d,s,extra\n";
+  expect_error ~line:1 "ID,n,n,f,d,s\n";
+  expect_error ~line:2 "ID,n,f,d,s\n1,2,3\n";
+  expect_error ~line:0 ""
+
+let test_loads_into_ghostdb () =
+  let s = schema () in
+  let rows =
+    Csv_load.parse_table s ~table:"T"
+      "ID,n,f,d,s\n1,10,1.0,2006-01-02,aa\n2,20,2.0,2006-01-03,bb\n3,10,3.0,2006-01-04,aa\n"
+  in
+  let db = Ghostdb.Ghost_db.of_schema s [ ("T", rows) ] in
+  let r =
+    Ghostdb.Ghost_db.query db "SELECT T.ID FROM T WHERE T.s = 'aa' AND T.n = 10"
+  in
+  check Alcotest.int "query over csv data" 2 r.Ghostdb.Exec.row_count
+
+let suite = [
+  Alcotest.test_case "basic parse" `Quick test_basic_parse;
+  Alcotest.test_case "header in any order" `Quick test_header_any_order;
+  Alcotest.test_case "tab separator" `Quick test_tab_separator;
+  Alcotest.test_case "errors carry line numbers" `Quick test_errors;
+  Alcotest.test_case "loads into ghostdb" `Quick test_loads_into_ghostdb;
+]

@@ -1,0 +1,107 @@
+(* Deep cross-filtering: borrowing a descendant table's climbing-index
+   list at an intermediate level before the climb (Section 4's
+   "selectivity of a selection on intermediate tables ... combined with
+   the selectivity of selections on hidden attributes of descendant
+   tables"). *)
+
+module Value = Ghost_kernel.Value
+module Medical = Ghost_workload.Medical
+module Reference = Ghost_workload.Reference
+module Ghost_db = Ghostdb.Ghost_db
+module Exec = Ghostdb.Exec
+module Plan = Ghostdb.Plan
+module Planner = Ghostdb.Planner
+module Cost = Ghostdb.Cost
+
+let check = Alcotest.check
+
+(* Visible predicate on the intermediate Visit table + hidden predicate
+   on its descendant Patient: the deep-cross plan intersects Patient's
+   Visit-level index list with the shipped Visit ids before climbing to
+   Prescription. *)
+let sql =
+  "SELECT Pre.PreID, Pat.Age FROM Prescription Pre, Visit Vis, Patient Pat WHERE \
+   Vis.Date > '2005-01-01' AND Pat.BodyMassIndex >= 35.0 AND Pre.VisID = Vis.VisID \
+   AND Vis.PatID = Pat.PatID"
+
+let instance =
+  lazy
+    (let rows = Medical.generate Medical.small in
+     let db = Ghost_db.of_schema (Medical.schema ()) rows in
+     let refdb = Reference.db_of_rows (Ghost_db.schema db) rows in
+     (db, refdb))
+
+let deep_plans db =
+  List.filter
+    (fun (plan, _) ->
+       List.exists (fun g -> g.Plan.g_borrowed <> []) plan.Plan.groups)
+    (Ghost_db.plans db sql)
+
+let test_panel_contains_deep_plan () =
+  let db, _ = Lazy.force instance in
+  let deep = deep_plans db in
+  check Alcotest.bool "at least one deep-cross plan" true (deep <> []);
+  List.iter
+    (fun (plan, _) ->
+       List.iter
+         (fun g ->
+            List.iter
+              (fun (d, p) ->
+                 check Alcotest.string "borrowed from Patient" "Patient" d;
+                 check Alcotest.string "borrowed predicate" "BodyMassIndex"
+                   p.Ghost_relation.Predicate.column)
+              g.Plan.g_borrowed)
+         plan.Plan.groups)
+    deep
+
+let test_deep_plans_correct () =
+  let db, refdb = Lazy.force instance in
+  let expected = Reference.run (Ghost_db.schema db) refdb (Ghost_db.bind db sql) in
+  check Alcotest.bool "query selects rows" true (expected <> []);
+  List.iter
+    (fun (plan, _) ->
+       let r = Ghost_db.run_plan db plan in
+       if Reference.sort_rows r.Exec.rows <> Reference.sort_rows expected then
+         Alcotest.failf "deep plan [%s] wrong (%d vs %d rows)" plan.Plan.label
+           r.Exec.row_count (List.length expected))
+    (deep_plans db)
+
+let test_deep_beats_plain_pre () =
+  (* BMI >= 35 keeps ~1/3 of patients; the borrow must shrink the climb
+     and beat the plain Pre plan. *)
+  let db, _ = Lazy.force instance in
+  let q = Ghost_db.bind db sql in
+  let cat = Ghost_db.catalog db in
+  let plain = Ghost_db.run_plan db (Planner.all_pre cat q) in
+  let deep =
+    match deep_plans db with
+    | (plan, _) :: _ -> Ghost_db.run_plan db plan
+    | [] -> Alcotest.fail "no deep plan"
+  in
+  check Alcotest.bool
+    (Printf.sprintf "deep (%.0f us) < plain pre (%.0f us)" deep.Exec.elapsed_us
+       plain.Exec.elapsed_us)
+    true
+    (deep.Exec.elapsed_us < plain.Exec.elapsed_us)
+
+let test_labels_mention_borrow () =
+  let db, _ = Lazy.force instance in
+  match deep_plans db with
+  | (plan, _) :: _ ->
+    let contains sub s =
+      let n = String.length sub in
+      let rec loop i = i + n <= String.length s && (String.sub s i n = sub || loop (i + 1)) in
+      loop 0
+    in
+    check Alcotest.bool "label shows the borrow" true
+      (contains "+Patient.BodyMassIndex" plan.Plan.label);
+    check Alcotest.bool "describe mentions it" true
+      (contains "borrowed from descendant Patient" (Plan.describe plan))
+  | [] -> Alcotest.fail "no deep plan"
+
+let suite = [
+  Alcotest.test_case "panel contains deep-cross plans" `Quick test_panel_contains_deep_plan;
+  Alcotest.test_case "deep plans return the reference rows" `Quick test_deep_plans_correct;
+  Alcotest.test_case "deep cross beats plain pre" `Quick test_deep_beats_plain_pre;
+  Alcotest.test_case "labels and descriptions" `Quick test_labels_mention_borrow;
+]

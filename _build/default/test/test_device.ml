@@ -1,0 +1,120 @@
+(* Tests for the secure-device model: RAM arena, trace, accounting. *)
+
+module Ram = Ghost_device.Ram
+module Trace = Ghost_device.Trace
+module Device = Ghost_device.Device
+module Flash = Ghost_flash.Flash
+
+let check = Alcotest.check
+
+let test_ram_budget_enforced () =
+  let r = Ram.create ~budget:100 in
+  let c = Ram.alloc r ~label:"a" 60 in
+  check Alcotest.int "in use" 60 (Ram.in_use r);
+  (try
+     ignore (Ram.alloc r ~label:"b" 50);
+     Alcotest.fail "expected Ram_exceeded"
+   with Ram.Ram_exceeded { requested = 50; in_use = 60; budget = 100; _ } -> ()
+      | Ram.Ram_exceeded _ -> Alcotest.fail "wrong payload");
+  Ram.free r c;
+  check Alcotest.int "freed" 0 (Ram.in_use r);
+  let c2 = Ram.alloc r ~label:"b" 100 in
+  Ram.free r c2;
+  Ram.free r c2;
+  check Alcotest.int "double free ignored" 0 (Ram.in_use r)
+
+let test_ram_peak_and_scope () =
+  let r = Ram.create ~budget:1000 in
+  let s = Ram.open_scope r in
+  let a = Ram.alloc r ~label:"a" 300 in
+  let b = Ram.alloc r ~label:"b" 200 in
+  Ram.free r b;
+  Ram.free r a;
+  check Alcotest.int "scope peak" 500 (Ram.close_scope r s);
+  check Alcotest.int "global peak" 500 (Ram.peak r);
+  let s2 = Ram.open_scope r in
+  let c = Ram.alloc r ~label:"c" 100 in
+  Ram.free r c;
+  check Alcotest.int "second scope sees only its window" 100 (Ram.close_scope r s2)
+
+let test_ram_resize () =
+  let r = Ram.create ~budget:100 in
+  let c = Ram.alloc r ~label:"buf" 10 in
+  Ram.resize r c 90;
+  check Alcotest.int "resized" 90 (Ram.in_use r);
+  (try
+     Ram.resize r c 101;
+     Alcotest.fail "expected Ram_exceeded"
+   with Ram.Ram_exceeded _ -> ());
+  Ram.resize r c 5;
+  check Alcotest.int "shrunk" 5 (Ram.in_use r);
+  Ram.free r c
+
+let test_ram_with_alloc_on_exception () =
+  let r = Ram.create ~budget:100 in
+  (try Ram.with_alloc r ~label:"x" 50 (fun _ -> failwith "boom") with Failure _ -> ());
+  check Alcotest.int "freed after raise" 0 (Ram.in_use r)
+
+let test_trace_spy_visibility () =
+  let t = Trace.create () in
+  Trace.record t Trace.Pc_to_device (Trace.Id_list { table = "Visit"; count = 3 }) ~bytes:12;
+  Trace.record t Trace.Device_to_display (Trace.Result_tuples { count = 1 }) ~bytes:20;
+  Trace.record t Trace.Server_to_pc (Trace.Query_text "SELECT ...") ~bytes:10;
+  check Alcotest.int "all events" 3 (List.length (Trace.events t));
+  check Alcotest.int "spy sees 2" 2 (List.length (Trace.spy_events t));
+  check Alcotest.bool "display is not spy-visible" false
+    (List.exists
+       (fun e -> e.Trace.link = Trace.Device_to_display)
+       (Trace.spy_events t))
+
+let test_device_clock () =
+  let trace = Trace.create () in
+  let d = Device.create ~trace () in
+  check (Alcotest.float 1e-9) "starts at 0" 0. (Device.elapsed_us d);
+  Device.cpu d 500;
+  (* 50 MIPS -> 10 us *)
+  check (Alcotest.float 1e-9) "cpu time" 10. (Device.cpu_time_us d);
+  Device.receive d (Trace.Id_list { table = "T"; count = 1 }) ~bytes:1500;
+  (* 12 Mbit/s -> 1000 us for 1500 B, + 100 us latency *)
+  check (Alcotest.float 1e-6) "usb time" 1100. (Device.usb_time_us d);
+  ignore (Flash.append (Device.flash d) (Bytes.make 100 'x'));
+  check Alcotest.bool "flash time counted" true
+    (Device.elapsed_us d > 1110.)
+
+let test_device_scratch_counted () =
+  let trace = Trace.create () in
+  let d = Device.create ~trace () in
+  let before = Device.elapsed_us d in
+  ignore (Flash.append (Device.scratch d) (Bytes.make 100 'x'));
+  check Alcotest.bool "scratch time counted" true (Device.elapsed_us d > before)
+
+let test_usage_between () =
+  let trace = Trace.create () in
+  let d = Device.create ~trace () in
+  let s0 = Device.snapshot d in
+  Device.cpu d 100;
+  ignore (Flash.append (Device.flash d) (Bytes.make 10 'y'));
+  let u = Device.usage_between d ~before:s0 ~after:(Device.snapshot d) in
+  check Alcotest.int "cpu ops" 100 u.Device.used_cpu_ops;
+  check Alcotest.int "programs" 1 u.Device.flash_page_programs;
+  check (Alcotest.float 1e-6) "total = parts" u.Device.total_us
+    (u.Device.flash_us +. u.Device.used_usb_us +. u.Device.cpu_us)
+
+let test_high_speed_usb () =
+  let cfg = Device.high_speed_usb Device.default_config in
+  let trace = Trace.create () in
+  let d = Device.create ~config:cfg ~trace () in
+  Device.receive d Trace.Ack ~bytes:1500;
+  check Alcotest.bool "faster than full speed" true (Device.usb_time_us d < 200.)
+
+let suite = [
+  Alcotest.test_case "ram budget enforced" `Quick test_ram_budget_enforced;
+  Alcotest.test_case "ram peak and scopes" `Quick test_ram_peak_and_scope;
+  Alcotest.test_case "ram resize" `Quick test_ram_resize;
+  Alcotest.test_case "with_alloc frees on exception" `Quick test_ram_with_alloc_on_exception;
+  Alcotest.test_case "trace spy visibility" `Quick test_trace_spy_visibility;
+  Alcotest.test_case "device clock" `Quick test_device_clock;
+  Alcotest.test_case "scratch region counted" `Quick test_device_scratch_counted;
+  Alcotest.test_case "usage between snapshots" `Quick test_usage_between;
+  Alcotest.test_case "high-speed usb variant" `Quick test_high_speed_usb;
+]

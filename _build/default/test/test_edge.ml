@@ -1,0 +1,195 @@
+(* Executor edge cases: degenerate queries, tiny devices, selectivity
+   extremes, duplicate projections. *)
+
+module Value = Ghost_kernel.Value
+module Ram = Ghost_device.Ram
+module Device = Ghost_device.Device
+module Medical = Ghost_workload.Medical
+module Queries = Ghost_workload.Queries
+module Reference = Ghost_workload.Reference
+module Ghost_db = Ghostdb.Ghost_db
+module Exec = Ghostdb.Exec
+module Plan = Ghostdb.Plan
+module Planner = Ghostdb.Planner
+module Schema = Ghost_relation.Schema
+
+let check = Alcotest.check
+
+let instance =
+  lazy
+    (let rows = Medical.generate Medical.tiny in
+     let db = Ghost_db.of_schema (Medical.schema ()) rows in
+     let refdb = Reference.db_of_rows (Ghost_db.schema db) rows in
+     (db, refdb))
+
+let rows_equal got expected = Reference.sort_rows got = Reference.sort_rows expected
+
+let assert_matches_reference ?(msg = "") db refdb sql =
+  let q = Ghost_db.bind db sql in
+  let expected = Reference.run (Ghost_db.schema db) refdb q in
+  let r = Ghost_db.query db sql in
+  if not (rows_equal r.Exec.rows expected) then
+    Alcotest.failf "%s: got %d rows, want %d (%s)" sql r.Exec.row_count
+      (List.length expected) msg;
+  r
+
+let test_no_where_clause () =
+  let db, refdb = Lazy.force instance in
+  let r =
+    assert_matches_reference db refdb "SELECT Doc.DocID, Doc.Name FROM Doctor Doc"
+  in
+  check Alcotest.int "all doctors" Medical.tiny.Medical.doctors r.Exec.row_count
+
+let test_full_scan_of_root () =
+  let db, refdb = Lazy.force instance in
+  let r =
+    assert_matches_reference db refdb "SELECT Pre.PreID FROM Prescription Pre"
+  in
+  check Alcotest.int "all prescriptions" Medical.tiny.Medical.prescriptions
+    r.Exec.row_count
+
+let test_key_only_projection_through_join () =
+  let db, refdb = Lazy.force instance in
+  ignore
+    (assert_matches_reference db refdb
+       "SELECT Pre.PreID, Vis.VisID, Doc.DocID FROM Prescription Pre, Visit Vis, \
+        Doctor Doc WHERE Pre.VisID = Vis.VisID AND Vis.DocID = Doc.DocID")
+
+let test_duplicate_projection () =
+  let db, refdb = Lazy.force instance in
+  ignore
+    (assert_matches_reference db refdb
+       "SELECT Doc.Name, Doc.Name, Doc.Zip FROM Doctor Doc WHERE Doc.Zip > 0")
+
+let test_impossible_predicate () =
+  let db, refdb = Lazy.force instance in
+  let r =
+    assert_matches_reference db refdb
+      "SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'NoSuchPurpose'"
+  in
+  check Alcotest.int "empty" 0 r.Exec.row_count
+
+let test_always_true_predicate () =
+  let db, refdb = Lazy.force instance in
+  let r =
+    assert_matches_reference db refdb
+      "SELECT Vis.VisID FROM Visit Vis WHERE Vis.Date >= '1970-01-01'"
+  in
+  check Alcotest.int "everything" Medical.tiny.Medical.visits r.Exec.row_count
+
+let test_hidden_range_plus_visible_range () =
+  let db, refdb = Lazy.force instance in
+  ignore
+    (assert_matches_reference db refdb
+       ("SELECT Pre.PreID, Pre.Quantity FROM Prescription Pre, Visit Vis WHERE \
+         Pre.Quantity BETWEEN 2 AND 9 AND Vis.Date BETWEEN '2004-06-01' AND \
+         '2006-06-01' AND Pre.VisID = Vis.VisID"))
+
+let test_in_on_hidden_index () =
+  let db, refdb = Lazy.force instance in
+  ignore
+    (assert_matches_reference db refdb
+       "SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose IN ('Checkup', 'Diabetes', \
+        'NoSuch')")
+
+let test_ne_on_hidden_index () =
+  let db, refdb = Lazy.force instance in
+  ignore
+    (assert_matches_reference db refdb
+       "SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose <> 'Checkup'")
+
+let test_predicate_on_key_column () =
+  let db, refdb = Lazy.force instance in
+  let r =
+    assert_matches_reference db refdb
+      "SELECT Pre.PreID FROM Prescription Pre WHERE Pre.PreID <= 10"
+  in
+  check Alcotest.int "ten" 10 r.Exec.row_count
+
+let test_tiny_ram_device_runs_everything () =
+  (* 8 KiB arena: every query of the suite must still be exact. *)
+  let rows = Medical.generate Medical.tiny in
+  let config = { Device.default_config with Device.ram_budget = 8 * 1024 } in
+  let db = Ghost_db.of_schema ~device_config:config (Medical.schema ()) rows in
+  let refdb = Reference.db_of_rows (Ghost_db.schema db) rows in
+  List.iter
+    (fun (name, sql) ->
+       let q = Ghost_db.bind db sql in
+       let expected = Reference.run (Ghost_db.schema db) refdb q in
+       let r = Ghost_db.query db sql in
+       if not (rows_equal r.Exec.rows expected) then
+         Alcotest.failf "%s under 8KiB RAM: wrong rows" name;
+       check Alcotest.bool (name ^ " respected the budget") true
+         (r.Exec.ram_peak <= 8 * 1024);
+       check Alcotest.int (name ^ " released ram") 0
+         (Ram.in_use (Device.ram (Ghost_db.device db))))
+    Queries.all
+
+let test_deep_query_without_intermediate_projection () =
+  (* Doctor reached from Prescription: Visit appears in FROM only as a
+     join hop. *)
+  let db, refdb = Lazy.force instance in
+  ignore
+    (assert_matches_reference db refdb
+       "SELECT Doc.Country, Pre.Frequency FROM Prescription Pre, Visit Vis, Doctor \
+        Doc WHERE Doc.Country = 'France' AND Pre.Frequency >= 2 AND Pre.VisID = \
+        Vis.VisID AND Vis.DocID = Doc.DocID")
+
+let test_plan_describe_readable () =
+  let db, _ = Lazy.force instance in
+  let q = Ghost_db.bind db Queries.demo in
+  let plan = Planner.all_post (Ghost_db.catalog db) q in
+  let text = Plan.describe plan in
+  check Alcotest.bool "mentions bloom" true
+    (let contains sub s =
+       let n = String.length sub in
+       let rec loop i = i + n <= String.length s && (String.sub s i n = sub || loop (i + 1)) in
+       loop 0
+     in
+     contains "Bloom" text)
+
+let test_empty_tables () =
+  (* a database whose tables hold no rows at all *)
+  let schema =
+    Schema.create
+      [
+        Schema.table ~name:"F" ~key:"FID"
+          [ Ghost_relation.Column.make ~visibility:Ghost_relation.Column.Hidden "h"
+              Value.T_int;
+            Ghost_relation.Column.make ~visibility:Ghost_relation.Column.Hidden
+              ~refs:"D" "fk" Value.T_int ];
+        Schema.table ~name:"D" ~key:"DID"
+          [ Ghost_relation.Column.make "v" Value.T_int ];
+      ]
+  in
+  let db = Ghost_db.of_schema schema [ ("F", []); ("D", []) ] in
+  let r =
+    Ghost_db.query db
+      "SELECT F.FID FROM F, D WHERE F.h = 1 AND D.v = 2 AND F.fk = D.DID"
+  in
+  check Alcotest.int "no rows" 0 r.Exec.row_count;
+  (* aggregates over empty input still produce the global row *)
+  match (Ghost_db.query db "SELECT COUNT(*) FROM F").Exec.rows with
+  | [ [| Value.Int 0 |] ] -> ()
+  | _ -> Alcotest.fail "COUNT over empty table"
+
+let suite = [
+  Alcotest.test_case "no WHERE clause" `Quick test_no_where_clause;
+  Alcotest.test_case "full scan of the root" `Quick test_full_scan_of_root;
+  Alcotest.test_case "key-only projection through joins" `Quick
+    test_key_only_projection_through_join;
+  Alcotest.test_case "duplicate projection" `Quick test_duplicate_projection;
+  Alcotest.test_case "impossible predicate" `Quick test_impossible_predicate;
+  Alcotest.test_case "always-true predicate" `Quick test_always_true_predicate;
+  Alcotest.test_case "hidden + visible ranges" `Quick test_hidden_range_plus_visible_range;
+  Alcotest.test_case "IN on hidden index" `Quick test_in_on_hidden_index;
+  Alcotest.test_case "NE on hidden index" `Quick test_ne_on_hidden_index;
+  Alcotest.test_case "predicate on key column" `Quick test_predicate_on_key_column;
+  Alcotest.test_case "8KiB device runs the whole suite" `Slow
+    test_tiny_ram_device_runs_everything;
+  Alcotest.test_case "deep query, hop-only table" `Quick
+    test_deep_query_without_intermediate_projection;
+  Alcotest.test_case "plan description readable" `Quick test_plan_describe_readable;
+  Alcotest.test_case "empty tables" `Quick test_empty_tables;
+]
+

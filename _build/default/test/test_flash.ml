@@ -1,0 +1,130 @@
+(* Tests for the NAND Flash simulator. *)
+
+module Flash = Ghost_flash.Flash
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let small_geometry = { Flash.page_size = 64; pages_per_block = 4 }
+
+let test_append_read_roundtrip () =
+  let f = Flash.create ~geometry:small_geometry () in
+  let p0 = Flash.append f (Bytes.of_string "hello") in
+  let p1 = Flash.append f (Bytes.of_string "world") in
+  check Alcotest.int "page ids" 0 p0;
+  check Alcotest.int "page ids" 1 p1;
+  check Alcotest.string "read back" "hello"
+    (Bytes.to_string (Flash.read f ~page:p0 ~off:0 ~len:5));
+  check Alcotest.string "partial" "orl"
+    (Bytes.to_string (Flash.read f ~page:p1 ~off:1 ~len:3))
+
+let test_padding_reads_zero () =
+  let f = Flash.create ~geometry:small_geometry () in
+  let p = Flash.append f (Bytes.of_string "ab") in
+  let b = Flash.read f ~page:p ~off:0 ~len:10 in
+  check Alcotest.string "padded" "ab\000\000\000\000\000\000\000\000" (Bytes.to_string b)
+
+let test_page_overflow () =
+  let f = Flash.create ~geometry:small_geometry () in
+  Alcotest.check_raises "overflow"
+    (Flash.Program_error "append: 65 bytes exceeds page size 64") (fun () ->
+      ignore (Flash.append f (Bytes.make 65 'x')))
+
+let test_erase_and_reuse () =
+  let f = Flash.create ~geometry:small_geometry () in
+  for _ = 1 to 8 do
+    ignore (Flash.append f (Bytes.of_string "data"))
+  done;
+  check Alcotest.int "8 pages" 8 (Flash.page_count f);
+  Flash.erase_block f 0;
+  (* pages 0-3 free again; next appends reuse them, no growth *)
+  for _ = 1 to 4 do
+    ignore (Flash.append f (Bytes.of_string "new"))
+  done;
+  check Alcotest.int "no growth after erase" 8 (Flash.page_count f);
+  let s = Flash.stats f in
+  check Alcotest.int "one erase" 1 s.Flash.block_erases
+
+let test_read_erased_page_fails () =
+  let f = Flash.create ~geometry:small_geometry () in
+  ignore (Flash.append f (Bytes.of_string "x"));
+  Flash.erase_block f 0;
+  Alcotest.check_raises "read erased" (Invalid_argument "Flash.read: page 0 is erased")
+    (fun () -> ignore (Flash.read f ~page:0 ~off:0 ~len:1))
+
+let test_cost_accounting () =
+  let cost = {
+    Flash.read_seek_us = 10.;
+    read_byte_us = 1.;
+    program_seek_us = 100.;
+    program_byte_us = 2.;
+    erase_us = 1000.;
+  } in
+  let f = Flash.create ~geometry:small_geometry ~cost () in
+  ignore (Flash.append f (Bytes.make 10 'a'));
+  ignore (Flash.read f ~page:0 ~off:0 ~len:4);
+  Flash.erase_block f 0;
+  let s = Flash.stats f in
+  check (Alcotest.float 1e-6) "write time" (100. +. 20. +. 1000.) s.Flash.write_time_us;
+  check (Alcotest.float 1e-6) "read time" (10. +. 4.) s.Flash.read_time_us;
+  check Alcotest.int "bytes" 10 s.Flash.bytes_programmed;
+  check Alcotest.int "bytes read" 4 s.Flash.bytes_read
+
+let test_write_ratio_calibration () =
+  List.iter
+    (fun ratio ->
+       let cost = Flash.cost_with_write_ratio ratio in
+       let g = Flash.default_geometry in
+       let read_full =
+         cost.Flash.read_seek_us
+         +. (Float.of_int g.Flash.page_size *. cost.Flash.read_byte_us)
+       in
+       let prog_full =
+         cost.Flash.program_seek_us
+         +. (Float.of_int g.Flash.page_size *. cost.Flash.program_byte_us)
+       in
+       check (Alcotest.float 1e-6) "ratio" ratio (prog_full /. read_full))
+    [ 1.; 3.; 5.; 10. ]
+
+let test_erase_live_blocks () =
+  let f = Flash.create ~geometry:small_geometry () in
+  for _ = 1 to 6 do
+    ignore (Flash.append f (Bytes.of_string "s"))
+  done;
+  Flash.erase_live_blocks f;
+  check Alcotest.int "two blocks erased" 2 (Flash.stats f).Flash.block_erases;
+  check Alcotest.int "nothing live" 0 (Flash.live_bytes f);
+  Flash.erase_live_blocks f;
+  check Alcotest.int "idempotent" 2 (Flash.stats f).Flash.block_erases
+
+let test_stats_diff () =
+  let f = Flash.create ~geometry:small_geometry () in
+  ignore (Flash.append f (Bytes.of_string "a"));
+  let before = Flash.stats f in
+  ignore (Flash.append f (Bytes.of_string "b"));
+  let d = Flash.diff_stats ~after:(Flash.stats f) ~before in
+  check Alcotest.int "one program in window" 1 d.Flash.page_programs
+
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"flash content roundtrip" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (string_of_size (QCheck.Gen.int_range 0 64)))
+    (fun contents ->
+       let f = Flash.create ~geometry:small_geometry () in
+       let pages = List.map (fun s -> (Flash.append f (Bytes.of_string s), s)) contents in
+       List.for_all
+         (fun (p, s) ->
+            Bytes.to_string (Flash.read f ~page:p ~off:0 ~len:(String.length s)) = s)
+         pages)
+
+let suite = [
+  Alcotest.test_case "append/read roundtrip" `Quick test_append_read_roundtrip;
+  Alcotest.test_case "short pages read back padded" `Quick test_padding_reads_zero;
+  Alcotest.test_case "page overflow rejected" `Quick test_page_overflow;
+  Alcotest.test_case "erase and reuse" `Quick test_erase_and_reuse;
+  Alcotest.test_case "read of erased page fails" `Quick test_read_erased_page_fails;
+  Alcotest.test_case "cost accounting" `Quick test_cost_accounting;
+  Alcotest.test_case "write-ratio calibration" `Quick test_write_ratio_calibration;
+  Alcotest.test_case "erase_live_blocks" `Quick test_erase_live_blocks;
+  Alcotest.test_case "stats diff" `Quick test_stats_diff;
+  qtest prop_roundtrip_random;
+]

@@ -1,0 +1,47 @@
+(* Robustness: the SQL front end must never crash with anything but its
+   own typed errors, whatever bytes arrive. *)
+
+module Lexer = Ghost_sql.Lexer
+module Parser = Ghost_sql.Parser
+module Bind = Ghost_sql.Bind
+module Medical = Ghost_workload.Medical
+
+let schema = lazy (Medical.schema ())
+
+let survives input =
+  match Bind.bind (Lazy.force schema) input with
+  | _ -> true
+  | exception (Lexer.Lex_error _ | Parser.Parse_error _ | Bind.Bind_error _) -> true
+  | exception _ -> false
+
+let printable_gen =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 32 126)) (0 -- 80))
+
+let prop_garbage =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"arbitrary printable garbage" ~count:500
+       (QCheck.make ~print:Fun.id printable_gen)
+       survives)
+
+let prop_any_bytes =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"arbitrary bytes" ~count:300 QCheck.string survives)
+
+(* Mutate valid queries: truncate, duplicate tokens, splice. *)
+let prop_mutated_valid =
+  let base = Array.of_list (List.map snd Ghost_workload.Queries.all) in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"mutations of valid queries" ~count:400
+       QCheck.(triple (int_range 0 1000) small_nat small_nat)
+       (fun (pick, cut, splice) ->
+          let sql = base.(pick mod Array.length base) in
+          let n = String.length sql in
+          let truncated = String.sub sql 0 (min n (cut mod (n + 1))) in
+          let spliced =
+            let at = splice mod (String.length truncated + 1) in
+            String.sub truncated 0 at ^ " AND ( % " ^ String.sub truncated at
+              (String.length truncated - at)
+          in
+          survives truncated && survives spliced))
+
+let suite = [ prop_garbage; prop_any_bytes; prop_mutated_valid ]

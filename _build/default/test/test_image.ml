@@ -1,0 +1,91 @@
+(* Device images: save / load roundtrip. *)
+
+module Value = Ghost_kernel.Value
+module Medical = Ghost_workload.Medical
+module Queries = Ghost_workload.Queries
+module Reference = Ghost_workload.Reference
+module Ghost_db = Ghostdb.Ghost_db
+module Exec = Ghostdb.Exec
+
+let check = Alcotest.check
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let test_roundtrip_queries () =
+  let rows = Medical.generate Medical.tiny in
+  let db = Ghost_db.of_schema (Medical.schema ()) rows in
+  let path = tmp "ghostdb_test_image.img" in
+  Ghost_db.save_image db path;
+  let reopened = Ghost_db.load_image path in
+  Sys.remove path;
+  List.iter
+    (fun (name, sql) ->
+       let a = Reference.sort_rows (Ghost_db.query db sql).Exec.rows in
+       let b = Reference.sort_rows (Ghost_db.query reopened sql).Exec.rows in
+       if a <> b then Alcotest.failf "%s differs after reload" name)
+    Queries.all;
+  (* storage metadata survived *)
+  check Alcotest.bool "same storage" true (Ghost_db.storage db = Ghost_db.storage reopened)
+
+let test_roundtrip_preserves_pending_changes () =
+  let rows = Medical.generate Medical.tiny in
+  let db = Ghost_db.of_schema (Medical.schema ()) rows in
+  let next = Medical.tiny.Medical.prescriptions + 1 in
+  Ghost_db.insert db
+    [ [| Value.Int next; Value.Int 5; Value.Int 2; Value.Date Medical.date_lo;
+         Value.Int 1; Value.Int 1 |] ];
+  Ghost_db.delete db [ 3; 4 ];
+  let path = tmp "ghostdb_test_image2.img" in
+  Ghost_db.save_image db path;
+  let reopened = Ghost_db.load_image path in
+  Sys.remove path;
+  check Alcotest.int "delta survives" 1 (Ghost_db.delta_count reopened);
+  check Alcotest.int "tombstones survive" 2 (Ghost_db.tombstone_count reopened);
+  let count db =
+    match (Ghost_db.query db "SELECT COUNT(*) FROM Prescription Pre").Exec.rows with
+    | [ [| Value.Int n |] ] -> n
+    | _ -> Alcotest.fail "count shape"
+  in
+  check Alcotest.int "same live count" (count db) (count reopened);
+  (* and the reopened instance stays mutable *)
+  Ghost_db.insert reopened
+    [ [| Value.Int (next + 1); Value.Int 1; Value.Int 1; Value.Date Medical.date_lo;
+         Value.Int 1; Value.Int 1 |] ];
+  check Alcotest.int "insert after reload" 2 (Ghost_db.delta_count reopened)
+
+let test_bad_images_rejected () =
+  let path = tmp "ghostdb_not_an_image.img" in
+  let oc = open_out_bin path in
+  output_string oc "definitely not a ghostdb image, just text";
+  close_out oc;
+  (try
+     ignore (Ghost_db.load_image path);
+     Alcotest.fail "expected Image_error"
+   with Ghost_db.Image_error _ -> ());
+  Sys.remove path;
+  (try
+     ignore (Ghost_db.load_image (tmp "ghostdb_missing_file.img"));
+     Alcotest.fail "expected Image_error (missing)"
+   with Ghost_db.Image_error _ -> ());
+  (* truncated image *)
+  let rows = Medical.generate Medical.tiny in
+  let db = Ghost_db.of_schema (Medical.schema ()) rows in
+  let full = tmp "ghostdb_full.img" in
+  Ghost_db.save_image db full;
+  let data = In_channel.with_open_bin full In_channel.input_all in
+  let cut = tmp "ghostdb_cut.img" in
+  Out_channel.with_open_bin cut (fun oc ->
+    Out_channel.output_string oc (String.sub data 0 (String.length data / 3)));
+  (try
+     ignore (Ghost_db.load_image cut);
+     Alcotest.fail "expected Image_error (truncated)"
+   with Ghost_db.Image_error _ -> ());
+  Sys.remove full;
+  Sys.remove cut
+
+let suite = [
+  Alcotest.test_case "roundtrip: all queries agree" `Quick test_roundtrip_queries;
+  Alcotest.test_case "pending delta/tombstones survive" `Quick
+    test_roundtrip_preserves_pending_changes;
+  Alcotest.test_case "bad images rejected" `Quick test_bad_images_rejected;
+]

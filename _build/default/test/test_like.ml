@@ -1,0 +1,107 @@
+(* LIKE prefix predicates: semantics, index range scans, planner
+   integration. *)
+
+module Value = Ghost_kernel.Value
+module Predicate = Ghost_relation.Predicate
+module Parser = Ghost_sql.Parser
+module Bind = Ghost_sql.Bind
+module Medical = Ghost_workload.Medical
+module Reference = Ghost_workload.Reference
+module Ghost_db = Ghostdb.Ghost_db
+module Exec = Ghostdb.Exec
+module Plan = Ghostdb.Plan
+
+let check = Alcotest.check
+
+let instance =
+  lazy
+    (let rows = Medical.generate Medical.tiny in
+     let db = Ghost_db.of_schema (Medical.schema ()) rows in
+     let refdb = Reference.db_of_rows (Ghost_db.schema db) rows in
+     (db, refdb))
+
+let test_prefix_eval () =
+  let open Predicate in
+  check Alcotest.bool "match" true (eval (Prefix "Dia") (Value.Str "Diabetes"));
+  check Alcotest.bool "exact" true (eval (Prefix "Diabetes") (Value.Str "Diabetes"));
+  check Alcotest.bool "longer" false (eval (Prefix "Diabetesx") (Value.Str "Diabetes"));
+  check Alcotest.bool "no match" false (eval (Prefix "Dia") (Value.Str "Checkup"));
+  check Alcotest.bool "padding normalized" true
+    (eval (Prefix "Dia") (Value.Str "Diabetes\000\000"));
+  check Alcotest.bool "non-string" false (eval (Prefix "1") (Value.Int 1));
+  check Alcotest.bool "empty prefix matches all strings" true
+    (eval (Prefix "") (Value.Str "x"))
+
+let test_prefix_upper () =
+  check Alcotest.(option string) "simple" (Some "abd") (Predicate.prefix_upper "abc");
+  check Alcotest.(option string) "carry" (Some "b") (Predicate.prefix_upper "a\xff");
+  check Alcotest.(option string) "all-ff" None (Predicate.prefix_upper "\xff\xff")
+
+let test_parse_and_bind () =
+  let schema = Medical.schema () in
+  let q =
+    Bind.bind schema "SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose LIKE 'Dia%'"
+  in
+  (match q.Bind.selections with
+   | [ { Predicate.cmp = Predicate.Prefix "Dia"; _ } ] -> ()
+   | _ -> Alcotest.fail "LIKE not bound to Prefix");
+  (* pattern without % degrades to equality *)
+  let q2 =
+    Bind.bind schema "SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose LIKE 'Checkup'"
+  in
+  (match q2.Bind.selections with
+   | [ { Predicate.cmp = Predicate.Eq (Value.Str "Checkup"); _ } ] -> ()
+   | _ -> Alcotest.fail "bare LIKE not equality");
+  List.iter
+    (fun sql ->
+       try
+         ignore (Bind.bind schema sql);
+         Alcotest.fail ("expected rejection: " ^ sql)
+       with Bind.Bind_error _ | Parser.Parse_error _ -> ())
+    [
+      "SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose LIKE '%uro%'";
+      "SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose LIKE 'a_c'";
+      "SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose LIKE ''";
+      "SELECT Vis.VisID FROM Visit Vis WHERE Vis.Date LIKE '2006%'";
+      "SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose LIKE 42";
+    ]
+
+let test_like_hidden_all_plans () =
+  let db, refdb = Lazy.force instance in
+  (* 'A%' spans several purposes (Asthma, Allergy, Arthritis, Anemia) -
+     a real index range scan *)
+  let sql =
+    "SELECT Vis.VisID, Vis.Purpose FROM Visit Vis WHERE Vis.Purpose LIKE 'A%'"
+  in
+  let q = Ghost_db.bind db sql in
+  let expected = Reference.run (Ghost_db.schema db) refdb q in
+  check Alcotest.bool "range matches something" true (expected <> []);
+  List.iter
+    (fun (plan, _) ->
+       let r = Ghost_db.run_plan db plan in
+       if Reference.sort_rows r.Exec.rows <> Reference.sort_rows expected then
+         Alcotest.failf "LIKE plan [%s] wrong" plan.Plan.label)
+    (Ghost_db.plans db sql)
+
+let test_like_visible_and_joined () =
+  let db, refdb = Lazy.force instance in
+  let sql =
+    "SELECT Med.Name, Pre.Quantity FROM Medicine Med, Prescription Pre WHERE \
+     Med.Type LIKE 'Anti%' AND Pre.Quantity > 5 AND Med.MedID = Pre.MedID"
+  in
+  let q = Ghost_db.bind db sql in
+  let expected = Reference.run (Ghost_db.schema db) refdb q in
+  List.iter
+    (fun (plan, _) ->
+       let r = Ghost_db.run_plan db plan in
+       if Reference.sort_rows r.Exec.rows <> Reference.sort_rows expected then
+         Alcotest.failf "visible LIKE plan [%s] wrong" plan.Plan.label)
+    (Ghost_db.plans db sql)
+
+let suite = [
+  Alcotest.test_case "prefix eval" `Quick test_prefix_eval;
+  Alcotest.test_case "prefix upper bound" `Quick test_prefix_upper;
+  Alcotest.test_case "parse + bind" `Quick test_parse_and_bind;
+  Alcotest.test_case "hidden LIKE through all plans" `Quick test_like_hidden_all_plans;
+  Alcotest.test_case "visible LIKE with join" `Quick test_like_visible_and_joined;
+]

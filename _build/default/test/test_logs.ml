@@ -1,0 +1,93 @@
+(* Direct unit tests of the append-only logs (insert delta, deletion
+   tombstones): encoding, Flash behaviour, write amplification. *)
+
+module Value = Ghost_kernel.Value
+module Flash = Ghost_flash.Flash
+module Delta_log = Ghostdb.Delta_log
+module Tombstone_log = Ghostdb.Tombstone_log
+
+let check = Alcotest.check
+
+let flash () = Flash.create ~geometry:{ Flash.page_size = 256; pages_per_block = 8 } ()
+
+let make_delta f =
+  Delta_log.create f ~table:"R" ~levels:[ "R"; "A"; "B" ]
+    ~hidden_cols:[ ("q", Value.T_int); ("s", Value.T_char 8) ]
+
+let test_delta_roundtrip () =
+  let f = flash () in
+  let log = make_delta f in
+  check Alcotest.int "record bytes" (12 + 8 + 8) (Delta_log.record_bytes log);
+  for i = 1 to 25 do
+    Delta_log.append log
+      ~ids:[| 100 + i; i; (2 * i) + 1 |]
+      ~hidden:[| Value.Int (i * 3); Value.Str (Printf.sprintf "s%d" i) |]
+  done;
+  check Alcotest.int "count" 25 (Delta_log.count log);
+  let seen = ref 0 in
+  Delta_log.scan log (fun r ->
+    incr seen;
+    let i = !seen in
+    check Alcotest.(array int) "ids" [| 100 + i; i; (2 * i) + 1 |] r.Delta_log.ids;
+    check Alcotest.bool "hidden value" true
+      (Value.equal (Value.Int (i * 3)) (Delta_log.hidden_value log r "q"));
+    check Alcotest.bool "hidden assoc" true
+      (List.assoc "s" (Delta_log.hidden_assoc log r)
+       = Value.Str (Printf.sprintf "s%d" i)));
+  check Alcotest.int "scanned all" 25 !seen
+
+let test_delta_validation () =
+  let log = make_delta (flash ()) in
+  (try
+     Delta_log.append log ~ids:[| 1 |] ~hidden:[| Value.Int 1; Value.Str "a" |];
+     Alcotest.fail "expected misaligned ids"
+   with Invalid_argument _ -> ());
+  try
+    Delta_log.append log ~ids:[| 1; 2; 3 |] ~hidden:[| Value.Int 1 |];
+    Alcotest.fail "expected misaligned hidden"
+  with Invalid_argument _ -> ()
+
+let test_delta_write_amplification () =
+  let f = flash () in
+  let log = make_delta f in
+  (* 256-byte pages, 28-byte records: 9 per page. Every append
+     re-programs the tail page. *)
+  for i = 1 to 9 do
+    Delta_log.append log ~ids:[| i; 1; 1 |] ~hidden:[| Value.Int 0; Value.Str "" |]
+  done;
+  let s = Flash.stats f in
+  check Alcotest.int "one program per append" 9 s.Flash.page_programs;
+  check Alcotest.bool "dead bytes accumulate" true (Delta_log.dead_bytes log > 0);
+  check Alcotest.int "live = 9 records" (9 * 28) (Delta_log.size_bytes log)
+
+let test_tombstones () =
+  let f = flash () in
+  let log = Tombstone_log.create f ~table:"R" in
+  Tombstone_log.append log [ 5; 1; 9 ];
+  Tombstone_log.append log [ 2 ];
+  check Alcotest.int "count" 4 (Tombstone_log.count log);
+  check Alcotest.bool "mem" true (Tombstone_log.mem log 9);
+  check Alcotest.bool "not mem" false (Tombstone_log.mem log 3);
+  check Alcotest.(array int) "sorted load" [| 1; 2; 5; 9 |]
+    (Tombstone_log.load_sorted log);
+  (* load is metered *)
+  let before = (Flash.stats f).Flash.page_reads in
+  ignore (Tombstone_log.load_sorted log);
+  check Alcotest.bool "flash read charged" true
+    ((Flash.stats f).Flash.page_reads > before)
+
+let test_tombstones_many_pages () =
+  let f = flash () in
+  let log = Tombstone_log.create f ~table:"R" in
+  (* 64 ids per 256-byte page: cross several pages *)
+  Tombstone_log.append log (List.init 200 (fun i -> i + 1));
+  check Alcotest.int "count" 200 (Tombstone_log.count log);
+  check Alcotest.int "all back" 200 (Array.length (Tombstone_log.load_sorted log))
+
+let suite = [
+  Alcotest.test_case "delta roundtrip" `Quick test_delta_roundtrip;
+  Alcotest.test_case "delta validation" `Quick test_delta_validation;
+  Alcotest.test_case "delta write amplification" `Quick test_delta_write_amplification;
+  Alcotest.test_case "tombstones" `Quick test_tombstones;
+  Alcotest.test_case "tombstones across pages" `Quick test_tombstones_many_pages;
+]

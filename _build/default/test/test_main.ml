@@ -1,0 +1,32 @@
+let () =
+  Alcotest.run "ghostdb"
+    [
+      ("kernel", Test_kernel.suite);
+      ("flash", Test_flash.suite);
+      ("device", Test_device.suite);
+      ("relation", Test_relation.suite);
+      ("sql", Test_sql.suite);
+      ("bloom", Test_bloom.suite);
+      ("store", Test_store.suite);
+      ("workload", Test_workload.suite);
+      ("core", Test_core.suite);
+      ("baseline", Test_baseline.suite);
+      ("aggregate", Test_aggregate.suite);
+      ("random-schema", Test_random_schema.suite);
+      ("insert", Test_insert.suite);
+      ("public", Test_public.suite);
+      ("edge", Test_edge.suite);
+      ("cost", Test_cost.suite);
+      ("bench-kit", Test_bench_kit.suite);
+      ("order-limit", Test_order_limit.suite);
+      ("delete-reorg", Test_delete_reorg.suite);
+      ("like", Test_like.suite);
+      ("image", Test_image.suite);
+      ("deep-cross", Test_deep_cross.suite);
+      ("csv", Test_csv.suite);
+      ("spill", Test_spill.suite);
+      ("logs", Test_logs.suite);
+      ("shapes", Test_shapes.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("retail", Test_retail.suite);
+    ]

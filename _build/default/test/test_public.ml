@@ -1,0 +1,140 @@
+(* Units for the untrusted world: visible store, traffic recording,
+   spy analysis. *)
+
+module Value = Ghost_kernel.Value
+module Column = Ghost_relation.Column
+module Schema = Ghost_relation.Schema
+module Predicate = Ghost_relation.Predicate
+module Trace = Ghost_device.Trace
+module Public_store = Ghost_public.Public_store
+module Spy = Ghost_public.Spy
+
+let check = Alcotest.check
+
+let small_schema () =
+  Schema.create
+    [
+      Schema.table ~name:"P" ~key:"PID"
+        [
+          Column.make "v" Value.T_int;
+          Column.make ~visibility:Column.Hidden "secret" (Value.T_char 8);
+          Column.make ~visibility:Column.Hidden ~refs:"C" "fk" Value.T_int;
+        ];
+      Schema.table ~name:"C" ~key:"CID" [ Column.make "w" Value.T_int ];
+    ]
+
+let rows () =
+  [
+    ( "P",
+      [
+        [| Value.Int 1; Value.Int 10; Value.Str "s1"; Value.Int 1 |];
+        [| Value.Int 2; Value.Int 20; Value.Str "s2"; Value.Int 2 |];
+        [| Value.Int 3; Value.Int 10; Value.Str "s3"; Value.Int 1 |];
+      ] );
+    ("C", [ [| Value.Int 1; Value.Int 7 |]; [| Value.Int 2; Value.Int 8 |] ]);
+  ]
+
+let make () = (Public_store.create (small_schema ()) (rows ()), Trace.create ())
+
+let test_hidden_columns_stripped () =
+  let store, _ = make () in
+  let sub = Public_store.visible_table store "P" in
+  check Alcotest.int "only key + v remain" 2 (Schema.arity sub);
+  check Alcotest.bool "secret gone" true
+    (match Schema.find_column sub "secret" with
+     | exception Not_found -> true
+     | _ -> false)
+
+let test_select_ids_and_traffic () =
+  let store, trace = make () in
+  let ids =
+    Public_store.select_ids store ~trace
+      (Predicate.make ~table:"P" ~column:"v" (Predicate.Eq (Value.Int 10)))
+  in
+  check Alcotest.(array int) "matching ids" [| 1; 3 |] ids;
+  let events = Trace.events trace in
+  check Alcotest.int "two events (sub-query + answer)" 2 (List.length events);
+  check Alcotest.bool "answer bytes = 4 per id" true
+    (List.exists (fun e -> e.Trace.bytes = 8 && e.Trace.link = Trace.Server_to_pc) events)
+
+let test_hidden_predicate_rejected () =
+  let store, trace = make () in
+  (try
+     ignore
+       (Public_store.select_ids store ~trace
+          (Predicate.make ~table:"P" ~column:"secret" (Predicate.Eq (Value.Str "s1"))));
+     Alcotest.fail "expected Hidden_column"
+   with Public_store.Hidden_column _ -> ());
+  (* hidden FKs are just as unreachable *)
+  (try
+     ignore
+       (Public_store.stream_column store ~trace ~table:"P" ~column:"fk" ~preds:[]);
+     Alcotest.fail "expected Hidden_column (fk)"
+   with Public_store.Hidden_column _ -> ());
+  try
+    ignore
+      (Public_store.select_ids store ~trace
+         (Predicate.make ~table:"P" ~column:"nonexistent" (Predicate.Eq (Value.Int 0))));
+    Alcotest.fail "expected Hidden_column (unknown)"
+  with Public_store.Hidden_column _ -> ()
+
+let test_stream_column_filtered_sorted () =
+  let store, trace = make () in
+  let stream =
+    Public_store.stream_column store ~trace ~table:"P" ~column:"v"
+      ~preds:[ Predicate.make ~table:"P" ~column:"v" (Predicate.Ge (Value.Int 10)) ]
+  in
+  check Alcotest.int "all three" 3 (Array.length stream);
+  check Alcotest.bool "sorted by id" true
+    (stream = [| (1, Value.Int 10); (2, Value.Int 20); (3, Value.Int 10) |])
+
+let test_append_rows_visible () =
+  let store, trace = make () in
+  Public_store.append_rows store "P"
+    [ [| Value.Int 4; Value.Int 10; Value.Str "s4"; Value.Int 2 |] ];
+  let ids =
+    Public_store.select_ids store ~trace
+      (Predicate.make ~table:"P" ~column:"v" (Predicate.Eq (Value.Int 10)))
+  in
+  check Alcotest.(array int) "new row visible" [| 1; 3; 4 |] ids;
+  check Alcotest.int "cardinality" 4 (Public_store.cardinality store "P")
+
+let test_spy_report_shape () =
+  let store, trace = make () in
+  ignore
+    (Public_store.select_ids store ~trace
+       (Predicate.make ~table:"P" ~column:"v" (Predicate.Lt (Value.Int 100))));
+  Trace.record trace Trace.Pc_to_device
+    (Trace.Id_list { table = "P"; count = 3 })
+    ~bytes:12;
+  Trace.record trace Trace.Device_to_display (Trace.Result_tuples { count = 1 })
+    ~bytes:10;
+  let r = Spy.analyze trace in
+  check Alcotest.int "device payload zero" 0 r.Spy.device_outbound_payload_bytes;
+  check Alcotest.int "one id list entered the device" 1
+    (List.length r.Spy.id_lists_observed);
+  check Alcotest.int "one sub-query observed" 1 (List.length r.Spy.queries_observed);
+  (* the display event must not appear anywhere in the spy view *)
+  let display_links =
+    List.filter (fun (s : Spy.link_summary) -> s.Spy.link = Trace.Device_to_display)
+      r.Spy.per_link
+  in
+  check Alcotest.int "no display link in report" 0 (List.length display_links)
+
+let test_spy_flags_leak () =
+  let trace = Trace.create () in
+  Trace.record trace Trace.Device_to_pc
+    (Trace.Value_stream { table = "P"; column = "secret"; count = 5 })
+    ~bytes:40;
+  let r = Spy.analyze trace in
+  check Alcotest.int "leak counted" 40 r.Spy.device_outbound_payload_bytes
+
+let suite = [
+  Alcotest.test_case "hidden columns stripped at load" `Quick test_hidden_columns_stripped;
+  Alcotest.test_case "select ids + traffic recording" `Quick test_select_ids_and_traffic;
+  Alcotest.test_case "hidden predicates rejected" `Quick test_hidden_predicate_rejected;
+  Alcotest.test_case "streams filtered and sorted" `Quick test_stream_column_filtered_sorted;
+  Alcotest.test_case "append rows" `Quick test_append_rows_visible;
+  Alcotest.test_case "spy report shape" `Quick test_spy_report_shape;
+  Alcotest.test_case "spy flags a leak" `Quick test_spy_flags_leak;
+]

@@ -1,0 +1,75 @@
+(* The corporate/retail workload: a second tree shape through the whole
+   engine. *)
+
+module Ram = Ghost_device.Ram
+module Device = Ghost_device.Device
+module Schema = Ghost_relation.Schema
+module Retail = Ghost_workload.Retail
+module Reference = Ghost_workload.Reference
+module Ghost_db = Ghostdb.Ghost_db
+module Exec = Ghostdb.Exec
+module Plan = Ghostdb.Plan
+
+let check = Alcotest.check
+
+let instance =
+  lazy
+    (let rows = Retail.generate Retail.tiny in
+     let db = Ghost_db.of_schema (Retail.schema ()) rows in
+     let refdb = Reference.db_of_rows (Ghost_db.schema db) rows in
+     (db, refdb))
+
+let rows_equal got expected = Reference.sort_rows got = Reference.sort_rows expected
+
+let test_schema_shape () =
+  let s = Retail.schema () in
+  check Alcotest.string "fact" "LineItem" (Schema.root s).Schema.name;
+  check Alcotest.(list string) "chain"
+    [ "Customer"; "Purchase"; "LineItem" ]
+    (Schema.climb_path s "Customer");
+  check Alcotest.int "product is flat" 1 (Schema.depth s "Product")
+
+let test_all_queries_all_plans () =
+  let db, refdb = Lazy.force instance in
+  List.iter
+    (fun (name, sql) ->
+       let q = Ghost_db.bind db sql in
+       let expected = Reference.run (Ghost_db.schema db) refdb q in
+       let ordered = q.Ghost_sql.Bind.order_by <> [] in
+       List.iter
+         (fun (plan, _) ->
+            let r = Ghost_db.run_plan db plan in
+            let same =
+              if ordered then r.Exec.rows = expected
+              else rows_equal r.Exec.rows expected
+            in
+            if not same then
+              Alcotest.failf "retail %s: plan [%s] wrong" name plan.Plan.label;
+            check Alcotest.int "ram released" 0
+              (Ram.in_use (Device.ram (Ghost_db.device db))))
+         (Ghost_db.plans db sql))
+    Retail.queries
+
+let test_privacy () =
+  let db, _ = Lazy.force instance in
+  Ghost_db.clear_trace db;
+  List.iter (fun (_, sql) -> ignore (Ghost_db.query db sql)) Retail.queries;
+  let verdict = Ghost_db.audit db in
+  check Alcotest.bool "no leak in the retail scenario" true verdict.Ghostdb.Privacy.ok
+
+let test_non_vacuous () =
+  let db, refdb = Lazy.force instance in
+  List.iter
+    (fun (name, sql) ->
+       let expected =
+         Reference.run (Ghost_db.schema db) refdb (Ghost_db.bind db sql)
+       in
+       check Alcotest.bool (name ^ " selects rows") true (expected <> []))
+    Retail.queries
+
+let suite = [
+  Alcotest.test_case "schema shape" `Quick test_schema_shape;
+  Alcotest.test_case "all queries x all plans" `Slow test_all_queries_all_plans;
+  Alcotest.test_case "privacy" `Quick test_privacy;
+  Alcotest.test_case "queries non-vacuous" `Quick test_non_vacuous;
+]

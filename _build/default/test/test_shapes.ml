@@ -1,0 +1,173 @@
+(* Hand-picked schema shapes as regression anchors: a single isolated
+   table, a deep 5-level chain, and a wide star. (The randomized suite
+   explores the space; these pin the corners.) *)
+
+module Value = Ghost_kernel.Value
+module Rng = Ghost_kernel.Rng
+module Column = Ghost_relation.Column
+module Schema = Ghost_relation.Schema
+module Reference = Ghost_workload.Reference
+module Ghost_db = Ghostdb.Ghost_db
+module Exec = Ghostdb.Exec
+module Plan = Ghostdb.Plan
+
+let check = Alcotest.check
+
+let rows_equal got expected = Reference.sort_rows got = Reference.sort_rows expected
+
+let check_all_plans db refdb sql =
+  let q = Ghost_db.bind db sql in
+  let expected = Reference.run (Ghost_db.schema db) refdb q in
+  List.iter
+    (fun (plan, _) ->
+       let r = Ghost_db.run_plan db plan in
+       if not (rows_equal r.Exec.rows expected) then
+         Alcotest.failf "%s: plan [%s] wrong" sql plan.Plan.label)
+    (Ghost_db.plans db sql);
+  List.length expected
+
+(* ---- single isolated table (the schema root is a leaf) ---- *)
+
+let test_single_table_schema () =
+  let schema =
+    Schema.create
+      [
+        Schema.table ~name:"Solo" ~key:"SID"
+          [
+            Column.make "pub" Value.T_int;
+            Column.make ~visibility:Column.Hidden "sec" (Value.T_char 8);
+          ];
+      ]
+  in
+  let rng = Rng.create 4 in
+  let rows =
+    [
+      ( "Solo",
+        List.init 60 (fun i ->
+          [|
+            Value.Int (i + 1);
+            Value.Int (Rng.int rng 5);
+            Value.Str (Rng.pick rng [| "a"; "b"; "c" |]);
+          |]) );
+    ]
+  in
+  let db = Ghost_db.of_schema schema rows in
+  let refdb = Reference.db_of_rows schema rows in
+  ignore (check_all_plans db refdb "SELECT Solo.SID FROM Solo WHERE Solo.sec = 'a'");
+  ignore (check_all_plans db refdb "SELECT Solo.SID, Solo.sec FROM Solo WHERE Solo.pub = 3");
+  ignore
+    (check_all_plans db refdb
+       "SELECT Solo.sec, COUNT(*) FROM Solo GROUP BY Solo.sec ORDER BY Solo.sec")
+
+(* ---- deep 5-level chain: A -> B -> C -> D -> E ---- *)
+
+let chain_schema () =
+  let t name key cols = Schema.table ~name ~key cols in
+  Schema.create
+    [
+      t "A" "AID"
+        [ Column.make ~visibility:Column.Hidden "av" Value.T_int;
+          Column.make ~visibility:Column.Hidden ~refs:"B" "b" Value.T_int ];
+      t "B" "BID"
+        [ Column.make "bv" Value.T_int;
+          Column.make ~visibility:Column.Hidden ~refs:"C" "c" Value.T_int ];
+      t "C" "CID"
+        [ Column.make ~visibility:Column.Hidden "cv" (Value.T_char 8);
+          Column.make ~refs:"D" "d" Value.T_int ];
+      t "D" "DID"
+        [ Column.make "dv" Value.T_int;
+          Column.make ~visibility:Column.Hidden ~refs:"E" "e" Value.T_int ];
+      t "E" "EID" [ Column.make ~visibility:Column.Hidden "ev" Value.T_int ];
+    ]
+
+let chain_rows () =
+  let rng = Rng.create 9 in
+  let sizes = [ ("A", 160); ("B", 70); ("C", 40); ("D", 15); ("E", 8) ] in
+  let n name = List.assoc name sizes in
+  [
+    ( "A",
+      List.init (n "A") (fun i ->
+        [| Value.Int (i + 1); Value.Int (Rng.int rng 9);
+           Value.Int (1 + Rng.int rng (n "B")) |]) );
+    ( "B",
+      List.init (n "B") (fun i ->
+        [| Value.Int (i + 1); Value.Int (Rng.int rng 6);
+           Value.Int (1 + Rng.int rng (n "C")) |]) );
+    ( "C",
+      List.init (n "C") (fun i ->
+        [| Value.Int (i + 1); Value.Str (Rng.pick rng [| "x"; "y"; "z" |]);
+           Value.Int (1 + Rng.int rng (n "D")) |]) );
+    ( "D",
+      List.init (n "D") (fun i ->
+        [| Value.Int (i + 1); Value.Int (Rng.int rng 4);
+           Value.Int (1 + Rng.int rng (n "E")) |]) );
+    ("E", List.init (n "E") (fun i -> [| Value.Int (i + 1); Value.Int (Rng.int rng 3) |]));
+  ]
+
+let test_deep_chain () =
+  let schema = chain_schema () in
+  let rows = chain_rows () in
+  let db = Ghost_db.of_schema schema rows in
+  let refdb = Reference.db_of_rows schema rows in
+  (* predicate on the deepest leaf, projected from the root: the
+     climbing index must span 5 levels *)
+  let n =
+    check_all_plans db refdb
+      "SELECT A.AID, E.ev FROM A, B, C, D, E WHERE E.ev = 1 AND A.b = B.BID AND \
+       B.c = C.CID AND C.d = D.DID AND D.e = E.EID"
+  in
+  check Alcotest.bool "matches exist" true (n > 0);
+  (* mixed visible/hidden along the chain *)
+  ignore
+    (check_all_plans db refdb
+       "SELECT A.AID FROM A, B, C, D, E WHERE B.bv >= 2 AND C.cv = 'x' AND D.dv < 3 \
+        AND E.ev <> 0 AND A.b = B.BID AND B.c = C.CID AND C.d = D.DID AND D.e = \
+        E.EID");
+  (* sub-subtree query rooted in the middle of the chain *)
+  ignore
+    (check_all_plans db refdb
+       "SELECT C.CID, D.dv FROM C, D WHERE C.cv = 'y' AND D.dv = 1 AND C.d = D.DID")
+
+(* ---- wide star: one fact, five dimensions ---- *)
+
+let test_wide_star () =
+  let dim i =
+    Schema.table ~name:(Printf.sprintf "Dim%d" i) ~key:(Printf.sprintf "D%dID" i)
+      [ Column.make ~visibility:(if i mod 2 = 0 then Column.Hidden else Column.Visible)
+          "v" Value.T_int ]
+  in
+  let fact =
+    Schema.table ~name:"Fact" ~key:"FID"
+      (Column.make ~visibility:Column.Hidden "fv" Value.T_int
+       :: List.init 5 (fun i ->
+         Column.make ~visibility:Column.Hidden ~refs:(Printf.sprintf "Dim%d" (i + 1))
+           (Printf.sprintf "fk%d" (i + 1)) Value.T_int))
+  in
+  let schema = Schema.create (fact :: List.init 5 (fun i -> dim (i + 1))) in
+  let rng = Rng.create 21 in
+  let dim_rows _ = List.init 12 (fun j -> [| Value.Int (j + 1); Value.Int (Rng.int rng 4) |]) in
+  let rows =
+    ( "Fact",
+      List.init 300 (fun i ->
+        Array.of_list
+          (Value.Int (i + 1) :: Value.Int (Rng.int rng 7)
+           :: List.init 5 (fun _ -> Value.Int (1 + Rng.int rng 12)))) )
+    :: List.init 5 (fun i -> (Printf.sprintf "Dim%d" (i + 1), dim_rows i))
+  in
+  let db = Ghost_db.of_schema schema rows in
+  let refdb = Reference.db_of_rows schema rows in
+  ignore
+    (check_all_plans db refdb
+       "SELECT Fact.FID FROM Fact, Dim1, Dim2, Dim3 WHERE Dim1.v = 1 AND Dim2.v = 2 \
+        AND Dim3.v >= 1 AND Fact.fk1 = Dim1.D1ID AND Fact.fk2 = Dim2.D2ID AND \
+        Fact.fk3 = Dim3.D3ID");
+  ignore
+    (check_all_plans db refdb
+       "SELECT Dim5.v, COUNT(*) FROM Fact, Dim5 WHERE Fact.fv BETWEEN 2 AND 5 AND \
+        Fact.fk5 = Dim5.D5ID GROUP BY Dim5.v")
+
+let suite = [
+  Alcotest.test_case "single isolated table" `Quick test_single_table_schema;
+  Alcotest.test_case "deep 5-level chain" `Quick test_deep_chain;
+  Alcotest.test_case "wide star" `Quick test_wide_star;
+]

@@ -1,0 +1,84 @@
+(* RAM-pressure paths of the executor: the projection join must switch
+   from the RAM hash to the external sort-merge on scratch, and the
+   climb must fall back to hierarchical merging, without changing the
+   answer. *)
+
+module Device = Ghost_device.Device
+module Flash = Ghost_flash.Flash
+module Medical = Ghost_workload.Medical
+module Reference = Ghost_workload.Reference
+module Ghost_db = Ghostdb.Ghost_db
+module Exec = Ghostdb.Exec
+module Plan = Ghostdb.Plan
+module Planner = Ghostdb.Planner
+
+let check = Alcotest.check
+
+(* An unselective visible predicate on Visit whose (id, date) stream is
+   far larger than half a tiny arena: the Project+Join must spill. *)
+let sql =
+  "SELECT Pre.PreID, Vis.Date FROM Prescription Pre, Visit Vis WHERE Vis.Date > \
+   '2004-02-01' AND Pre.VisID = Vis.VisID"
+
+let with_budget budget =
+  let rows = Medical.generate Medical.small in
+  let config = { Device.default_config with Device.ram_budget = budget } in
+  let db = Ghost_db.of_schema ~device_config:config (Medical.schema ()) rows in
+  let refdb = Reference.db_of_rows (Ghost_db.schema db) rows in
+  (db, refdb)
+
+let op_named r label =
+  List.find_opt (fun o -> o.Exec.op_label = label) r.Exec.ops
+
+let run_post db =
+  let q = Ghost_db.bind db sql in
+  Ghost_db.run_plan db (Planner.all_post (Ghost_db.catalog db) q)
+
+let test_join_spills_under_pressure () =
+  let db, refdb = with_budget (12 * 1024) in
+  let r = run_post db in
+  let expected = Reference.run (Ghost_db.schema db) refdb (Ghost_db.bind db sql) in
+  check Alcotest.bool "answer exact despite spill" true
+    (Reference.sort_rows r.Exec.rows = Reference.sort_rows expected);
+  match op_named r "Project+Join(Visit.Date)" with
+  | None -> Alcotest.fail "join operator missing"
+  | Some o ->
+    check Alcotest.bool
+      (Printf.sprintf "join spilled to scratch (%d programs)"
+         o.Exec.usage.Device.flash_page_programs)
+      true
+      (o.Exec.usage.Device.flash_page_programs > 0)
+
+let test_join_stays_in_ram_with_room () =
+  let db, _ = with_budget (512 * 1024) in
+  let r = run_post db in
+  match op_named r "Project+Join(Visit.Date)" with
+  | None -> Alcotest.fail "join operator missing"
+  | Some o ->
+    check Alcotest.int "no scratch traffic with a big arena" 0
+      o.Exec.usage.Device.flash_page_programs
+
+let test_scratch_reclaimed () =
+  let db, _ = with_budget (12 * 1024) in
+  let r = run_post db in
+  check Alcotest.bool "reclaim op present" true
+    (op_named r "ScratchReclaim" <> None);
+  let scratch = Device.scratch (Ghost_db.device db) in
+  check Alcotest.int "scratch empty after the query" 0 (Flash.live_bytes scratch)
+
+let test_spill_slower_than_ram () =
+  let small_ram, _ = with_budget (12 * 1024) in
+  let big_ram, _ = with_budget (512 * 1024) in
+  let spilled = (run_post small_ram).Exec.elapsed_us in
+  let resident = (run_post big_ram).Exec.elapsed_us in
+  check Alcotest.bool
+    (Printf.sprintf "spill costs time (%.0f vs %.0f us)" spilled resident)
+    true (spilled > resident)
+
+let suite = [
+  Alcotest.test_case "projection join spills under pressure" `Quick
+    test_join_spills_under_pressure;
+  Alcotest.test_case "no spill with a large arena" `Quick test_join_stays_in_ram_with_room;
+  Alcotest.test_case "scratch reclaimed after the query" `Quick test_scratch_reclaimed;
+  Alcotest.test_case "spilling costs simulated time" `Quick test_spill_slower_than_ram;
+]

@@ -1,0 +1,252 @@
+(* Tests for the SQL subset: lexer, parser, binder. *)
+
+module Value = Ghost_kernel.Value
+module Date = Ghost_kernel.Date
+module Column = Ghost_relation.Column
+module Schema = Ghost_relation.Schema
+module Predicate = Ghost_relation.Predicate
+module Lexer = Ghost_sql.Lexer
+module Parser = Ghost_sql.Parser
+module Ast = Ghost_sql.Ast
+module Bind = Ghost_sql.Bind
+
+let check = Alcotest.check
+
+let medical_ddl = {|
+CREATE TABLE Doctor (
+  DocID INTEGER PRIMARY KEY,
+  Name CHAR(20),
+  Speciality CHAR(20),
+  Zip INTEGER,
+  Country CHAR(16));
+
+CREATE TABLE Patient (
+  PatID INTEGER PRIMARY KEY,
+  Name CHAR(20) HIDDEN,
+  Age INTEGER,
+  BodyMassIndex FLOAT HIDDEN,
+  Country CHAR(16));
+
+CREATE TABLE Medicine (
+  MedID INTEGER PRIMARY KEY,
+  Name CHAR(20),
+  Effect CHAR(20),
+  Type CHAR(16));
+
+CREATE TABLE Visit (
+  VisID INTEGER PRIMARY KEY,
+  Date DATE,
+  Purpose CHAR(20) HIDDEN,
+  DocID INTEGER REFERENCES Doctor(DocID) HIDDEN,
+  PatID INTEGER REFERENCES Patient(PatID) HIDDEN);
+
+CREATE TABLE Prescription (
+  PreID INTEGER PRIMARY KEY,
+  Quantity INTEGER HIDDEN,
+  Frequency INTEGER,
+  WhenWritten DATE HIDDEN,
+  MedID INTEGER REFERENCES Medicine(MedID) HIDDEN,
+  VisID INTEGER REFERENCES Visit(VisID) HIDDEN);
+|}
+
+let medical_schema () = Bind.ddl_to_schema (Parser.parse_ddl medical_ddl)
+
+(* The paper's Section 4 example query. *)
+let demo_query = {|
+SELECT Med.Name, Pre.Quantity, Vis.Date
+FROM Medicine Med, Prescription Pre, Visit Vis
+WHERE Vis.Date > '2006-11-05'
+  AND Vis.Purpose = 'Sclerosis'
+  AND Med.Type = 'Antibiotic'
+  AND Med.MedID = Pre.MedID
+  AND Vis.VisID = Pre.VisID
+|}
+
+let test_lexer_basics () =
+  let toks = Lexer.tokenize "SELECT a.b, c FROM t WHERE x >= 10 -- comment\n AND s = 'it''s'" in
+  check Alcotest.int "token count" 17 (List.length toks);
+  (match toks with
+   | Lexer.Kw ("SELECT", _) :: Lexer.Ident "a" :: Lexer.Symbol "." :: _ -> ()
+   | _ -> Alcotest.fail "unexpected prefix");
+  check Alcotest.bool "string escape" true
+    (List.exists (fun t -> t = Lexer.String_lit "it's") toks)
+
+let test_lexer_keyword_case () =
+  match Lexer.tokenize "select Date" with
+  | [ Lexer.Kw ("SELECT", "select"); Lexer.Kw ("DATE", "Date"); Lexer.Eof ] -> ()
+  | _ -> Alcotest.fail "case handling wrong"
+
+let test_lexer_errors () =
+  try
+    ignore (Lexer.tokenize "a @ b");
+    Alcotest.fail "expected Lex_error"
+  with Lexer.Lex_error _ -> ()
+
+let test_parse_ddl () =
+  let creates = Parser.parse_ddl medical_ddl in
+  check Alcotest.int "5 tables" 5 (List.length creates);
+  let visit = List.find (fun c -> c.Ast.table_name = "Visit") creates in
+  let purpose =
+    List.find (fun c -> c.Ast.col_name = "Purpose") visit.Ast.ddl_columns
+  in
+  check Alcotest.bool "hidden" true purpose.Ast.hidden;
+  let docid = List.find (fun c -> c.Ast.col_name = "DocID") visit.Ast.ddl_columns in
+  check Alcotest.(option string) "refs" (Some "Doctor") docid.Ast.references
+
+let test_parse_select () =
+  let s = Parser.parse_select demo_query in
+  check Alcotest.int "3 projections" 3 (List.length s.Ast.projections);
+  check Alcotest.int "3 from" 3 (List.length s.Ast.from);
+  check Alcotest.int "5 conditions" 5 (List.length s.Ast.where);
+  let joins =
+    List.filter (function Ast.C_join _ -> true | _ -> false) s.Ast.where
+  in
+  check Alcotest.int "2 joins" 2 (List.length joins)
+
+let test_parse_between_in () =
+  let s =
+    Parser.parse_select
+      "SELECT ID FROM T WHERE a BETWEEN 1 AND 5 AND b IN ('x','y') AND c <> 0"
+  in
+  check Alcotest.int "3 conditions" 3 (List.length s.Ast.where)
+
+let test_parse_date_literal () =
+  let s = Parser.parse_select "SELECT ID FROM T WHERE d > DATE '2006-11-05'" in
+  match s.Ast.where with
+  | [ Ast.C_cmp (_, Ast.Op_gt, Ast.L_string "2006-11-05") ] -> ()
+  | _ -> Alcotest.fail "date literal not parsed"
+
+let test_parse_errors () =
+  List.iter
+    (fun sql ->
+       try
+         ignore (Parser.parse_statement sql);
+         Alcotest.fail ("expected Parse_error for: " ^ sql)
+       with Parser.Parse_error _ -> ())
+    [
+      "SELECT FROM t";
+      "CREATE TABLE t ()";
+      "SELECT a FROM";
+      "SELECT a FROM t WHERE";
+      "SELECT a FROM t WHERE a < b";  (* non-equi join *)
+      "DROP TABLE t";
+      "SELECT a FROM t extra garbage ;;";
+    ]
+
+let test_ddl_to_schema () =
+  let s = medical_schema () in
+  check Alcotest.string "root" "Prescription" (Schema.root s).Schema.name;
+  let visit = Schema.find_table s "Visit" in
+  check Alcotest.bool "Purpose hidden" true
+    (Column.is_hidden (Schema.find_column visit "Purpose"));
+  check Alcotest.bool "Date visible" false
+    (Column.is_hidden (Schema.find_column visit "Date"))
+
+let test_ddl_rejects_hidden_key () =
+  try
+    ignore
+      (Bind.ddl_to_schema
+         (Parser.parse_ddl "CREATE TABLE T (ID INTEGER PRIMARY KEY HIDDEN, x INT)"));
+    Alcotest.fail "expected Bind_error"
+  with Bind.Bind_error _ -> ()
+
+let test_bind_demo_query () =
+  let s = medical_schema () in
+  let q = Bind.bind s demo_query in
+  check Alcotest.(list string) "tables"
+    [ "Medicine"; "Prescription"; "Visit" ]
+    q.Bind.tables;
+  check Alcotest.int "3 selections" 3 (List.length q.Bind.selections);
+  check Alcotest.int "2 edges" 2 (List.length q.Bind.join_edges);
+  check
+    Alcotest.(list (pair string string))
+    "edges"
+    [ ("Prescription", "Medicine"); ("Prescription", "Visit") ]
+    q.Bind.join_edges;
+  (* date literal coerced *)
+  let date_sel =
+    List.find (fun p -> p.Predicate.column = "Date") q.Bind.selections
+  in
+  (match date_sel.Predicate.cmp with
+   | Predicate.Gt (Value.Date d) ->
+     check Alcotest.int "coerced date" (Date.of_string "2006-11-05") d
+   | _ -> Alcotest.fail "Date literal not coerced");
+  check Alcotest.(list (pair string string)) "projections"
+    [ ("Medicine", "Name"); ("Prescription", "Quantity"); ("Visit", "Date") ]
+    q.Bind.projections
+
+let test_bind_unqualified_and_alias () =
+  let s = medical_schema () in
+  let q = Bind.bind s "SELECT Speciality FROM Doctor D WHERE D.Country = 'Spain'" in
+  check Alcotest.(list (pair string string)) "resolved"
+    [ ("Doctor", "Speciality") ]
+    q.Bind.projections;
+  check Alcotest.int "one selection" 1 (List.length q.Bind.selections)
+
+let test_bind_errors () =
+  let s = medical_schema () in
+  List.iter
+    (fun sql ->
+       try
+         ignore (Bind.bind s sql);
+         Alcotest.fail ("expected Bind_error for: " ^ sql)
+       with Bind.Bind_error _ -> ())
+    [
+      "SELECT Nope FROM Doctor";
+      "SELECT Name FROM Doctor, Patient WHERE Doctor.Country = 'x'";
+      (* disconnected: no join between Doctor and Patient *)
+      "SELECT Doctor.Name FROM Doctor, Patient WHERE Doctor.DocID = Patient.PatID";
+      (* not an FK edge *)
+      "SELECT Name FROM Unknown";
+      "SELECT Doctor.Name FROM Doctor WHERE Doctor.Zip = 'notanint'";
+    ]
+
+let test_bind_ambiguous_column () =
+  let s = medical_schema () in
+  try
+    ignore
+      (Bind.bind s
+         "SELECT Name FROM Doctor, Visit, Patient WHERE Visit.DocID = Doctor.DocID AND Visit.PatID = Patient.PatID");
+    Alcotest.fail "expected ambiguity error"
+  with Bind.Bind_error _ -> ()
+
+let test_surface_roundtrip () =
+  (* re-parsing a bound query's rendered text gives the same bound
+     query (modulo the text itself) *)
+  let s = medical_schema () in
+  let queries =
+    List.map snd Ghost_workload.Queries.all
+    @ [
+        "SELECT Pat.Country, COUNT(*), AVG(Pat.Age) FROM Patient Pat GROUP BY \
+         Pat.Country ORDER BY Pat.Country LIMIT 3";
+        "SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose LIKE 'Dia%'";
+      ]
+  in
+  List.iter
+    (fun sql ->
+       let q1 = Bind.bind s sql in
+       let q2 = Bind.bind s q1.Bind.text in
+       let strip (q : Bind.query) =
+         (q.Bind.tables, q.Bind.projections, q.Bind.selections, q.Bind.join_edges,
+          q.Bind.aggregate, q.Bind.order_by, q.Bind.limit)
+       in
+       if strip q1 <> strip q2 then Alcotest.failf "roundtrip changed: %s" sql)
+    queries
+
+let suite = [
+  Alcotest.test_case "surface form roundtrip" `Quick test_surface_roundtrip;
+  Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+  Alcotest.test_case "lexer keyword case" `Quick test_lexer_keyword_case;
+  Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+  Alcotest.test_case "parse ddl" `Quick test_parse_ddl;
+  Alcotest.test_case "parse select (paper query)" `Quick test_parse_select;
+  Alcotest.test_case "parse between/in" `Quick test_parse_between_in;
+  Alcotest.test_case "parse date literal" `Quick test_parse_date_literal;
+  Alcotest.test_case "parse errors" `Quick test_parse_errors;
+  Alcotest.test_case "ddl to schema" `Quick test_ddl_to_schema;
+  Alcotest.test_case "ddl rejects hidden key" `Quick test_ddl_rejects_hidden_key;
+  Alcotest.test_case "bind demo query" `Quick test_bind_demo_query;
+  Alcotest.test_case "bind unqualified + alias" `Quick test_bind_unqualified_and_alias;
+  Alcotest.test_case "bind errors" `Quick test_bind_errors;
+  Alcotest.test_case "bind ambiguous column" `Quick test_bind_ambiguous_column;
+]

@@ -1,0 +1,403 @@
+(* Tests for the on-flash structures. *)
+
+module Value = Ghost_kernel.Value
+module Cursor = Ghost_kernel.Cursor
+module Rng = Ghost_kernel.Rng
+module Sorted_ids = Ghost_kernel.Sorted_ids
+module Resources = Ghost_kernel.Resources
+module Flash = Ghost_flash.Flash
+module Ram = Ghost_device.Ram
+module Predicate = Ghost_relation.Predicate
+module Pager = Ghost_store.Pager
+module Id_list = Ghost_store.Id_list
+module Column_store = Ghost_store.Column_store
+module Skt = Ghost_store.Skt
+module Climbing_index = Ghost_store.Climbing_index
+module Merge_union = Ghost_store.Merge_union
+module Ext_sort = Ghost_store.Ext_sort
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let flash () = Flash.create ~geometry:{ Flash.page_size = 256; pages_per_block = 8 } ()
+
+(* ---- Pager ---- *)
+
+let test_pager_roundtrip () =
+  let f = flash () in
+  let payload = String.init 1000 (fun i -> Char.chr (i mod 251)) in
+  let seg = Pager.write_segment f payload in
+  check Alcotest.int "length" 1000 (Pager.segment_bytes seg);
+  Pager.with_reader f seg (fun r ->
+    check Alcotest.string "whole" payload
+      (Bytes.to_string (Pager.Reader.read r ~off:0 ~len:1000));
+    check Alcotest.string "cross-page" (String.sub payload 250 12)
+      (Bytes.to_string (Pager.Reader.read r ~off:250 ~len:12));
+    check Alcotest.string "tail" (String.sub payload 990 10)
+      (Bytes.to_string (Pager.Reader.read r ~off:990 ~len:10)))
+
+let test_pager_window_caching () =
+  let f = flash () in
+  let seg = Pager.write_segment f (String.make 512 'x') in
+  Pager.with_reader ~buffer_bytes:64 f seg (fun r ->
+    let before = (Flash.stats f).Flash.page_reads in
+    ignore (Pager.Reader.read r ~off:0 ~len:8);
+    let after_first = (Flash.stats f).Flash.page_reads in
+    ignore (Pager.Reader.read r ~off:8 ~len:8);
+    ignore (Pager.Reader.read r ~off:16 ~len:8);
+    let after_cached = (Flash.stats f).Flash.page_reads in
+    check Alcotest.bool "first read hits flash" true (after_first > before);
+    check Alcotest.int "window serves next reads" after_first after_cached)
+
+let test_pager_ram_accounting () =
+  let f = flash () in
+  let ram = Ram.create ~budget:4096 in
+  let seg = Pager.write_segment f "hello" in
+  let r = Pager.Reader.open_ ~ram ~buffer_bytes:512 f seg in
+  check Alcotest.int "buffer charged" 512 (Ram.in_use ram);
+  Pager.Reader.close r;
+  check Alcotest.int "freed" 0 (Ram.in_use ram);
+  Pager.Reader.close r;
+  check Alcotest.int "idempotent" 0 (Ram.in_use ram)
+
+let test_pager_bounds () =
+  let f = flash () in
+  let seg = Pager.write_segment f "abc" in
+  Pager.with_reader f seg (fun r ->
+    try
+      ignore (Pager.Reader.read r ~off:1 ~len:3);
+      Alcotest.fail "expected out of bounds"
+    with Invalid_argument _ -> ())
+
+(* ---- Id_list ---- *)
+
+let sorted_gen =
+  QCheck.Gen.(map Sorted_ids.of_unsorted (list_size (0 -- 60) (0 -- 10000)))
+
+let arb_sorted = QCheck.make ~print:QCheck.Print.(array int) sorted_gen
+
+let prop_id_list_roundtrip =
+  QCheck.Test.make ~name:"id list encode/decode roundtrip" ~count:300 arb_sorted
+    (fun ids ->
+       Id_list.decode (Bytes.of_string (Id_list.encode ids)) = ids)
+
+let prop_id_list_cursor =
+  QCheck.Test.make ~name:"id list cursor streams the list" ~count:200 arb_sorted
+    (fun ids ->
+       let f = flash () in
+       let encoded = Id_list.encode ids in
+       let seg = Pager.write_segment f ("junk" ^ encoded) in
+       Pager.with_reader ~buffer_bytes:16 f seg (fun r ->
+         Cursor.to_list (Id_list.cursor r ~off:4 ~len:(String.length encoded))
+         = Array.to_list ids))
+
+let test_id_list_rejects_unsorted () =
+  try
+    ignore (Id_list.encode [| 3; 1 |]);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+(* ---- Column_store ---- *)
+
+let test_column_store_get_scan () =
+  let f = flash () in
+  let values = Array.init 100 (fun i -> Value.Int (i * 7)) in
+  let cs = Column_store.build f Value.T_int values in
+  check Alcotest.int "count" 100 (Column_store.count cs);
+  let r = Column_store.open_reader cs in
+  check Alcotest.bool "get 1" true (Value.equal (Value.Int 0) (Column_store.get r 1));
+  check Alcotest.bool "get 100" true
+    (Value.equal (Value.Int 693) (Column_store.get r 100));
+  let scanned = Cursor.to_list (Column_store.scan r) in
+  check Alcotest.int "scan length" 100 (List.length scanned);
+  check Alcotest.bool "scan pairs" true
+    (List.for_all (fun (id, v) -> Value.equal v (Value.Int ((id - 1) * 7))) scanned);
+  Column_store.close_reader r
+
+let test_column_store_strings () =
+  let f = flash () in
+  let values = [| Value.Str "alpha"; Value.Str "beta"; Value.Str "a-very-long-nam" |] in
+  let cs = Column_store.build f (Value.T_char 16) values in
+  let r = Column_store.open_reader cs in
+  check Alcotest.bool "string roundtrip" true
+    (Value.equal (Value.Str "beta") (Column_store.get r 2));
+  Column_store.close_reader r
+
+let test_column_store_matching_ids () =
+  let f = flash () in
+  let values = Array.init 50 (fun i -> Value.Int (i mod 5)) in
+  let cs = Column_store.build f Value.T_int values in
+  let r = Column_store.open_reader cs in
+  let ids = Cursor.to_array (Column_store.matching_ids r (Predicate.Eq (Value.Int 3))) in
+  check Alcotest.int "10 matches" 10 (Array.length ids);
+  check Alcotest.bool "sorted" true (Sorted_ids.is_sorted ids);
+  check Alcotest.bool "all match" true
+    (Array.for_all (fun id -> (id - 1) mod 5 = 3) ids);
+  Column_store.close_reader r
+
+(* ---- Skt ---- *)
+
+let test_skt_roundtrip () =
+  let f = flash () in
+  let rows = Array.init 20 (fun i -> [| i + 1; ((i + 1) mod 7) + 1; ((i + 1) mod 3) + 1 |]) in
+  let skt = Skt.build f ~root:"R" ~levels:[ "R"; "A"; "B" ] ~rows in
+  check Alcotest.int "root count" 20 (Skt.root_count skt);
+  check Alcotest.int "row width" 12 (Skt.row_width skt);
+  check Alcotest.int "level index" 1 (Skt.level_index skt "A");
+  let r = Skt.open_reader skt in
+  check Alcotest.(array int) "row 5" rows.(4) (Skt.get r 5);
+  check Alcotest.int "level read" rows.(9).(2) (Skt.get_level r 10 ~level:2);
+  let all = Cursor.to_list (Skt.scan r) in
+  check Alcotest.int "scan" 20 (List.length all);
+  Skt.close_reader r
+
+let test_skt_validation () =
+  let f = flash () in
+  (try
+     ignore (Skt.build f ~root:"R" ~levels:[ "A"; "R" ] ~rows:[||]);
+     Alcotest.fail "expected root-first error"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Skt.build f ~root:"R" ~levels:[ "R" ] ~rows:[| [| 2 |] |]);
+    Alcotest.fail "expected dense-id error"
+  with Invalid_argument _ -> ()
+
+(* ---- Climbing_index (sorted) ---- *)
+
+let build_sorted_index f entries =
+  Climbing_index.build_sorted f ~table:"T" ~column:"c" ~levels:[ "T"; "P"; "R" ] entries
+
+let example_entries =
+  [
+    (Value.Str "Antibiotic", [| [| 2; 5 |]; [| 1; 2; 9 |]; [| 3 |] |]);
+    (Value.Str "Sclerosis", [| [| 1 |]; [| 4 |]; [| 1; 2 |] |]);
+    (Value.Str "Zoster", [| [| 3; 4 |]; [| 5; 6 |]; [| 4; 5; 6 |] |]);
+  ]
+
+let drain source =
+  let cursor, close = source () in
+  let ids = Cursor.to_array cursor in
+  close ();
+  ids
+
+let test_climbing_eq () =
+  let f = flash () in
+  let ram = Ram.create ~budget:65536 in
+  let idx = build_sorted_index f example_entries in
+  check Alcotest.int "entries" 3 (Climbing_index.entry_count idx);
+  (match Climbing_index.lookup_eq ~ram idx (Value.Str "Sclerosis") ~level:"R" with
+   | Some src -> check Alcotest.(array int) "root level" [| 1; 2 |] (drain src)
+   | None -> Alcotest.fail "value not found");
+  (match Climbing_index.lookup_eq ~ram idx (Value.Str "Antibiotic") ~level:"T" with
+   | Some src -> check Alcotest.(array int) "own level" [| 2; 5 |] (drain src)
+   | None -> Alcotest.fail "value not found");
+  check Alcotest.(option unit) "absent value" None
+    (Option.map ignore (Climbing_index.lookup_eq ~ram idx (Value.Str "Nope") ~level:"T"));
+  check Alcotest.int "count_eq" 3
+    (Climbing_index.count_eq ~ram idx (Value.Str "Antibiotic") ~level:"P");
+  check Alcotest.int "ram released" 0 (Ram.in_use ram)
+
+let union_all ~ram ~scratch sources =
+  Resources.with_resources (fun resources ->
+    Cursor.to_array (Merge_union.union ~ram ~scratch ~resources sources))
+
+let test_climbing_range () =
+  let f = flash () in
+  let scratch = flash () in
+  let ram = Ram.create ~budget:65536 in
+  let entries =
+    List.init 20 (fun i ->
+      (Value.Int (i * 10), [| [| i + 1 |]; [| (2 * i) + 1; (2 * i) + 2 |]; [| i + 1 |] |]))
+  in
+  let idx = build_sorted_index f entries in
+  let sources =
+    Climbing_index.lookup_cmp ~ram idx
+      (Predicate.Between (Value.Int 30, Value.Int 60))
+      ~level:"T"
+  in
+  check Alcotest.(array int) "between" [| 4; 5; 6; 7 |] (union_all ~ram ~scratch sources);
+  let lt = Climbing_index.lookup_cmp ~ram idx (Predicate.Lt (Value.Int 30)) ~level:"T" in
+  check Alcotest.(array int) "lt" [| 1; 2; 3 |] (union_all ~ram ~scratch lt);
+  let ge =
+    Climbing_index.lookup_cmp ~ram idx (Predicate.Ge (Value.Int 180)) ~level:"T"
+  in
+  check Alcotest.(array int) "ge" [| 19; 20 |] (union_all ~ram ~scratch ge);
+  let ne = Climbing_index.lookup_cmp ~ram idx (Predicate.Ne (Value.Int 0)) ~level:"T" in
+  check Alcotest.int "ne count" 19 (Array.length (union_all ~ram ~scratch ne));
+  let in_ =
+    Climbing_index.lookup_cmp ~ram idx
+      (Predicate.In [ Value.Int 50; Value.Int 0; Value.Int 999 ])
+      ~level:"T"
+  in
+  check Alcotest.(array int) "in" [| 1; 6 |] (union_all ~ram ~scratch in_)
+
+let prop_climbing_eq_random =
+  QCheck.Test.make ~name:"climbing index eq lookups match the build input" ~count:50
+    QCheck.(int_range 1 60)
+    (fun n ->
+       let f = flash () in
+       let ram = Ram.create ~budget:65536 in
+       let rng = Rng.create n in
+       let entries =
+         List.init n (fun i ->
+           let lists =
+             [|
+               Sorted_ids.of_unsorted (List.init (1 + Rng.int rng 5) (fun _ -> 1 + Rng.int rng 500));
+               Sorted_ids.of_unsorted (List.init (1 + Rng.int rng 8) (fun _ -> 1 + Rng.int rng 900));
+               Sorted_ids.of_unsorted (List.init (1 + Rng.int rng 3) (fun _ -> 1 + Rng.int rng 100));
+             |]
+           in
+           (Value.Int (i * 3), lists))
+       in
+       let idx = build_sorted_index f entries in
+       List.for_all
+         (fun (v, lists) ->
+            match Climbing_index.lookup_eq ~ram idx v ~level:"P" with
+            | Some src -> drain src = lists.(1)
+            | None -> false)
+         entries
+       && Ram.in_use ram = 0)
+
+let test_climbing_string_prefix_collision () =
+  (* Strings sharing a 15-byte prefix must still be distinguished. *)
+  let f = flash () in
+  let ram = Ram.create ~budget:65536 in
+  let a = "aaaaaaaaaaaaaaaaaaaaaaaa-one" and b = "aaaaaaaaaaaaaaaaaaaaaaaa-two" in
+  let entries =
+    [
+      (Value.Str a, [| [| 1 |]; [| 10 |]; [| 100 |] |]);
+      (Value.Str b, [| [| 2 |]; [| 20 |]; [| 200 |] |]);
+    ]
+  in
+  let entries = List.sort (fun (x, _) (y, _) -> Value.compare x y) entries in
+  let idx = build_sorted_index f entries in
+  (match Climbing_index.lookup_eq ~ram idx (Value.Str b) ~level:"T" with
+   | Some src -> check Alcotest.(array int) "collides resolved" [| 2 |] (drain src)
+   | None -> Alcotest.fail "b not found");
+  match Climbing_index.lookup_eq ~ram idx (Value.Str "aaaaaaaaaaaaaaaaaaaaaaaa-xxx") ~level:"T" with
+  | Some _ -> Alcotest.fail "phantom match"
+  | None -> ()
+
+(* ---- Climbing_index (dense) ---- *)
+
+let test_dense_index () =
+  let f = flash () in
+  let ram = Ram.create ~budget:65536 in
+  (* id k at level P owns list [2k-1; 2k]; at level R owns [k]. *)
+  let idx =
+    Climbing_index.build_dense f ~table:"T" ~count:30 ~levels:[ "P"; "R" ] (fun id ->
+      [| [| (2 * id) - 1; 2 * id |]; [| id |] |])
+  in
+  check Alcotest.(array int) "id 7 at P" [| 13; 14 |]
+    (drain (Climbing_index.lookup_id ~ram idx 7 ~level:"P"));
+  check Alcotest.(array int) "id 30 at R" [| 30 |]
+    (drain (Climbing_index.lookup_id ~ram idx 30 ~level:"R"));
+  check Alcotest.(array int) "out of range" [||]
+    (drain (Climbing_index.lookup_id ~ram idx 31 ~level:"P"));
+  try
+    ignore (Climbing_index.lookup_eq ~ram idx (Value.Int 1) ~level:"P");
+    Alcotest.fail "expected invalid sorted lookup on dense index"
+  with Invalid_argument _ -> ()
+
+(* ---- Merge_union ---- *)
+
+let prop_union_matches_spec =
+  QCheck.Test.make ~name:"merge union = sorted dedup union" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 12) arb_sorted)
+    (fun lists ->
+       let ram = Ram.create ~budget:8192 in
+       let scratch = flash () in
+       let sources = List.map Merge_union.of_array lists in
+       let got = union_all ~ram ~scratch sources in
+       let expected = Sorted_ids.union_many lists in
+       got = expected && Ram.in_use ram = 0)
+
+let test_union_hierarchical_spill () =
+  (* Tiny arena forces multi-pass merging through scratch. *)
+  let ram = Ram.create ~budget:1600 in
+  let scratch = flash () in
+  let lists = List.init 40 (fun i -> Array.init 30 (fun j -> (j * 40) + i)) in
+  let sources = List.map Merge_union.of_array lists in
+  let got = union_all ~ram ~scratch sources in
+  check Alcotest.int "full range" 1200 (Array.length got);
+  check Alcotest.bool "spilled to scratch" true
+    ((Flash.stats scratch).Flash.page_programs > 0);
+  check Alcotest.int "ram released" 0 (Ram.in_use ram)
+
+(* ---- Ext_sort ---- *)
+
+let record_of_int v =
+  let b = Bytes.create 4 in
+  Ghost_kernel.Codec.put_u32 b 0 v;
+  b
+
+let int_of_record b = Ghost_kernel.Codec.get_u32 b 0
+
+let run_sort ~budget values =
+  let ram = Ram.create ~budget in
+  let scratch = flash () in
+  let input = Cursor.map record_of_int (Cursor.of_list values) in
+  let sorted =
+    Resources.with_resources (fun resources ->
+      Cursor.to_list
+        (Cursor.map int_of_record
+           (Ext_sort.sort ~ram ~scratch ~resources ~record_bytes:4
+              ~compare:Bytes.compare input)))
+  in
+  (sorted, ram, scratch)
+
+let prop_ext_sort_ram_path =
+  QCheck.Test.make ~name:"ext sort (fits in ram) = List.sort" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 50) (0 -- 1_000_000))
+    (fun values ->
+       let sorted, ram, scratch = run_sort ~budget:65536 values in
+       sorted = List.sort Int.compare values
+       && Ram.in_use ram = 0
+       && (Flash.stats scratch).Flash.page_programs = 0)
+
+let prop_ext_sort_spill_path =
+  QCheck.Test.make ~name:"ext sort (spilled) = List.sort" ~count:30
+    QCheck.(list_of_size (QCheck.Gen.int_range 200 600) (0 -- 1_000_000))
+    (fun values ->
+       let sorted, ram, scratch = run_sort ~budget:600 values in
+       sorted = List.sort Int.compare values
+       && Ram.in_use ram = 0
+       && (Flash.stats scratch).Flash.page_programs > 0)
+
+let test_ext_sort_wrong_width () =
+  let ram = Ram.create ~budget:4096 in
+  let scratch = flash () in
+  try
+    Resources.with_resources (fun resources ->
+      ignore
+        (Cursor.to_list
+           (Ext_sort.sort ~ram ~scratch ~resources ~record_bytes:4
+              ~compare:Bytes.compare
+              (Cursor.of_list [ Bytes.create 3 ]))));
+    Alcotest.fail "expected width error"
+  with Invalid_argument _ -> ()
+
+let suite = [
+  Alcotest.test_case "pager roundtrip" `Quick test_pager_roundtrip;
+  Alcotest.test_case "pager window caching" `Quick test_pager_window_caching;
+  Alcotest.test_case "pager ram accounting" `Quick test_pager_ram_accounting;
+  Alcotest.test_case "pager bounds" `Quick test_pager_bounds;
+  qtest prop_id_list_roundtrip;
+  qtest prop_id_list_cursor;
+  Alcotest.test_case "id list rejects unsorted" `Quick test_id_list_rejects_unsorted;
+  Alcotest.test_case "column store get/scan" `Quick test_column_store_get_scan;
+  Alcotest.test_case "column store strings" `Quick test_column_store_strings;
+  Alcotest.test_case "column store matching ids" `Quick test_column_store_matching_ids;
+  Alcotest.test_case "skt roundtrip" `Quick test_skt_roundtrip;
+  Alcotest.test_case "skt validation" `Quick test_skt_validation;
+  Alcotest.test_case "climbing index eq" `Quick test_climbing_eq;
+  Alcotest.test_case "climbing index ranges" `Quick test_climbing_range;
+  qtest prop_climbing_eq_random;
+  Alcotest.test_case "climbing index prefix collision" `Quick test_climbing_string_prefix_collision;
+  Alcotest.test_case "dense key index" `Quick test_dense_index;
+  qtest prop_union_matches_spec;
+  Alcotest.test_case "union hierarchical spill" `Quick test_union_hierarchical_spill;
+  qtest prop_ext_sort_ram_path;
+  qtest prop_ext_sort_spill_path;
+  Alcotest.test_case "ext sort wrong width" `Quick test_ext_sort_wrong_width;
+]

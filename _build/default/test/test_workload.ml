@@ -1,0 +1,104 @@
+(* Tests for the synthetic medical workload and the reference evaluator. *)
+
+module Value = Ghost_kernel.Value
+module Schema = Ghost_relation.Schema
+module Relation = Ghost_relation.Relation
+module Medical = Ghost_workload.Medical
+module Queries = Ghost_workload.Queries
+module Reference = Ghost_workload.Reference
+module Bind = Ghost_sql.Bind
+
+let check = Alcotest.check
+
+let rows = lazy (Medical.generate Medical.tiny)
+let refdb = lazy (Reference.db_of_rows (Medical.schema ()) (Lazy.force rows))
+
+let test_generation_shape () =
+  let rows = Lazy.force rows in
+  let count name = List.length (List.assoc name rows) in
+  check Alcotest.int "prescriptions" Medical.tiny.Medical.prescriptions
+    (count "Prescription");
+  check Alcotest.int "visits" Medical.tiny.Medical.visits (count "Visit");
+  check Alcotest.bool "doctors > 0" true (count "Doctor" > 0)
+
+let test_generation_deterministic () =
+  let a = Medical.generate ~seed:7 Medical.tiny in
+  let b = Medical.generate ~seed:7 Medical.tiny in
+  check Alcotest.bool "same data" true (a = b);
+  let c = Medical.generate ~seed:8 Medical.tiny in
+  check Alcotest.bool "different seed differs" true (a <> c)
+
+let test_date_cutoff_selectivity () =
+  let rows = Lazy.force rows in
+  let visits = List.assoc "Visit" rows in
+  let n = List.length visits in
+  List.iter
+    (fun s ->
+       let cutoff = Medical.date_cutoff_for_selectivity s in
+       let selected =
+         List.length
+           (List.filter
+              (fun row ->
+                 match row.(1) with
+                 | Value.Date d -> d > cutoff
+                 | _ -> false)
+              visits)
+       in
+       let measured = Float.of_int selected /. Float.of_int n in
+       if Float.abs (measured -. s) > 0.1 then
+         Alcotest.failf "selectivity %.2f measured %.2f" s measured)
+    [ 0.0; 0.1; 0.5; 0.9 ]
+
+let test_reference_single_table () =
+  let refdb = Lazy.force refdb in
+  let schema = Medical.schema () in
+  let q = Bind.bind schema "SELECT Doc.Name FROM Doctor Doc WHERE Doc.Zip >= 10000" in
+  let out = Reference.run schema refdb q in
+  (* every doctor has zip >= 10000 by construction *)
+  check Alcotest.int "all doctors" (Relation.cardinality (List.assoc "Doctor" refdb))
+    (List.length out)
+
+let test_reference_join_counts () =
+  let refdb = Lazy.force refdb in
+  let schema = Medical.schema () in
+  (* no predicates: one row per prescription *)
+  let q =
+    Bind.bind schema
+      "SELECT Pre.PreID FROM Prescription Pre, Visit Vis WHERE Pre.VisID = Vis.VisID"
+  in
+  let out = Reference.run schema refdb q in
+  check Alcotest.int "one row per prescription" Medical.tiny.Medical.prescriptions
+    (List.length out)
+
+let test_reference_predicate_pushdown_semantics () =
+  let refdb = Lazy.force refdb in
+  let schema = Medical.schema () in
+  let q =
+    Bind.bind schema
+      "SELECT Pre.PreID FROM Prescription Pre, Visit Vis WHERE Vis.Purpose = \
+       'Sclerosis' AND Pre.VisID = Vis.VisID"
+  in
+  let out = Reference.run schema refdb q in
+  check Alcotest.bool "some sclerosis prescriptions" true (List.length out > 0);
+  check Alcotest.bool "not all" true
+    (List.length out < Medical.tiny.Medical.prescriptions)
+
+let test_sort_rows_canonical () =
+  let a = [| Value.Int 2 |] and b = [| Value.Int 1 |] in
+  check Alcotest.bool "sorted" true
+    (Reference.sort_rows [ a; b ] = [ b; a ])
+
+let test_queries_bind () =
+  let schema = Medical.schema () in
+  List.iter (fun (_, sql) -> ignore (Bind.bind schema sql)) Queries.all
+
+let suite = [
+  Alcotest.test_case "generation shape" `Quick test_generation_shape;
+  Alcotest.test_case "generation deterministic" `Quick test_generation_deterministic;
+  Alcotest.test_case "date cutoff selectivity" `Quick test_date_cutoff_selectivity;
+  Alcotest.test_case "reference single table" `Quick test_reference_single_table;
+  Alcotest.test_case "reference join counts" `Quick test_reference_join_counts;
+  Alcotest.test_case "reference predicate semantics" `Quick test_reference_predicate_pushdown_semantics;
+  Alcotest.test_case "sort rows canonical" `Quick test_sort_rows_canonical;
+  Alcotest.test_case "all demo queries bind" `Quick test_queries_bind;
+]
