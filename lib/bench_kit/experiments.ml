@@ -437,6 +437,100 @@ let insert_sweep ?(scale = default_scale) () =
       ]
     rows
 
+(* ---- E15 robustness: fault injection overhead ---- *)
+
+let robustness ?(scale = default_scale) () =
+  let module Value = Ghost_kernel.Value in
+  let module Rng = Ghost_kernel.Rng in
+  let insert_rows db rng n =
+    let next = Catalog.total_count (Ghost_db.catalog db) "Prescription" + 1 in
+    List.init n (fun i ->
+      [|
+        Value.Int (next + i);
+        Value.Int (Rng.int_in rng 1 10);
+        Value.Int (Rng.int_in rng 1 4);
+        Value.Date (Rng.int_in rng Medical.date_lo Medical.date_hi);
+        Value.Int (1 + Rng.int rng scale.Medical.medicines);
+        Value.Int (1 + Rng.int rng scale.Medical.visits);
+      |])
+  in
+  let flash_faults ~flip ~fail =
+    Some { Flash.no_faults with
+           Flash.fault_seed = 4242;
+           read_flip_prob = flip;
+           program_fail_prob = fail }
+  in
+  let usb_faults prob =
+    Some { Device.default_usb_fault with Device.usb_seed = 777; corrupt_prob = prob }
+  in
+  let profiles =
+    [
+      ("plain (seed)", Device.default_config);
+      ("durable logs", { Device.default_config with Device.durable_logs = true });
+      ( "bit-rot + ECC",
+        { Device.default_config with
+          Device.durable_logs = true;
+          flash_fault = flash_faults ~flip:0.02 ~fail:0. } );
+      ( "worn blocks",
+        { Device.default_config with
+          Device.durable_logs = true;
+          flash_fault = flash_faults ~flip:0. ~fail:0.02 } );
+      ( "lossy USB",
+        { Device.default_config with
+          Device.durable_logs = true;
+          usb_fault = usb_faults 0.25 } );
+      ( "all faults",
+        { Device.default_config with
+          Device.durable_logs = true;
+          flash_fault = flash_faults ~flip:0.02 ~fail:0.02;
+          usb_fault = usb_faults 0.25 } );
+    ]
+  in
+  let baseline = ref None in
+  let rows =
+    List.map
+      (fun (name, config) ->
+         let db = make_db ~device_config:config scale in
+         let rng = Rng.create 31 in
+         let device = Ghost_db.device db in
+         let before = Device.snapshot device in
+         let t0 = Device.elapsed_us device in
+         Ghost_db.insert db (insert_rows db rng 300);
+         let insert_us = Device.elapsed_us device -. t0 in
+         let q = (Ghost_db.query db Queries.demo).Exec.elapsed_us in
+         let total = insert_us +. q in
+         (match !baseline with None -> baseline := Some total | Some _ -> ());
+         let f =
+           Device.diff_faults ~after:(Device.snapshot device).Device.faults
+             ~before:before.Device.faults
+         in
+         [
+           name;
+           Report.us insert_us;
+           Report.us q;
+           Printf.sprintf "x%.2f" (total /. Option.get !baseline);
+           string_of_int f.Device.flash_ecc_corrected;
+           string_of_int f.Device.flash_pages_remapped;
+           string_of_int f.Device.flash_bad_blocks;
+           string_of_int f.Device.usb_retries;
+         ])
+      profiles
+  in
+  Report.make ~id:"E15" ~title:"Robustness: fault injection and recovery overhead"
+    ~header:
+      [ "profile"; "insert 300"; "demo query"; "vs plain"; "ecc fixed";
+        "remapped"; "bad blk"; "usb retries" ]
+    ~notes:
+      [
+        "fault injection is deterministic (seeded); the 'plain (seed)' row is \
+         bit-identical to the fault-free simulator";
+        "'durable logs' pays the 20-byte checksummed page header that makes \
+         power-cut recovery possible";
+        "ECC corrections, page remaps and USB retransmissions are all metered \
+         on the simulated clock, so the overhead factors are end-to-end";
+      ]
+    rows
+
 (* ---- E12 lifecycle: deletes + reorganization ---- *)
 
 let lifecycle ?(scale = default_scale) () =
@@ -803,6 +897,7 @@ let all ?(scale = default_scale) ?(full = false) () =
     ("E12", fun () -> lifecycle ~scale ());
     ("E13", fun () -> optimizer_calibration ~scale ());
     ("E14", fun () -> retail_workload ());
+    ("E15", fun () -> robustness ~scale ());
     ("A1", fun () -> ablation_exact_post ~scale ());
     ("A2", fun () -> ablation_bloom_fpr ~scale ());
     ("A3", fun () -> ablation_hidden_fk_indexes ~scale ());

@@ -67,6 +67,13 @@ val retail_workload : unit -> Report.t
 (** E14 (extension): the corporate/retail workload — a different tree
     shape end to end, with the privacy audit. *)
 
+val robustness : ?scale:Medical.scale -> unit -> Report.t
+(** E15 (extension): overhead of the robustness machinery — durable
+    (checksummed) logs, NAND bit-rot corrected by ECC, program failures
+    remapped around bad blocks, and a lossy USB link with
+    retry-with-backoff — on an insert + query workload, per fault
+    profile. Deterministic (seeded fault injection). *)
+
 (** {2 Ablations of design choices} *)
 
 val ablation_exact_post : ?scale:Medical.scale -> unit -> Report.t
@@ -89,5 +96,5 @@ val ablation_deep_cross : ?scale:Medical.scale -> unit -> Report.t
 
 val all : ?scale:Medical.scale -> ?full:bool -> unit -> (string * (unit -> Report.t)) list
 (** The whole suite as (id, thunk) pairs — experiments run only when
-    forced, so id filters don't pay for the rest. E1–E12, A1–A5;
+    forced, so id filters don't pay for the rest. E1–E15, A1–A5;
     [full] raises E10 to the paper's one million prescriptions. *)

@@ -3,6 +3,15 @@ module Codec = Ghost_kernel.Codec
 module Flash = Ghost_flash.Flash
 module Ram = Ghost_device.Ram
 
+type durability =
+  | Plain
+  | Checksummed
+
+(* Checksummed page header: magic (u32) | first_seq (u64) | count (u32)
+   | crc32 (u32) over the rest of the header and the payload. *)
+let magic = 0x47444C54  (* "GDLT" *)
+let header_bytes = 20
+
 type t = {
   flash : Flash.t;
   table : string;
@@ -10,43 +19,61 @@ type t = {
   hidden_cols : (string * Value.ty) array;
   record_bytes : int;
   records_per_page : int;
+  durability : durability;
   mutable full_pages : int list;  (* reversed *)
   mutable tail : string list;  (* encoded records of the tail page, reversed *)
   mutable tail_page : int option;  (* current (latest) program of the tail *)
+  mutable stale_tails : int list;  (* superseded tail programs, newest first *)
   mutable count : int;
   mutable dead_bytes : int;  (* superseded tail programs *)
+  mutable needs_recovery : bool;  (* a program was torn by a power cut *)
+  mutable torn_page : int option;  (* the page that tore, if known *)
 }
 
-let create flash ~table ~levels ~hidden_cols =
+let create ?(durability = Plain) flash ~table ~levels ~hidden_cols =
   let record_bytes =
     (4 * List.length levels)
     + List.fold_left (fun acc (_, ty) -> acc + Value.ty_width ty) 0 hidden_cols
   in
   let page = (Flash.geometry flash).Flash.page_size in
-  if record_bytes > page then invalid_arg "Delta_log.create: record exceeds a page";
+  let usable =
+    match durability with
+    | Plain -> page
+    | Checksummed -> page - header_bytes
+  in
+  if record_bytes > usable then invalid_arg "Delta_log.create: record exceeds a page";
   {
     flash;
     table;
     levels = Array.of_list levels;
     hidden_cols = Array.of_list hidden_cols;
     record_bytes;
-    records_per_page = page / record_bytes;
+    records_per_page = usable / record_bytes;
+    durability;
     full_pages = [];
     tail = [];
     tail_page = None;
+    stale_tails = [];
     count = 0;
     dead_bytes = 0;
+    needs_recovery = false;
+    torn_page = None;
   }
 
 let table t = t.table
 let count t = t.count
 let record_bytes t = t.record_bytes
+let durability t = t.durability
+let needs_recovery t = t.needs_recovery
 
 let dead_bytes t = t.dead_bytes
 
 let size_bytes t =
   (List.length t.full_pages * t.records_per_page * t.record_bytes)
   + (List.length t.tail * t.record_bytes)
+
+let payload_off t =
+  match t.durability with Plain -> 0 | Checksummed -> header_bytes
 
 let encode t ~ids ~hidden =
   if Array.length ids <> Array.length t.levels then
@@ -67,7 +94,58 @@ let encode t ~ids ~hidden =
     hidden;
   Buffer.contents buf
 
+(* The bytes of one page image holding [records] (oldest first), whose
+   first record carries sequence number [first_seq]. *)
+let build_page t ~first_seq records =
+  let payload = String.concat "" records in
+  match t.durability with
+  | Plain -> Bytes.of_string payload
+  | Checksummed ->
+    let b = Bytes.create (header_bytes + String.length payload) in
+    Codec.put_u32 b 0 magic;
+    Codec.put_u64 b 4 first_seq;
+    Codec.put_u32 b 12 (List.length records);
+    Bytes.blit_string payload 0 b header_bytes (String.length payload);
+    let crc =
+      Codec.crc32 b ~pos:0 ~len:16
+      |> fun crc ->
+      Codec.crc32 ~crc b ~pos:header_bytes ~len:(String.length payload)
+    in
+    Codec.put_u32 b 16 crc;
+    b
+
+(* Reads a checksummed page back and validates it: magic, plausible
+   record count, checksum over header + payload. Returns the first
+   sequence number and the decoded record payloads, oldest first. *)
+let parse_page t page =
+  match Flash.read_page t.flash page with
+  | exception Invalid_argument _ -> None  (* erased (e.g. a zero-byte tear) *)
+  | b ->
+    if Codec.get_u32 b 0 <> magic then None
+    else begin
+      let first_seq = Codec.get_u64 b 4 in
+      let n = Codec.get_u32 b 12 in
+      let stored_crc = Codec.get_u32 b 16 in
+      if n < 1 || n > t.records_per_page then None
+      else begin
+        let crc =
+          Codec.crc32 b ~pos:0 ~len:16
+          |> fun crc -> Codec.crc32 ~crc b ~pos:header_bytes ~len:(n * t.record_bytes)
+        in
+        if crc <> stored_crc then None
+        else begin
+          let records =
+            List.init n (fun i ->
+                Bytes.sub_string b (header_bytes + (i * t.record_bytes)) t.record_bytes)
+          in
+          Some (first_seq, records)
+        end
+      end
+    end
+
 let append t ~ids ~hidden =
+  if t.needs_recovery then
+    invalid_arg "Delta_log.append: log needs recovery after a power cut";
   let record = encode t ~ids ~hidden in
   t.tail <- record :: t.tail;
   t.count <- t.count + 1;
@@ -76,14 +154,92 @@ let append t ~ids ~hidden =
   (match t.tail_page with
    | Some _ -> t.dead_bytes <- t.dead_bytes + ((List.length t.tail - 1) * t.record_bytes)
    | None -> ());
-  let data = String.concat "" (List.rev t.tail) in
-  let page = Flash.append t.flash (Bytes.of_string data) in
-  if List.length t.tail = t.records_per_page then begin
-    t.full_pages <- page :: t.full_pages;
-    t.tail <- [];
-    t.tail_page <- None
-  end
-  else t.tail_page <- Some page
+  let first_seq = t.records_per_page * List.length t.full_pages in
+  let data = build_page t ~first_seq (List.rev t.tail) in
+  match Flash.append t.flash data with
+  | page ->
+    (match t.tail_page with
+     | Some old -> t.stale_tails <- old :: t.stale_tails
+     | None -> ());
+    if List.length t.tail = t.records_per_page then begin
+      t.full_pages <- page :: t.full_pages;
+      t.tail <- [];
+      t.tail_page <- None
+    end
+    else t.tail_page <- Some page
+  | exception (Flash.Power_cut { page; _ } as e) ->
+    t.needs_recovery <- true;
+    t.torn_page <- Some page;
+    raise e
+
+type recovery = {
+  recovered : int;
+  lost : int;
+  torn_pages : int;
+}
+
+(* After a power cut the volatile log state is untrusted: re-scan the
+   on-flash pages, keep the longest checksum-valid, sequence-continuous
+   prefix, and truncate the in-memory state to it. The record torn
+   mid-program (never acknowledged to the caller) is dropped; its
+   superseded predecessor page, still programmed, carries the durable
+   tail. *)
+let recover t =
+  (match t.durability with
+   | Checksummed -> ()
+   | Plain ->
+     invalid_arg
+       "Delta_log.recover: log is not checksummed (create ~durability:Checksummed)");
+  let torn = ref (match t.torn_page with Some _ -> 1 | None -> 0) in
+  let old_count = t.count in
+  (* Longest valid prefix of the full pages. *)
+  let rec verify_full acc n = function
+    | [] -> (acc, n, true)
+    | p :: rest ->
+      (match parse_page t p with
+       | Some (first_seq, records)
+         when first_seq = n * t.records_per_page
+              && List.length records = t.records_per_page ->
+         verify_full (p :: acc) (n + 1) rest
+       | _ ->
+         incr torn;
+         (acc, n, false))
+  in
+  let full_rev, n_full, full_intact = verify_full [] 0 (List.rev t.full_pages) in
+  let expected_seq = n_full * t.records_per_page in
+  (* Newest tail program whose sequence continues the full prefix. A
+     corrupted full page invalidates everything after it, tail
+     included. *)
+  let candidates =
+    if not full_intact then []
+    else (match t.tail_page with Some p -> [ p ] | None -> []) @ t.stale_tails
+  in
+  let rec pick = function
+    | [] -> (None, [])
+    | p :: rest ->
+      (match parse_page t p with
+       | Some (first_seq, records) when first_seq = expected_seq ->
+         (Some (p, records), rest)
+       | _ ->
+         incr torn;
+         pick rest)
+  in
+  let tail_winner, older = pick candidates in
+  (match tail_winner with
+   | Some (page, records) ->
+     t.tail <- List.rev records;
+     t.tail_page <- Some page;
+     t.stale_tails <- older;
+     t.count <- expected_seq + List.length records
+   | None ->
+     t.tail <- [];
+     t.tail_page <- None;
+     t.stale_tails <- [];
+     t.count <- expected_seq);
+  t.full_pages <- full_rev;
+  t.needs_recovery <- false;
+  t.torn_page <- None;
+  { recovered = t.count; lost = old_count - t.count; torn_pages = !torn }
 
 type row = {
   ids : int array;
@@ -106,8 +262,9 @@ let decode t b off =
 
 let scan ?ram t f =
   ignore ram;
+  let off = payload_off t in
   let read_page page n_records =
-    let b = Flash.read t.flash ~page ~off:0 ~len:(n_records * t.record_bytes) in
+    let b = Flash.read t.flash ~page ~off ~len:(n_records * t.record_bytes) in
     for i = 0 to n_records - 1 do
       f (decode t b (i * t.record_bytes))
     done

@@ -16,9 +16,19 @@ module Flash = Ghost_flash.Flash
     Dimension inserts and deletes are future work (documented in
     DESIGN.md). *)
 
+type durability =
+  | Plain  (** raw records, no torn-write detection (the seed format) *)
+  | Checksummed
+      (** every page carries a header — magic, the sequence number of
+          its first record, a record count and a CRC-32 over header and
+          payload (see {!Ghost_kernel.Codec.crc32}) — so a page torn by
+          a power cut or corrupted by uncorrected bit-rot is
+          detectable, at the price of [20] bytes per page *)
+
 type t
 
 val create :
+  ?durability:durability ->
   Flash.t ->
   table:string ->
   levels:string list ->
@@ -26,7 +36,10 @@ val create :
   t
 (** [levels] — the subtree preorder (the SKT level layout of the
     table); [hidden_cols] — the table's own hidden columns, in
-    declaration order. *)
+    declaration order. [durability] defaults to [Plain] (bit-identical
+    to the original format). *)
+
+val durability : t -> durability
 
 val table : t -> string
 val count : t -> int
@@ -42,7 +55,36 @@ val append : t -> ids:int array -> hidden:Value.t array -> unit
 (** Appends one record; programs a Flash page per page-full of records
     (partially filled tail pages are reprogrammed into fresh pages, as
     the no-rewrite discipline demands — the write amplification is
-    metered). Raises [Invalid_argument] on misaligned input. *)
+    metered). Raises [Invalid_argument] on misaligned input, or when
+    the log {!needs_recovery}. An append is {e acknowledged} only when
+    this call returns: if the page program is torn by a simulated power
+    cut, [Flash.Power_cut] propagates, the record is not durable, and
+    the log refuses further appends until {!recover} runs. *)
+
+(** {2 Crash safety}
+
+    A power cut can tear the in-flight tail program. Because every
+    append programs a {e fresh} page and the superseded tail programs
+    stay on flash until reorganization, the previous tail page still
+    holds every acknowledged record — recovery only has to find it. *)
+
+val needs_recovery : t -> bool
+(** True after a power cut tore a program of this log and until
+    {!recover} completes. *)
+
+type recovery = {
+  recovered : int;  (** records in the log after recovery *)
+  lost : int;  (** in-memory records dropped (never acknowledged) *)
+  torn_pages : int;  (** pages found torn or checksum-invalid *)
+}
+
+val recover : t -> recovery
+(** Post-crash scan (metered): re-reads the log's pages, keeps the
+    longest checksum-valid, sequence-continuous prefix and truncates
+    the volatile state to it — exactly the acknowledged appends, no
+    phantom records. Only a [Checksummed] log can recover; raises
+    [Invalid_argument] on a [Plain] one. Idempotent; clears
+    {!needs_recovery}. *)
 
 type row = {
   ids : int array;  (** aligned with [levels] *)

@@ -46,6 +46,49 @@ let reorganize t =
   let rows = Reorganize.snapshot t.catalog t.public in
   of_schema ~device_config:(Device.config (t.catalog.Catalog.device)) t.catalog.Catalog.schema rows
 
+type recovery_report = {
+  delta_recovered : int;
+  delta_lost : int;
+  tombstones_recovered : int;
+  tombstones_lost : int;
+  torn_pages : int;
+}
+
+let needs_recovery t =
+  let root = root_name t in
+  (match Catalog.delta t.catalog root with
+   | Some log -> Delta_log.needs_recovery log
+   | None -> false)
+  || (match Catalog.tombstone t.catalog root with
+      | Some log -> Tombstone_log.needs_recovery log
+      | None -> false)
+
+let recover t =
+  let root = root_name t in
+  let device = t.catalog.Catalog.device in
+  let dr, dl, dt =
+    match Catalog.delta t.catalog root with
+    | Some log when Delta_log.needs_recovery log ->
+      let r = Delta_log.recover log in
+      (r.Delta_log.recovered, r.Delta_log.lost, r.Delta_log.torn_pages)
+    | _ -> (0, 0, 0)
+  in
+  let tr, tl, tt =
+    match Catalog.tombstone t.catalog root with
+    | Some log when Tombstone_log.needs_recovery log ->
+      let r = Tombstone_log.recover log in
+      (r.Tombstone_log.recovered, r.Tombstone_log.lost, r.Tombstone_log.torn_pages)
+    | _ -> (0, 0, 0)
+  in
+  Device.note_recovery device ~recovered:(dr + tr) ~lost:(dl + tl);
+  {
+    delta_recovered = dr;
+    delta_lost = dl;
+    tombstones_recovered = tr;
+    tombstones_lost = tl;
+    torn_pages = dt + tt;
+  }
+
 let plans t sql = Planner.with_estimates t.catalog (bind t sql)
 
 let query t ?exact_post ?bloom_fpr sql =
@@ -63,7 +106,9 @@ let storage t = Catalog.storage t.catalog
 
 exception Image_error of string
 
-let image_magic = "GHOSTDB-IMAGE-1\n"
+(* Bumped to 2 when the device/log layouts gained the fault-injection
+   and crash-safety state: older marshalled images are incompatible. *)
+let image_magic = "GHOSTDB-IMAGE-2\n"
 
 let save_image t path =
   let oc = open_out_bin path in

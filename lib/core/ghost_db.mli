@@ -72,7 +72,35 @@ val reorganize : t -> t
     current logical state off the device and the public store, compacts
     root ids (tombstoned gaps close, so root keys change), rebuilds
     every index structure, and returns a fresh instance. The read cost
-    is charged to the old device's clock. *)
+    is charged to the old device's clock. Refuses to run (raises
+    [Failure]) while a log {!needs_recovery}. *)
+
+(** {2 Crash recovery}
+
+    With [durable_logs] set in the device config, the delta and
+    tombstone logs use checksummed pages and survive a simulated power
+    cut ([Flash.Power_cut] escaping from {!insert} or {!delete}): the
+    interrupted operation is not acknowledged, and [recover] truncates
+    the logs to exactly the acknowledged prefix. *)
+
+type recovery_report = {
+  delta_recovered : int;  (** delta records durable after recovery *)
+  delta_lost : int;  (** volatile delta records dropped *)
+  tombstones_recovered : int;
+  tombstones_lost : int;
+  torn_pages : int;  (** pages found torn or checksum-invalid *)
+}
+
+val needs_recovery : t -> bool
+(** True after a power cut tore a log program. The volatile log state
+    may still include the unacknowledged record, so query results are
+    untrusted — and {!insert}, {!delete} and {!reorganize} refuse —
+    until {!recover} is called. *)
+
+val recover : t -> recovery_report
+(** Runs the post-crash recovery protocol on every log that needs it
+    (metered on the device clock) and accounts the outcome in the
+    device's robustness counters ({!Device.fault_counters}). *)
 
 val query : t -> ?exact_post:bool -> ?bloom_fpr:float -> string -> Exec.result
 (** Optimize and execute. *)

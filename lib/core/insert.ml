@@ -3,6 +3,7 @@ module Column = Ghost_relation.Column
 module Schema = Ghost_relation.Schema
 module Relation = Ghost_relation.Relation
 module Device = Ghost_device.Device
+module Flash = Ghost_flash.Flash
 module Skt = Ghost_store.Skt
 module Column_store = Ghost_store.Column_store
 module Public_store = Ghost_public.Public_store
@@ -10,6 +11,18 @@ module Public_store = Ghost_public.Public_store
 exception Insert_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Insert_error s)) fmt
+
+(* Logs are created on first use; the device config decides whether
+   they use the crash-safe checksummed page format. *)
+let log_durability cat =
+  if (Device.config cat.Catalog.device).Device.durable_logs then
+    Delta_log.Checksummed
+  else Delta_log.Plain
+
+let tombstone_durability cat =
+  if (Device.config cat.Catalog.device).Device.durable_logs then
+    Tombstone_log.Checksummed
+  else Tombstone_log.Plain
 
 let delta_log_for cat root =
   match Catalog.delta cat root with
@@ -21,7 +34,7 @@ let delta_log_for cat root =
     in
     let levels = Schema.subtree cat.Catalog.schema root in
     let log =
-      Delta_log.create
+      Delta_log.create ~durability:(log_durability cat)
         (Device.flash cat.Catalog.device)
         ~table:root ~levels ~hidden_cols
     in
@@ -67,7 +80,10 @@ let delete_root cat public ids =
     match Catalog.tombstone cat root with
     | Some log -> log
     | None ->
-      let log = Tombstone_log.create (Device.flash cat.Catalog.device) ~table:root in
+      let log =
+        Tombstone_log.create ~durability:(tombstone_durability cat)
+          (Device.flash cat.Catalog.device) ~table:root
+      in
       Hashtbl.replace cat.Catalog.tombstones root log;
       log
   in
@@ -79,7 +95,14 @@ let delete_root cat public ids =
        if Hashtbl.mem seen id then fail "delete from %s: duplicate id %d in batch" root id;
        Hashtbl.add seen id ())
     ids;
-  Tombstone_log.append log ids;
+  (* A power cut can tear the batch: ids already durable on the device
+     must also leave the public store, or the two sides disagree after
+     recovery. The torn id itself is dropped by {!Tombstone_log.recover}. *)
+  let applied = ref 0 in
+  (try List.iter (fun id -> Tombstone_log.append log [ id ]; incr applied) ids
+   with Flash.Power_cut _ as e ->
+     Public_store.delete_rows public root (List.filteri (fun i _ -> i < !applied) ids);
+     raise e);
   Public_store.delete_rows public root ids
 
 let insert_root cat public rows =
@@ -124,6 +147,19 @@ let insert_root cat public rows =
       rows
   in
   let log = delta_log_for cat root in
-  List.iter (fun (_, ids, hidden) -> Delta_log.append log ~ids ~hidden) prepared;
+  (* Each append that returns is acknowledged and durable (the torn
+     record of a power cut is not: recovery drops it). If the batch is
+     interrupted, mirror the acknowledged prefix on the public side so
+     both stores agree after {!Delta_log.recover}. *)
+  let applied = ref 0 in
+  (try
+     List.iter
+       (fun (_, ids, hidden) -> Delta_log.append log ~ids ~hidden; incr applied)
+       prepared
+   with Flash.Power_cut _ as e ->
+     Public_store.append_rows public root
+       (List.filteri (fun i _ -> i < !applied) prepared
+        |> List.map (fun (r, _, _) -> r));
+     raise e);
   (try Public_store.append_rows public root (List.map (fun (r, _, _) -> r) prepared)
    with Invalid_argument msg -> fail "insert into %s: %s" root msg)

@@ -53,6 +53,17 @@ let rebuild_rows cat public ~table ~ids ~new_key ~delta_hidden =
 let snapshot cat public =
   let schema = cat.Catalog.schema in
   let root = (Schema.root schema).Schema.name in
+  (* Reorganizing from a log whose tail may be torn would bake phantom
+     or missing records into the rebuilt database: recovery must run
+     first. *)
+  (match Catalog.delta cat root with
+   | Some log when Delta_log.needs_recovery log ->
+     fail "reorganize: delta log of %s needs recovery after a power cut" root
+   | _ -> ());
+  (match Catalog.tombstone cat root with
+   | Some log when Tombstone_log.needs_recovery log ->
+     fail "reorganize: tombstone log of %s needs recovery after a power cut" root
+   | _ -> ());
   (* Hidden values of delta rows, by (id, column). *)
   let delta_values = Hashtbl.create 64 in
   (match Catalog.delta cat root with

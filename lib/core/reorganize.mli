@@ -13,4 +13,7 @@ module Public_store = Ghost_public.Public_store
     SKTs, climbing indexes and empty logs. *)
 
 val snapshot : Catalog.t -> Public_store.t -> (string * Relation.tuple list) list
-(** Full rows per table, loader-ready (dense keys). *)
+(** Full rows per table, loader-ready (dense keys). Refuses to run
+    (raises [Failure]) while a delta or tombstone log needs recovery
+    after a power cut — run {!Ghost_db.recover} first, so the rebuilt
+    database reflects exactly the acknowledged operations. *)

@@ -11,17 +11,44 @@ module Flash = Ghost_flash.Flash
 
     Like inserts, deletes apply to the schema root only. *)
 
+type durability =
+  | Plain  (** raw ids, no torn-write detection (the seed format) *)
+  | Checksummed
+      (** pages carry the same header as {!Delta_log.Checksummed}
+          (magic, first sequence number, count, CRC-32), enabling
+          post-crash recovery *)
+
 type t
 
-val create : Flash.t -> table:string -> t
+val create : ?durability:durability -> Flash.t -> table:string -> t
+(** [durability] defaults to [Plain] (bit-identical to the original
+    format). *)
+
 val table : t -> string
 val count : t -> int
 val size_bytes : t -> int
 val dead_bytes : t -> int
+val durability : t -> durability
 
 val append : t -> int list -> unit
 (** Records deletions (same tail-page re-programming discipline as
-    {!Delta_log}). Duplicates are the caller's responsibility. *)
+    {!Delta_log}). Duplicates are the caller's responsibility. Each id
+    programs its own tail page, so a power cut mid-batch leaves a
+    durable prefix of the batch; on [Flash.Power_cut] the log refuses
+    further appends until {!recover} runs. *)
+
+val needs_recovery : t -> bool
+
+type recovery = {
+  recovered : int;  (** ids in the log after recovery *)
+  lost : int;  (** volatile ids dropped (never acknowledged) *)
+  torn_pages : int;  (** pages found torn or checksum-invalid *)
+}
+
+val recover : t -> recovery
+(** Post-crash scan (metered); see {!Delta_log.recover}. Rebuilds the
+    host-side membership table from the durable pages. Raises
+    [Invalid_argument] on a [Plain] log. *)
 
 val mem : t -> int -> bool
 (** Host-side membership (validation); not Flash-metered. *)

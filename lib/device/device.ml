@@ -1,4 +1,21 @@
 module Flash = Ghost_flash.Flash
+module Rng = Ghost_kernel.Rng
+
+type usb_fault = {
+  usb_seed : int;
+  corrupt_prob : float;
+  max_retries : int;
+  backoff_us : float;
+}
+
+let default_usb_fault = {
+  usb_seed = 0;
+  corrupt_prob = 0.;
+  max_retries = 4;
+  backoff_us = 250.0;
+}
+
+exception Usb_error of string
 
 type config = {
   ram_budget : int;
@@ -7,6 +24,9 @@ type config = {
   cpu_mips : float;
   flash_geometry : Flash.geometry;
   flash_cost : Flash.cost;
+  flash_fault : Flash.fault_config option;
+  usb_fault : usb_fault option;
+  durable_logs : bool;
 }
 
 let default_config = {
@@ -16,6 +36,9 @@ let default_config = {
   cpu_mips = 50.0;
   flash_geometry = Flash.default_geometry;
   flash_cost = Flash.default_cost;
+  flash_fault = None;
+  usb_fault = None;
+  durable_logs = false;
 }
 
 let high_speed_usb config = { config with usb_mbit_per_s = 480.0 }
@@ -26,21 +49,35 @@ type t = {
   scratch : Flash.t;
   ram : Ram.t;
   trace : Trace.t;
+  usb_rng : Rng.t option;
   mutable usb_bytes_in : int;
   mutable usb_bytes_out : int;
   mutable usb_us : float;
+  mutable usb_corruptions : int;
+  mutable usb_retries : int;
+  mutable records_recovered : int;
+  mutable records_lost : int;
   mutable cpu_ops : int;
 }
 
 let create ?(config = default_config) ~trace () = {
   config;
-  flash = Flash.create ~geometry:config.flash_geometry ~cost:config.flash_cost ();
-  scratch = Flash.create ~geometry:config.flash_geometry ~cost:config.flash_cost ();
+  flash =
+    Flash.create ~geometry:config.flash_geometry ~cost:config.flash_cost
+      ?fault:config.flash_fault ();
+  scratch =
+    Flash.create ~geometry:config.flash_geometry ~cost:config.flash_cost
+      ?fault:config.flash_fault ();
   ram = Ram.create ~budget:config.ram_budget;
   trace;
+  usb_rng = Option.map (fun f -> Rng.create f.usb_seed) config.usb_fault;
   usb_bytes_in = 0;
   usb_bytes_out = 0;
   usb_us = 0.;
+  usb_corruptions = 0;
+  usb_retries = 0;
+  records_recovered = 0;
+  records_lost = 0;
   cpu_ops = 0;
 }
 
@@ -58,25 +95,132 @@ let usb_transfer_us t bytes =
   t.config.usb_per_message_us
   +. (Float.of_int (bytes * 8) /. t.config.usb_mbit_per_s)
 
-let receive t payload ~bytes =
-  t.usb_bytes_in <- t.usb_bytes_in + bytes;
-  t.usb_us <- t.usb_us +. usb_transfer_us t bytes;
-  Trace.record t.trace Trace.Pc_to_device payload ~bytes
+type direction = Inbound | Outbound
+
+(* One logical USB transfer. Each attempt — the original and every
+   retransmission — is charged to the clock, counted against the byte
+   totals and recorded in the trace: a spy on the bus sees the
+   retransmitted bytes exactly like the first copy. An injected
+   corruption triggers bounded retry with exponential backoff (the
+   device waits out the error-recovery interval on the simulated
+   clock); when the retry budget is exhausted the transfer fails. *)
+let transfer t dir link payload ~bytes =
+  let rec attempt k =
+    (match dir with
+     | Inbound -> t.usb_bytes_in <- t.usb_bytes_in + bytes
+     | Outbound -> t.usb_bytes_out <- t.usb_bytes_out + bytes);
+    t.usb_us <- t.usb_us +. usb_transfer_us t bytes;
+    Trace.record t.trace link payload ~bytes;
+    let corrupted =
+      match t.config.usb_fault, t.usb_rng with
+      | Some f, Some rng when f.corrupt_prob > 0. ->
+        Rng.float rng 1.0 < f.corrupt_prob
+      | _ -> false
+    in
+    if corrupted then begin
+      t.usb_corruptions <- t.usb_corruptions + 1;
+      let f = Option.get t.config.usb_fault in
+      if k >= f.max_retries then
+        raise (Usb_error
+                 (Printf.sprintf "transfer of %d bytes failed after %d attempts"
+                    bytes (k + 1)))
+      else begin
+        t.usb_retries <- t.usb_retries + 1;
+        t.usb_us <- t.usb_us +. (f.backoff_us *. Float.of_int (1 lsl k));
+        attempt (k + 1)
+      end
+    end
+  in
+  attempt 0
+
+let receive t payload ~bytes = transfer t Inbound Trace.Pc_to_device payload ~bytes
 
 let emit_result t ~count ~bytes =
-  t.usb_bytes_out <- t.usb_bytes_out + bytes;
-  t.usb_us <- t.usb_us +. usb_transfer_us t bytes;
-  Trace.record t.trace Trace.Device_to_display (Trace.Result_tuples { count }) ~bytes
+  transfer t Outbound Trace.Device_to_display
+    (Trace.Result_tuples { count }) ~bytes
 
-let emit_ack t =
-  t.usb_bytes_out <- t.usb_bytes_out + 1;
-  t.usb_us <- t.usb_us +. usb_transfer_us t 1;
-  Trace.record t.trace Trace.Device_to_pc Trace.Ack ~bytes:1
+let emit_ack t = transfer t Outbound Trace.Device_to_pc Trace.Ack ~bytes:1
+
+let note_recovery t ~recovered ~lost =
+  t.records_recovered <- t.records_recovered + recovered;
+  t.records_lost <- t.records_lost + lost
 
 let cpu_time_us t = Float.of_int t.cpu_ops /. t.config.cpu_mips
 let usb_time_us t = t.usb_us
 let elapsed_us t =
   Flash.time_us t.flash +. Flash.time_us t.scratch +. t.usb_us +. cpu_time_us t
+
+type fault_counters = {
+  flash_bit_flips : int;
+  flash_ecc_corrected : int;
+  flash_program_failures : int;
+  flash_pages_remapped : int;
+  flash_bad_blocks : int;
+  flash_power_cuts : int;
+  usb_corruptions : int;
+  usb_retries : int;
+  records_recovered : int;
+  records_lost : int;
+}
+
+let zero_faults = {
+  flash_bit_flips = 0;
+  flash_ecc_corrected = 0;
+  flash_program_failures = 0;
+  flash_pages_remapped = 0;
+  flash_bad_blocks = 0;
+  flash_power_cuts = 0;
+  usb_corruptions = 0;
+  usb_retries = 0;
+  records_recovered = 0;
+  records_lost = 0;
+}
+
+let add_faults a b = {
+  flash_bit_flips = a.flash_bit_flips + b.flash_bit_flips;
+  flash_ecc_corrected = a.flash_ecc_corrected + b.flash_ecc_corrected;
+  flash_program_failures = a.flash_program_failures + b.flash_program_failures;
+  flash_pages_remapped = a.flash_pages_remapped + b.flash_pages_remapped;
+  flash_bad_blocks = a.flash_bad_blocks + b.flash_bad_blocks;
+  flash_power_cuts = a.flash_power_cuts + b.flash_power_cuts;
+  usb_corruptions = a.usb_corruptions + b.usb_corruptions;
+  usb_retries = a.usb_retries + b.usb_retries;
+  records_recovered = a.records_recovered + b.records_recovered;
+  records_lost = a.records_lost + b.records_lost;
+}
+
+let diff_faults ~after ~before = {
+  flash_bit_flips = after.flash_bit_flips - before.flash_bit_flips;
+  flash_ecc_corrected = after.flash_ecc_corrected - before.flash_ecc_corrected;
+  flash_program_failures =
+    after.flash_program_failures - before.flash_program_failures;
+  flash_pages_remapped = after.flash_pages_remapped - before.flash_pages_remapped;
+  flash_bad_blocks = after.flash_bad_blocks - before.flash_bad_blocks;
+  flash_power_cuts = after.flash_power_cuts - before.flash_power_cuts;
+  usb_corruptions = after.usb_corruptions - before.usb_corruptions;
+  usb_retries = after.usb_retries - before.usb_retries;
+  records_recovered = after.records_recovered - before.records_recovered;
+  records_lost = after.records_lost - before.records_lost;
+}
+
+let no_faults f = f = zero_faults
+
+let fault_counters (t : t) =
+  let fs =
+    Flash.add_fault_stats (Flash.fault_stats t.flash) (Flash.fault_stats t.scratch)
+  in
+  {
+    flash_bit_flips = fs.Flash.bit_flips;
+    flash_ecc_corrected = fs.Flash.ecc_corrected;
+    flash_program_failures = fs.Flash.program_failures;
+    flash_pages_remapped = fs.Flash.pages_remapped;
+    flash_bad_blocks = fs.Flash.bad_blocks_marked;
+    flash_power_cuts = fs.Flash.power_cuts;
+    usb_corruptions = t.usb_corruptions;
+    usb_retries = t.usb_retries;
+    records_recovered = t.records_recovered;
+    records_lost = t.records_lost;
+  }
 
 type snapshot = {
   flash : Flash.stats;
@@ -85,6 +229,7 @@ type snapshot = {
   usb_us : float;
   cpu_ops : int;
   elapsed : float;
+  faults : fault_counters;
 }
 
 let snapshot (t : t) = {
@@ -94,6 +239,7 @@ let snapshot (t : t) = {
   usb_us = t.usb_us;
   cpu_ops = t.cpu_ops;
   elapsed = elapsed_us t;
+  faults = fault_counters t;
 }
 
 type usage = {
@@ -105,6 +251,7 @@ type usage = {
   used_cpu_ops : int;
   cpu_us : float;
   total_us : float;
+  faults : fault_counters;
 }
 
 let usage_between t ~before ~after =
@@ -119,6 +266,7 @@ let usage_between t ~before ~after =
     used_cpu_ops = cpu_ops;
     cpu_us = Float.of_int cpu_ops /. t.config.cpu_mips;
     total_us = after.elapsed -. before.elapsed;
+    faults = diff_faults ~after:after.faults ~before:before.faults;
   }
 
 let zero_usage = {
@@ -130,6 +278,7 @@ let zero_usage = {
   used_cpu_ops = 0;
   cpu_us = 0.;
   total_us = 0.;
+  faults = zero_faults;
 }
 
 let add_usage a b = {
@@ -141,10 +290,17 @@ let add_usage a b = {
   used_cpu_ops = a.used_cpu_ops + b.used_cpu_ops;
   cpu_us = a.cpu_us +. b.cpu_us;
   total_us = a.total_us +. b.total_us;
+  faults = add_faults a.faults b.faults;
 }
 
 let pp_usage fmt u =
   Format.fprintf fmt
     "%.0f us (flash %.0f us / %d rd %d wr; usb %.0f us / %d B in; cpu %.0f us / %d ops)"
     u.total_us u.flash_us u.flash_page_reads u.flash_page_programs u.used_usb_us
-    u.used_usb_bytes_in u.cpu_us u.used_cpu_ops
+    u.used_usb_bytes_in u.cpu_us u.used_cpu_ops;
+  if not (no_faults u.faults) then
+    Format.fprintf fmt
+      " [faults: %d flips (%d ecc-fixed), %d prog-fail, %d remapped, %d bad blk, %d power cuts, %d usb retries]"
+      u.faults.flash_bit_flips u.faults.flash_ecc_corrected
+      u.faults.flash_program_failures u.faults.flash_pages_remapped
+      u.faults.flash_bad_blocks u.faults.flash_power_cuts u.faults.usb_retries

@@ -7,7 +7,26 @@ module Flash = Ghost_flash.Flash
     The model combines the {!Flash} simulator, the {!Ram} arena, a
     metered USB port and a CPU-operation counter into one simulated
     clock. All device-side query processing charges its work here, so
-    plan execution times are deterministic and reproducible. *)
+    plan execution times are deterministic and reproducible.
+
+    For robustness experiments the device can be configured with a
+    Flash fault model ({!Flash.fault_config}) and a lossy USB link
+    ({!usb_fault}); both are off by default and add zero overhead when
+    disabled. *)
+
+type usb_fault = {
+  usb_seed : int;  (** seed of the corruption generator *)
+  corrupt_prob : float;  (** per-attempt probability a transfer is corrupted *)
+  max_retries : int;  (** retransmissions before the transfer fails *)
+  backoff_us : float;  (** base backoff; attempt [k] waits [2^k] times this *)
+}
+
+val default_usb_fault : usb_fault
+(** Zero corruption probability, 4 retries, 250 us base backoff — the
+    base for [{ default_usb_fault with ... }] sweeps. *)
+
+exception Usb_error of string
+(** A transfer kept getting corrupted until the retry budget ran out. *)
 
 type config = {
   ram_budget : int;  (** bytes of secure-chip RAM (default 64 KiB) *)
@@ -16,11 +35,17 @@ type config = {
   cpu_mips : float;  (** simulated RISC core speed (default 50 MIPS) *)
   flash_geometry : Flash.geometry;
   flash_cost : Flash.cost;
+  flash_fault : Flash.fault_config option;  (** NAND fault injection (default off) *)
+  usb_fault : usb_fault option;  (** USB corruption injection (default off) *)
+  durable_logs : bool;
+      (** create the delta / tombstone logs [Checksummed] so they
+          survive power cuts (default false: seed format, zero
+          overhead) *)
 }
 
 val default_config : config
 (** The paper's demo device: 64 KiB RAM, 12 Mbit/s USB, 50 MIPS,
-    default NAND geometry and costs. *)
+    default NAND geometry and costs, no fault injection. *)
 
 val high_speed_usb : config -> config
 (** Same device with a 480 Mbit/s link (the "future platforms" variant
@@ -48,14 +73,23 @@ val cpu : t -> int -> unit
 
 val receive : t -> Trace.payload -> bytes:int -> unit
 (** Meters an inbound USB transfer (visible data entering the device)
-    and records it on the [Pc_to_device] link. *)
+    and records it on the [Pc_to_device] link. Under an active
+    {!usb_fault} model a corrupted transfer is retransmitted with
+    exponential backoff — every attempt is charged to the clock,
+    counted in the byte totals and recorded in the trace (a spy sees
+    retransmitted bytes like any others) — until it succeeds or
+    {!Usb_error} is raised. *)
 
 val emit_result : t -> count:int -> bytes:int -> unit
 (** Sends result tuples to the secure display ([Device_to_display]
-    link — not spy visible). *)
+    link — not spy visible). Same retry discipline as {!receive}. *)
 
 val emit_ack : t -> unit
 (** A content-free protocol acknowledgement on [Device_to_pc]. *)
+
+val note_recovery : t -> recovered:int -> lost:int -> unit
+(** Accounts a log-recovery outcome (see {!Delta_log.recover}) so the
+    device's robustness counters report it. *)
 
 (** {2 Accounting} *)
 
@@ -64,6 +98,29 @@ val usb_time_us : t -> float
 val elapsed_us : t -> float
 (** Flash time + USB time + CPU time, in simulated microseconds. *)
 
+type fault_counters = {
+  flash_bit_flips : int;
+  flash_ecc_corrected : int;
+  flash_program_failures : int;
+  flash_pages_remapped : int;
+  flash_bad_blocks : int;
+  flash_power_cuts : int;
+  usb_corruptions : int;
+  usb_retries : int;
+  records_recovered : int;
+  records_lost : int;
+}
+(** Robustness counters: faults injected and survived. All zero unless
+    fault injection is configured (or a recovery was noted). *)
+
+val zero_faults : fault_counters
+val add_faults : fault_counters -> fault_counters -> fault_counters
+val diff_faults : after:fault_counters -> before:fault_counters -> fault_counters
+val no_faults : fault_counters -> bool
+val fault_counters : t -> fault_counters
+(** Both Flash regions' fault stats + USB retry counters + recovery
+    totals. *)
+
 type snapshot = {
   flash : Flash.stats;  (** main + scratch regions combined *)
   usb_bytes_in : int;
@@ -71,6 +128,7 @@ type snapshot = {
   usb_us : float;
   cpu_ops : int;
   elapsed : float;
+  faults : fault_counters;
 }
 
 val snapshot : t -> snapshot
@@ -84,9 +142,13 @@ type usage = {
   used_cpu_ops : int;
   cpu_us : float;
   total_us : float;
+  faults : fault_counters;  (** faults injected within the window *)
 }
 
 val usage_between : t -> before:snapshot -> after:snapshot -> usage
 val zero_usage : usage
 val add_usage : usage -> usage -> usage
+
 val pp_usage : Format.formatter -> usage -> unit
+(** Unchanged rendering when the window saw no faults; otherwise a
+    bracketed robustness summary is appended. *)

@@ -1,3 +1,5 @@
+module Rng = Ghost_kernel.Rng
+
 type geometry = {
   page_size : int;
   pages_per_block : int;
@@ -83,6 +85,58 @@ let diff_stats ~after ~before = {
 
 let total_time_us s = s.read_time_us +. s.write_time_us
 
+type fault_config = {
+  fault_seed : int;
+  read_flip_prob : float;
+  program_fail_prob : float;
+  ecc : bool;
+  max_program_retries : int;
+}
+
+let no_faults = {
+  fault_seed = 0;
+  read_flip_prob = 0.;
+  program_fail_prob = 0.;
+  ecc = true;
+  max_program_retries = 4;
+}
+
+type fault_stats = {
+  bit_flips : int;
+  ecc_corrected : int;
+  program_failures : int;
+  pages_remapped : int;
+  bad_blocks_marked : int;
+  power_cuts : int;
+}
+
+let zero_fault_stats = {
+  bit_flips = 0;
+  ecc_corrected = 0;
+  program_failures = 0;
+  pages_remapped = 0;
+  bad_blocks_marked = 0;
+  power_cuts = 0;
+}
+
+let add_fault_stats a b = {
+  bit_flips = a.bit_flips + b.bit_flips;
+  ecc_corrected = a.ecc_corrected + b.ecc_corrected;
+  program_failures = a.program_failures + b.program_failures;
+  pages_remapped = a.pages_remapped + b.pages_remapped;
+  bad_blocks_marked = a.bad_blocks_marked + b.bad_blocks_marked;
+  power_cuts = a.power_cuts + b.power_cuts;
+}
+
+let diff_fault_stats ~after ~before = {
+  bit_flips = after.bit_flips - before.bit_flips;
+  ecc_corrected = after.ecc_corrected - before.ecc_corrected;
+  program_failures = after.program_failures - before.program_failures;
+  pages_remapped = after.pages_remapped - before.pages_remapped;
+  bad_blocks_marked = after.bad_blocks_marked - before.bad_blocks_marked;
+  power_cuts = after.power_cuts - before.power_cuts;
+}
+
 type page_state =
   | Erased
   | Programmed of { data : bytes; len : int }
@@ -94,21 +148,44 @@ type t = {
   mutable page_high_water : int;  (* pages ever allocated *)
   mutable free : int list;  (* erased pages below the high-water mark *)
   mutable stats : stats;
+  mutable fault : fault_config option;
+  mutable rng : Rng.t option;
+  bad_blocks : (int, unit) Hashtbl.t;
+  mutable power_cut_after : int option;  (* countdown over page programs *)
+  mutable fault_stats : fault_stats;
 }
 
 exception Program_error of string
+exception Power_cut of { page : int; programmed : int }
 
-let create ?(geometry = default_geometry) ?(cost = default_cost) () = {
+let create ?(geometry = default_geometry) ?(cost = default_cost) ?fault () = {
   geometry;
   cost;
   pages = Array.make 1024 Erased;
   page_high_water = 0;
   free = [];
   stats = zero_stats;
+  fault;
+  rng = Option.map (fun f -> Rng.create f.fault_seed) fault;
+  bad_blocks = Hashtbl.create 8;
+  power_cut_after = None;
+  fault_stats = zero_fault_stats;
 }
 
 let geometry t = t.geometry
 let set_cost t cost = t.cost <- cost
+
+let set_fault t fault =
+  t.fault <- fault;
+  t.rng <- Option.map (fun f -> Rng.create f.fault_seed) fault
+
+let arm_power_cut t ~after_programs =
+  if after_programs < 1 then invalid_arg "Flash.arm_power_cut";
+  t.power_cut_after <- Some after_programs
+
+let block_of t page = page / t.geometry.pages_per_block
+let is_bad_block t block = Hashtbl.mem t.bad_blocks block
+let bad_block_count t = Hashtbl.length t.bad_blocks
 
 let grow t needed =
   if needed > Array.length t.pages then begin
@@ -116,6 +193,20 @@ let grow t needed =
     Array.blit t.pages 0 pages 0 t.page_high_water;
     t.pages <- pages
   end
+
+(* Next programmable page: recycled erased pages first, then fresh
+   ones past the high-water mark. Pages in bad blocks are never handed
+   out again. *)
+let rec alloc_page t =
+  match t.free with
+  | p :: rest ->
+    t.free <- rest;
+    if is_bad_block t (block_of t p) then alloc_page t else p
+  | [] ->
+    grow t (t.page_high_water + 1);
+    let p = t.page_high_water in
+    t.page_high_water <- p + 1;
+    if is_bad_block t (block_of t p) then alloc_page t else p
 
 let charge_program t len =
   t.stats <- {
@@ -128,30 +219,105 @@ let charge_program t len =
       +. (Float.of_int len *. t.cost.program_byte_us);
   }
 
+(* A power cut mid-program leaves the page torn: a strict prefix of
+   the intended content made it to the cells, the rest reads back as
+   erased padding. The prefix always drops at least one meaningful
+   (non-zero) byte, so a torn page can never masquerade as the
+   completed program. *)
+let tear t page data len =
+  let last_nonzero = ref (-1) in
+  for i = 0 to len - 1 do
+    if Bytes.get data i <> '\000' then last_nonzero := i
+  done;
+  let programmed =
+    if !last_nonzero < 0 then 0
+    else
+      match t.rng with
+      | Some rng -> Rng.int rng (!last_nonzero + 1)
+      | None -> (!last_nonzero + 1) / 2
+  in
+  t.pages.(page) <- Programmed { data = Bytes.sub data 0 programmed; len = programmed };
+  charge_program t programmed;
+  t.fault_stats <- { t.fault_stats with power_cuts = t.fault_stats.power_cuts + 1 };
+  raise (Power_cut { page; programmed })
+
+(* Program an erased page, honouring an armed power cut. *)
+let program_cells t page data len =
+  (match t.pages.(page) with
+   | Erased -> ()
+   | Programmed _ ->
+     raise (Program_error (Printf.sprintf "page %d is not erased" page)));
+  (match t.power_cut_after with
+   | Some n when n <= 1 ->
+     t.power_cut_after <- None;
+     tear t page data len
+   | Some n -> t.power_cut_after <- Some (n - 1)
+   | None -> ());
+  t.pages.(page) <- Programmed { data = Bytes.copy data; len };
+  charge_program t len
+
+(* Does the fault model veto this program attempt? *)
+let program_fails t =
+  match t.fault, t.rng with
+  | Some f, Some rng when f.program_fail_prob > 0. ->
+    Rng.float rng 1.0 < f.program_fail_prob
+  | _ -> false
+
 let append t data =
   let len = Bytes.length data in
   if len > t.geometry.page_size then
     raise (Program_error
              (Printf.sprintf "append: %d bytes exceeds page size %d" len
                 t.geometry.page_size));
-  let page =
-    match t.free with
-    | p :: rest ->
-      t.free <- rest;
-      p
-    | [] ->
-      grow t (t.page_high_water + 1);
-      let p = t.page_high_water in
-      t.page_high_water <- p + 1;
-      p
+  let rec attempt tries =
+    let page = alloc_page t in
+    if program_fails t then begin
+      (* The program operation fails (worn or marginal cells): the
+         attempt still costs time, the block is marked bad so none of
+         its pages are handed out again, and the write is remapped to
+         a spare page in a healthy block. *)
+      charge_program t len;
+      let block = block_of t page in
+      if not (Hashtbl.mem t.bad_blocks block) then begin
+        Hashtbl.replace t.bad_blocks block ();
+        t.fault_stats <-
+          { t.fault_stats with
+            bad_blocks_marked = t.fault_stats.bad_blocks_marked + 1 }
+      end;
+      t.fault_stats <-
+        { t.fault_stats with
+          program_failures = t.fault_stats.program_failures + 1 };
+      let max_retries =
+        match t.fault with Some f -> f.max_program_retries | None -> 0
+      in
+      if tries >= max_retries then
+        raise (Program_error
+                 (Printf.sprintf "page %d: program failed after %d attempts"
+                    page (tries + 1)))
+      else begin
+        t.fault_stats <-
+          { t.fault_stats with
+            pages_remapped = t.fault_stats.pages_remapped + 1 };
+        attempt (tries + 1)
+      end
+    end
+    else begin
+      program_cells t page data len;
+      page
+    end
   in
-  (match t.pages.(page) with
-   | Erased -> ()
-   | Programmed _ ->
-     raise (Program_error (Printf.sprintf "page %d is not erased" page)));
-  t.pages.(page) <- Programmed { data = Bytes.copy data; len };
-  charge_program t len;
-  page
+  attempt 0
+
+let program t ~page data =
+  let len = Bytes.length data in
+  if len > t.geometry.page_size then
+    raise (Program_error
+             (Printf.sprintf "program: %d bytes exceeds page size %d" len
+                t.geometry.page_size));
+  if page < 0 || page >= t.page_high_water then
+    invalid_arg (Printf.sprintf "Flash.program: page %d out of range" page);
+  t.free <- List.filter (fun p -> p <> page) t.free;
+  program_cells t page data len
 
 let charge_read t len =
   t.stats <- {
@@ -163,6 +329,29 @@ let charge_read t len =
       +. t.cost.read_seek_us
       +. (Float.of_int len *. t.cost.read_byte_us);
   }
+
+(* Bit-rot injection on the buffer handed back to the caller. With ECC
+   on (the realistic default), the controller detects the flip against
+   the spare-area code and corrects it with a metered re-read; with ECC
+   off, the flipped bit propagates and only an end-to-end checksum at a
+   higher layer can catch it. *)
+let inject_read_faults t out len =
+  match t.fault, t.rng with
+  | Some f, Some rng
+    when f.read_flip_prob > 0. && len > 0 && Rng.float rng 1.0 < f.read_flip_prob ->
+    t.fault_stats <- { t.fault_stats with bit_flips = t.fault_stats.bit_flips + 1 };
+    if f.ecc then begin
+      t.fault_stats <-
+        { t.fault_stats with ecc_corrected = t.fault_stats.ecc_corrected + 1 };
+      charge_read t len  (* the corrective re-read *)
+    end
+    else begin
+      let bit = Rng.int rng (len * 8) in
+      let byte = bit / 8 in
+      Bytes.set out byte
+        (Char.chr (Char.code (Bytes.get out byte) lxor (1 lsl (bit mod 8))))
+    end
+  | _ -> ()
 
 let read t ~page ~off ~len =
   if page < 0 || page >= t.page_high_water then
@@ -177,6 +366,7 @@ let read t ~page ~off ~len =
     (* Bytes past the programmed prefix read back as zeros (padding). *)
     let avail = max 0 (min len (plen - off)) in
     if avail > 0 then Bytes.blit data off out 0 avail;
+    inject_read_faults t out len;
     out
 
 let read_page t page = read t ~page ~off:0 ~len:t.geometry.page_size
@@ -184,19 +374,22 @@ let read_page t page = read t ~page ~off:0 ~len:t.geometry.page_size
 let erase_block t block =
   let first = block * t.geometry.pages_per_block in
   if first < 0 then invalid_arg "Flash.erase_block";
-  let last = min (t.page_high_water - 1) (first + t.geometry.pages_per_block - 1) in
-  for p = first to last do
-    (match t.pages.(p) with
-     | Programmed _ ->
-       t.pages.(p) <- Erased;
-       t.free <- p :: t.free
-     | Erased -> ())
-  done;
-  t.stats <- {
-    t.stats with
-    block_erases = t.stats.block_erases + 1;
-    write_time_us = t.stats.write_time_us +. t.cost.erase_us;
-  }
+  if is_bad_block t block then ()  (* bad blocks are retired, never erased *)
+  else begin
+    let last = min (t.page_high_water - 1) (first + t.geometry.pages_per_block - 1) in
+    for p = first to last do
+      (match t.pages.(p) with
+       | Programmed _ ->
+         t.pages.(p) <- Erased;
+         t.free <- p :: t.free
+       | Erased -> ())
+    done;
+    t.stats <- {
+      t.stats with
+      block_erases = t.stats.block_erases + 1;
+      write_time_us = t.stats.write_time_us +. t.cost.erase_us;
+    }
+  end
 
 let erase_pages t pages =
   let module Iset = Set.Make (Int) in
@@ -235,4 +428,5 @@ let live_bytes t =
 
 let stats t = t.stats
 let reset_stats t = t.stats <- zero_stats
+let fault_stats t = t.fault_stats
 let time_us t = total_time_us t.stats

@@ -51,33 +51,100 @@ val add_stats : stats -> stats -> stats
 val diff_stats : after:stats -> before:stats -> stats
 val total_time_us : stats -> float
 
+(** {2 Fault model}
+
+    Real NAND exhibits read bit-rot, program failures that retire whole
+    blocks, and torn pages when power is cut mid-program. The simulator
+    reproduces all three, deterministically, from a seeded
+    {!Ghost_kernel.Rng}: a [fault_config] attached at creation (or via
+    {!set_fault}) drives probabilistic bit flips and program failures,
+    while {!arm_power_cut} schedules an abrupt power loss at an exact
+    future program. With no fault config and no armed power cut (the
+    default), every code path, counter and cost is bit-identical to the
+    fault-free simulator. *)
+
+type fault_config = {
+  fault_seed : int;  (** seed of the injection generator *)
+  read_flip_prob : float;  (** per page-read probability of a bit flip *)
+  program_fail_prob : float;  (** per program-attempt failure probability *)
+  ecc : bool;  (** controller ECC corrects read flips (metered re-read) *)
+  max_program_retries : int;  (** remap attempts before giving up *)
+}
+
+val no_faults : fault_config
+(** All probabilities zero, ECC on — the base for [{ no_faults with ... }]
+    sweeps. *)
+
+type fault_stats = {
+  bit_flips : int;  (** raw bit errors injected on reads *)
+  ecc_corrected : int;  (** of which the controller ECC corrected *)
+  program_failures : int;  (** program attempts that failed *)
+  pages_remapped : int;  (** writes transparently moved to spare pages *)
+  bad_blocks_marked : int;  (** blocks retired from allocation *)
+  power_cuts : int;  (** torn programs (see {!arm_power_cut}) *)
+}
+
+val zero_fault_stats : fault_stats
+val add_fault_stats : fault_stats -> fault_stats -> fault_stats
+val diff_fault_stats : after:fault_stats -> before:fault_stats -> fault_stats
+
 type t
 
 exception Program_error of string
-(** Raised on an attempt to program a non-erased page or to overflow a
-    page. *)
+(** Raised on an attempt to program a non-erased page, to overflow a
+    page, or when a program keeps failing after exhausting the
+    fault model's remap retries. *)
 
-val create : ?geometry:geometry -> ?cost:cost -> unit -> t
+exception Power_cut of { page : int; programmed : int }
+(** Raised by the program that an armed power cut interrupts: [page]
+    was left torn with only [programmed] bytes (a strict prefix of the
+    intended content) in its cells. The device is assumed to restart;
+    higher layers must run their recovery protocol before appending
+    again. *)
+
+val create : ?geometry:geometry -> ?cost:cost -> ?fault:fault_config -> unit -> t
 val geometry : t -> geometry
 val set_cost : t -> cost -> unit
+
+val set_fault : t -> fault_config option -> unit
+(** Replaces the fault model (and reseeds its generator). [None]
+    restores fault-free operation. *)
+
+val arm_power_cut : t -> after_programs:int -> unit
+(** [arm_power_cut t ~after_programs:n] makes the [n]-th page program
+    from now tear mid-flight and raise {!Power_cut}. One-shot. *)
 
 val append : t -> bytes -> int
 (** Programs a fresh (erased) page with the given content — at most
     [page_size] bytes; shorter content is implicitly padded with zeros.
     Returns the page identifier. Prefers recycling erased pages before
-    growing the store. *)
+    growing the store; pages of bad blocks are never handed out. Under
+    an active fault model a failed program marks its block bad and is
+    transparently remapped to a spare page (each attempt is metered);
+    {!Program_error} is raised only when [max_program_retries]
+    consecutive attempts fail. *)
+
+val program : t -> page:int -> bytes -> unit
+(** Programs a {e specific} already-allocated page — the raw NAND
+    page-program operation. Raises {!Program_error} if the page is not
+    in the erased state (no in-place writes). Subject to an armed
+    power cut, but not to probabilistic program failures (there is no
+    spare to remap a targeted program to). *)
 
 val read : t -> page:int -> off:int -> len:int -> bytes
 (** Partial-page read; cost = seek + [len] bytes. Raises
     [Invalid_argument] on an out-of-bounds range or a never-programmed
-    page. *)
+    page. Under an active fault model a read may suffer a bit flip:
+    with ECC on it is corrected at the cost of a metered re-read; with
+    ECC off the corrupted buffer is returned as-is. *)
 
 val read_page : t -> int -> bytes
 (** Full-page read. *)
 
 val erase_block : t -> int -> unit
 (** Erases the given block (all its pages become programmable again;
-    their previous content is lost). *)
+    their previous content is lost). A retired (bad) block is left
+    untouched and uncharged. *)
 
 val erase_pages : t -> int list -> unit
 (** Erases every block that intersects the given page list. Convenience
@@ -98,5 +165,13 @@ val stats : t -> stats
 (** Snapshot of the counters since creation (or last {!reset_stats}). *)
 
 val reset_stats : t -> unit
+
+val fault_stats : t -> fault_stats
+(** Fault-injection counters since creation (never reset by
+    {!reset_stats} — faults are lifetime events of the chip). *)
+
+val bad_block_count : t -> int
+(** Blocks currently retired from allocation. *)
+
 val time_us : t -> float
 (** [total_time_us (stats t)]. *)

@@ -58,3 +58,25 @@ let put_string16 buf s =
 let get_string16 b off =
   let n = (Bytes.get_uint8 b off lsl 8) lor Bytes.get_uint8 b (off + 1) in
   (Bytes.sub_string b (off + 2) n, off + 2 + n)
+
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320), the checksum
+   of the crash-safe log page headers. Table-driven, one table shared
+   process-wide. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(crc = 0) b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Codec.crc32: range out of bounds";
+  let table = Lazy.force crc_table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Bytes.get_uint8 b i) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF land 0xFFFFFFFF

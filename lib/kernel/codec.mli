@@ -31,3 +31,9 @@ val put_string16 : Buffer.t -> string -> unit
     Raises [Invalid_argument] if longer than 65535 bytes. *)
 
 val get_string16 : bytes -> int -> string * int
+
+val crc32 : ?crc:int -> bytes -> pos:int -> len:int -> int
+(** CRC-32 (IEEE) of [len] bytes starting at [pos]. Pass a previous
+    result as [?crc] to checksum discontiguous ranges incrementally.
+    Used by the crash-safe log pages to detect torn or corrupted
+    programs. *)

@@ -107,6 +107,72 @@ let test_high_speed_usb () =
   Device.receive d Trace.Ack ~bytes:1500;
   check Alcotest.bool "faster than full speed" true (Device.usb_time_us d < 200.)
 
+let test_default_has_zero_faults () =
+  let trace = Trace.create () in
+  let d = Device.create ~trace () in
+  Device.receive d Trace.Ack ~bytes:500;
+  ignore (Flash.append (Device.flash d) (Bytes.make 64 'x'));
+  check Alcotest.bool "no fault counters move" true
+    (Device.no_faults (Device.snapshot d).Device.faults)
+
+let lossy cfg =
+  { cfg with
+    Device.usb_fault =
+      Some { Device.default_usb_fault with
+             Device.usb_seed = 99; corrupt_prob = 0.5; max_retries = 16 } }
+
+let test_usb_retry_metered_and_traced () =
+  let trace = Trace.create () in
+  let d = Device.create ~config:(lossy Device.default_config) ~trace () in
+  let sends = 20 in
+  for i = 1 to sends do
+    Device.receive d (Trace.Id_list { table = "T"; count = i }) ~bytes:100
+  done;
+  let f = (Device.snapshot d).Device.faults in
+  check Alcotest.bool "some transfers corrupted" true (f.Device.usb_corruptions > 0);
+  check Alcotest.int "every corruption retried (all succeeded)"
+    f.Device.usb_corruptions f.Device.usb_retries;
+  (* every attempt is charged and spy-visible *)
+  check Alcotest.int "bytes counted per attempt"
+    ((sends + f.Device.usb_retries) * 100) (Device.snapshot d).Device.usb_bytes_in;
+  check Alcotest.int "retransmissions in the trace"
+    (sends + f.Device.usb_retries) (List.length (Trace.events trace));
+  (* backoff makes the lossy link slower than the clean one *)
+  let clean = Device.create ~trace:(Trace.create ()) () in
+  for i = 1 to sends do
+    Device.receive clean (Trace.Id_list { table = "T"; count = i }) ~bytes:100
+  done;
+  check Alcotest.bool "backoff charged" true
+    (Device.usb_time_us d > Device.usb_time_us clean)
+
+let test_usb_retry_budget_bounded () =
+  let trace = Trace.create () in
+  let cfg =
+    { Device.default_config with
+      Device.usb_fault =
+        Some { Device.default_usb_fault with
+               Device.usb_seed = 1; corrupt_prob = 1.0; max_retries = 3 } }
+  in
+  let d = Device.create ~config:cfg ~trace () in
+  (try
+     Device.receive d Trace.Ack ~bytes:40;
+     Alcotest.fail "expected Usb_error"
+   with Device.Usb_error _ -> ());
+  let f = (Device.snapshot d).Device.faults in
+  check Alcotest.int "initial attempt + 3 retries all corrupted" 4
+    f.Device.usb_corruptions;
+  check Alcotest.int "retry budget spent" 3 f.Device.usb_retries;
+  check Alcotest.int "all 4 attempts on the wire" (4 * 40)
+    (Device.snapshot d).Device.usb_bytes_in
+
+let test_note_recovery_counted () =
+  let trace = Trace.create () in
+  let d = Device.create ~trace () in
+  Device.note_recovery d ~recovered:11 ~lost:2;
+  let f = Device.fault_counters d in
+  check Alcotest.int "recovered" 11 f.Device.records_recovered;
+  check Alcotest.int "lost" 2 f.Device.records_lost
+
 let suite = [
   Alcotest.test_case "ram budget enforced" `Quick test_ram_budget_enforced;
   Alcotest.test_case "ram peak and scopes" `Quick test_ram_peak_and_scope;
@@ -117,4 +183,8 @@ let suite = [
   Alcotest.test_case "scratch region counted" `Quick test_device_scratch_counted;
   Alcotest.test_case "usage between snapshots" `Quick test_usage_between;
   Alcotest.test_case "high-speed usb variant" `Quick test_high_speed_usb;
+  Alcotest.test_case "default config has zero fault counters" `Quick test_default_has_zero_faults;
+  Alcotest.test_case "usb retries metered and traced" `Quick test_usb_retry_metered_and_traced;
+  Alcotest.test_case "usb retry budget bounded" `Quick test_usb_retry_budget_bounded;
+  Alcotest.test_case "recovery outcome counted" `Quick test_note_recovery_counted;
 ]

@@ -105,6 +105,141 @@ let test_stats_diff () =
   let d = Flash.diff_stats ~after:(Flash.stats f) ~before in
   check Alcotest.int "one program in window" 1 d.Flash.page_programs
 
+(* Whole blocks are erased, as on real NAND: reclaiming one run's
+   pages wipes every other run sharing the block. *)
+let test_erase_pages_shared_block () =
+  let f = Flash.create ~geometry:small_geometry () in
+  (* block 0: pages 0,1 belong to a "live" run, pages 2,3 to a
+     "scratch" run *)
+  let l0 = Flash.append f (Bytes.of_string "live") in
+  let l1 = Flash.append f (Bytes.of_string "live") in
+  let s0 = Flash.append f (Bytes.of_string "tmp") in
+  let s1 = Flash.append f (Bytes.of_string "tmp") in
+  let live = [ l0; l1 ] and scratch = [ s0; s1 ] in
+  check Alcotest.(list int) "same block" [ 0; 0; 0; 0 ]
+    (List.map (fun p -> p / 4) (live @ scratch));
+  Flash.erase_pages f scratch;
+  check Alcotest.int "one block erase" 1 (Flash.stats f).Flash.block_erases;
+  (* the live run's pages are collateral damage of the block erase *)
+  List.iter
+    (fun p ->
+       Alcotest.check_raises "live page gone"
+         (Invalid_argument (Printf.sprintf "Flash.read: page %d is erased" p))
+         (fun () -> ignore (Flash.read f ~page:p ~off:0 ~len:1)))
+    live;
+  check Alcotest.int "all 4 pages reusable" 4 (List.length (List.init 4 (fun _ ->
+    Flash.append f (Bytes.of_string "x"))));
+  check Alcotest.int "no growth" 4 (Flash.page_count f)
+
+let test_program_non_erased_page () =
+  let f = Flash.create ~geometry:small_geometry () in
+  let p = Flash.append f (Bytes.of_string "first") in
+  Alcotest.check_raises "no in-place writes"
+    (Flash.Program_error (Printf.sprintf "page %d is not erased" p)) (fun () ->
+      Flash.program f ~page:p (Bytes.of_string "second"));
+  (* after a block erase the same page programs fine *)
+  Flash.erase_block f 0;
+  Flash.program f ~page:p (Bytes.of_string "second");
+  check Alcotest.string "reprogrammed" "second"
+    (Bytes.to_string (Flash.read f ~page:p ~off:0 ~len:6))
+
+let fault_with ?(seed = 7) ?(flip = 0.) ?(fail = 0.) ?(ecc = true) () =
+  { Flash.no_faults with
+    Flash.fault_seed = seed; read_flip_prob = flip; program_fail_prob = fail; ecc }
+
+let test_read_flip_ecc_corrects () =
+  let f = Flash.create ~geometry:small_geometry ~fault:(fault_with ~flip:1.0 ()) () in
+  let p = Flash.append f (Bytes.of_string "payload") in
+  let reads_before = (Flash.stats f).Flash.page_reads in
+  let b = Flash.read f ~page:p ~off:0 ~len:7 in
+  check Alcotest.string "ecc returns true data" "payload" (Bytes.to_string b);
+  let fs = Flash.fault_stats f in
+  check Alcotest.int "flip injected" 1 fs.Flash.bit_flips;
+  check Alcotest.int "flip corrected" 1 fs.Flash.ecc_corrected;
+  check Alcotest.int "corrective re-read charged" 2
+    ((Flash.stats f).Flash.page_reads - reads_before)
+
+let test_read_flip_no_ecc_corrupts () =
+  let f =
+    Flash.create ~geometry:small_geometry ~fault:(fault_with ~flip:1.0 ~ecc:false ()) ()
+  in
+  let p = Flash.append f (Bytes.of_string "payload") in
+  let b = Flash.read f ~page:p ~off:0 ~len:7 in
+  check Alcotest.bool "corrupted buffer" true (Bytes.to_string b <> "payload");
+  check Alcotest.int "flip counted" 1 (Flash.fault_stats f).Flash.bit_flips;
+  check Alcotest.int "nothing corrected" 0 (Flash.fault_stats f).Flash.ecc_corrected
+
+let test_program_failure_remaps () =
+  (* Seeded so some attempts fail: the write must land on a healthy
+     block and the failed blocks must be retired. *)
+  let f =
+    Flash.create ~geometry:small_geometry ~fault:(fault_with ~seed:3 ~fail:0.2 ()) ()
+  in
+  let pages = List.init 40 (fun i -> Flash.append f (Bytes.of_string (string_of_int i))) in
+  List.iteri
+    (fun i p ->
+       check Alcotest.string "data on remapped page" (string_of_int i)
+         (Bytes.to_string (Flash.read f ~page:p ~off:0 ~len:(String.length (string_of_int i)))))
+    pages;
+  let fs = Flash.fault_stats f in
+  check Alcotest.bool "failures injected" true (fs.Flash.program_failures > 0);
+  check Alcotest.bool "remaps recorded" true (fs.Flash.pages_remapped > 0);
+  check Alcotest.bool "blocks retired" true (Flash.bad_block_count f > 0)
+
+let test_program_failure_bounded () =
+  let f =
+    Flash.create ~geometry:small_geometry
+      ~fault:{ (fault_with ~fail:1.0 ()) with Flash.max_program_retries = 2 } ()
+  in
+  (try
+     ignore (Flash.append f (Bytes.of_string "x"));
+     Alcotest.fail "expected Program_error"
+   with Flash.Program_error msg ->
+     check Alcotest.bool "reports attempts" true
+       (String.length msg > 0 && (Flash.fault_stats f).Flash.program_failures = 3));
+  check Alcotest.int "every attempt retired a block" 3 (Flash.bad_block_count f)
+
+let test_power_cut_tears_page () =
+  let f = Flash.create ~geometry:small_geometry () in
+  let intended = Bytes.of_string "abcdefgh" in
+  Flash.arm_power_cut f ~after_programs:2;
+  let p0 = Flash.append f intended in
+  check Alcotest.string "first program unaffected" "abcdefgh"
+    (Bytes.to_string (Flash.read f ~page:p0 ~off:0 ~len:8));
+  (try
+     ignore (Flash.append f intended);
+     Alcotest.fail "expected Power_cut"
+   with Flash.Power_cut { page; programmed } -> begin
+     check Alcotest.bool "strict prefix" true (programmed < 8);
+     (* the torn page reads back as prefix + erased padding, never the
+        full intended content *)
+     let b = Flash.read f ~page ~off:0 ~len:8 in
+     check Alcotest.bool "torn, not completed" true (Bytes.to_string b <> "abcdefgh");
+     check Alcotest.string "prefix survives" (String.sub "abcdefgh" 0 programmed)
+       (Bytes.sub_string b 0 programmed)
+   end);
+  check Alcotest.int "power cut counted" 1 (Flash.fault_stats f).Flash.power_cuts;
+  (* the cut is one-shot: the flash programs normally again *)
+  let p2 = Flash.append f intended in
+  check Alcotest.string "next program fine" "abcdefgh"
+    (Bytes.to_string (Flash.read f ~page:p2 ~off:0 ~len:8))
+
+let test_no_fault_config_costs_identical () =
+  (* The fault machinery must be invisible when disabled: same pages,
+     same stats as the seed simulator. *)
+  let f = Flash.create ~geometry:small_geometry () in
+  for i = 0 to 9 do
+    ignore (Flash.append f (Bytes.make (1 + (i mod 5)) 'z'))
+  done;
+  ignore (Flash.read f ~page:3 ~off:0 ~len:4);
+  Flash.erase_block f 1;
+  let s = Flash.stats f in
+  check Alcotest.int "programs" 10 s.Flash.page_programs;
+  check Alcotest.int "reads" 1 s.Flash.page_reads;
+  check Alcotest.bool "no fault events" true
+    (Flash.fault_stats f = Flash.zero_fault_stats);
+  check Alcotest.int "no bad blocks" 0 (Flash.bad_block_count f)
+
 let prop_roundtrip_random =
   QCheck.Test.make ~name:"flash content roundtrip" ~count:100
     QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (string_of_size (QCheck.Gen.int_range 0 64)))
@@ -126,5 +261,13 @@ let suite = [
   Alcotest.test_case "write-ratio calibration" `Quick test_write_ratio_calibration;
   Alcotest.test_case "erase_live_blocks" `Quick test_erase_live_blocks;
   Alcotest.test_case "stats diff" `Quick test_stats_diff;
+  Alcotest.test_case "erase_pages wipes shared block" `Quick test_erase_pages_shared_block;
+  Alcotest.test_case "program of non-erased page rejected" `Quick test_program_non_erased_page;
+  Alcotest.test_case "read bit-flip corrected by ECC" `Quick test_read_flip_ecc_corrects;
+  Alcotest.test_case "read bit-flip without ECC corrupts" `Quick test_read_flip_no_ecc_corrupts;
+  Alcotest.test_case "program failure remaps to spare" `Quick test_program_failure_remaps;
+  Alcotest.test_case "program retries bounded" `Quick test_program_failure_bounded;
+  Alcotest.test_case "power cut tears the in-flight page" `Quick test_power_cut_tears_page;
+  Alcotest.test_case "fault machinery invisible when off" `Quick test_no_fault_config_costs_identical;
   qtest prop_roundtrip_random;
 ]

@@ -124,6 +124,20 @@ let test_codec_fixed () =
   check Alcotest.string "string16" "hello" s;
   check Alcotest.int "string16 off" 7 off
 
+let test_crc32 () =
+  (* IEEE 802.3 check value *)
+  let b = Bytes.of_string "123456789" in
+  check Alcotest.int "known value" 0xCBF43926 (Codec.crc32 b ~pos:0 ~len:9);
+  check Alcotest.int "empty" 0 (Codec.crc32 b ~pos:0 ~len:0);
+  (* incremental over a split range equals one pass *)
+  let part = Codec.crc32 b ~pos:0 ~len:4 in
+  check Alcotest.int "chained" 0xCBF43926 (Codec.crc32 ~crc:part b ~pos:4 ~len:5);
+  (* any single-bit corruption is detected *)
+  let reference = Codec.crc32 b ~pos:0 ~len:9 in
+  Bytes.set b 3 (Char.chr (Char.code (Bytes.get b 3) lxor 0x10));
+  check Alcotest.bool "bit flip changes crc" true
+    (Codec.crc32 b ~pos:0 ~len:9 <> reference)
+
 (* ---- Rng / Zipf ---- *)
 
 let test_rng_deterministic () =
@@ -310,6 +324,7 @@ let suite = [
   qtest prop_varint_roundtrip;
   qtest prop_zigzag_roundtrip;
   Alcotest.test_case "codec fixed-width" `Quick test_codec_fixed;
+  Alcotest.test_case "codec crc32" `Quick test_crc32;
   Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
   Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
   Alcotest.test_case "rng float range" `Quick test_rng_float_range;

@@ -84,8 +84,126 @@ let test_tombstones_many_pages () =
   check Alcotest.int "count" 200 (Tombstone_log.count log);
   check Alcotest.int "all back" 200 (Array.length (Tombstone_log.load_sorted log))
 
+let make_durable_delta f =
+  Delta_log.create ~durability:Delta_log.Checksummed f ~table:"R"
+    ~levels:[ "R"; "A"; "B" ]
+    ~hidden_cols:[ ("q", Value.T_int); ("s", Value.T_char 8) ]
+
+let append_n log n =
+  for i = 1 to n do
+    Delta_log.append log
+      ~ids:[| 100 + i; i; (2 * i) + 1 |]
+      ~hidden:[| Value.Int (i * 3); Value.Str (Printf.sprintf "s%d" i) |]
+  done
+
+let scanned_ids log =
+  let acc = ref [] in
+  Delta_log.scan log (fun r -> acc := r.Delta_log.ids.(0) :: !acc);
+  List.rev !acc
+
+let test_delta_checksummed_roundtrip () =
+  let f = flash () in
+  let log = make_durable_delta f in
+  (* 256-byte pages minus the 20-byte header: 8 records of 28 bytes *)
+  append_n log 25;
+  check Alcotest.int "count" 25 (Delta_log.count log);
+  check Alcotest.(list int) "all records back, in order"
+    (List.init 25 (fun i -> 101 + i)) (scanned_ids log)
+
+let test_delta_dead_bytes_quantified () =
+  let f = flash () in
+  let log = make_delta f in
+  (* rpp = 9 (plain): k tail reprograms strand 0+1+...+(k-1) records *)
+  for k = 1 to 8 do
+    Delta_log.append log ~ids:[| k; 1; 1 |] ~hidden:[| Value.Int 0; Value.Str "" |];
+    check Alcotest.int (Printf.sprintf "dead after %d" k)
+      (28 * (k * (k - 1) / 2)) (Delta_log.dead_bytes log)
+  done;
+  (* the 9th append completes the page: its superseded predecessor
+     still counts, and the next append opens a fresh tail with no dead
+     space *)
+  Delta_log.append log ~ids:[| 9; 1; 1 |] ~hidden:[| Value.Int 0; Value.Str "" |];
+  check Alcotest.int "dead after full page" (28 * 36) (Delta_log.dead_bytes log);
+  Delta_log.append log ~ids:[| 10; 1; 1 |] ~hidden:[| Value.Int 0; Value.Str "" |];
+  check Alcotest.int "fresh tail adds none" (28 * 36) (Delta_log.dead_bytes log)
+
+let test_delta_power_cut_recovery () =
+  let f = flash () in
+  let log = make_durable_delta f in
+  append_n log 11;  (* one full page (8) + tail of 3 *)
+  Flash.arm_power_cut f ~after_programs:1;
+  (try
+     Delta_log.append log ~ids:[| 112; 12; 25 |]
+       ~hidden:[| Value.Int 36; Value.Str "s12" |];
+     Alcotest.fail "expected Power_cut"
+   with Flash.Power_cut _ -> ());
+  check Alcotest.bool "needs recovery" true (Delta_log.needs_recovery log);
+  (* volatile state still counts the unacknowledged record *)
+  check Alcotest.int "volatile count" 12 (Delta_log.count log);
+  (try
+     append_n log 1;
+     Alcotest.fail "append must refuse"
+   with Invalid_argument _ -> ());
+  let r = Delta_log.recover log in
+  check Alcotest.int "recovered acknowledged prefix" 11 r.Delta_log.recovered;
+  check Alcotest.int "lost the torn record" 1 r.Delta_log.lost;
+  check Alcotest.bool "torn page seen" true (r.Delta_log.torn_pages >= 1);
+  check Alcotest.bool "recovered" false (Delta_log.needs_recovery log);
+  check Alcotest.(list int) "contents = acknowledged appends"
+    (List.init 11 (fun i -> 101 + i)) (scanned_ids log);
+  (* the log is usable again *)
+  Delta_log.append log ~ids:[| 112; 12; 25 |]
+    ~hidden:[| Value.Int 36; Value.Str "s12" |];
+  check Alcotest.int "append after recovery" 12 (Delta_log.count log)
+
+let test_delta_power_cut_on_first_append () =
+  let f = flash () in
+  let log = make_durable_delta f in
+  Flash.arm_power_cut f ~after_programs:1;
+  (try append_n log 1; Alcotest.fail "expected Power_cut"
+   with Flash.Power_cut _ -> ());
+  let r = Delta_log.recover log in
+  check Alcotest.int "nothing durable" 0 r.Delta_log.recovered;
+  check Alcotest.int "one lost" 1 r.Delta_log.lost;
+  check Alcotest.int "empty log" 0 (Delta_log.count log);
+  append_n log 3;
+  check Alcotest.(list int) "restarts cleanly" [ 101; 102; 103 ] (scanned_ids log)
+
+let test_delta_plain_cannot_recover () =
+  let log = make_delta (flash ()) in
+  try
+    ignore (Delta_log.recover log);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_tombstone_power_cut_recovery () =
+  let f = flash () in
+  let log = Tombstone_log.create ~durability:Tombstone_log.Checksummed f ~table:"R" in
+  Tombstone_log.append log [ 5; 1; 9 ];
+  (* tear the program of the 2nd id of the next batch: the 1st id is
+     durable, the 2nd is not *)
+  Flash.arm_power_cut f ~after_programs:2;
+  (try Tombstone_log.append log [ 2; 7; 4 ]; Alcotest.fail "expected Power_cut"
+   with Flash.Power_cut _ -> ());
+  check Alcotest.bool "needs recovery" true (Tombstone_log.needs_recovery log);
+  let r = Tombstone_log.recover log in
+  check Alcotest.int "durable prefix of the batch" 4 r.Tombstone_log.recovered;
+  check Alcotest.int "torn id lost" 1 r.Tombstone_log.lost;
+  check Alcotest.(array int) "sorted load" [| 1; 2; 5; 9 |]
+    (Tombstone_log.load_sorted log);
+  check Alcotest.bool "membership rebuilt" true (Tombstone_log.mem log 2);
+  check Alcotest.bool "torn id not a member" false (Tombstone_log.mem log 7);
+  Tombstone_log.append log [ 7; 4 ];
+  check Alcotest.int "resumes" 6 (Tombstone_log.count log)
+
 let suite = [
   Alcotest.test_case "delta roundtrip" `Quick test_delta_roundtrip;
+  Alcotest.test_case "delta checksummed roundtrip" `Quick test_delta_checksummed_roundtrip;
+  Alcotest.test_case "delta dead bytes quantified" `Quick test_delta_dead_bytes_quantified;
+  Alcotest.test_case "delta power-cut recovery" `Quick test_delta_power_cut_recovery;
+  Alcotest.test_case "delta power cut on first append" `Quick test_delta_power_cut_on_first_append;
+  Alcotest.test_case "plain log cannot recover" `Quick test_delta_plain_cannot_recover;
+  Alcotest.test_case "tombstone power-cut recovery" `Quick test_tombstone_power_cut_recovery;
   Alcotest.test_case "delta validation" `Quick test_delta_validation;
   Alcotest.test_case "delta write amplification" `Quick test_delta_write_amplification;
   Alcotest.test_case "tombstones" `Quick test_tombstones;

@@ -28,5 +28,6 @@ let () =
       ("logs", Test_logs.suite);
       ("shapes", Test_shapes.suite);
       ("fuzz", Test_fuzz.suite);
+      ("recovery", Test_recovery.suite);
       ("retail", Test_retail.suite);
     ]
