@@ -9,7 +9,7 @@
       the host (useful to track regressions of the simulator itself).
 
    Usage: main.exe [--full] [--scale tiny|small|medium] [--no-wallclock]
-          [--only E1,E5] *)
+          [--only E1,E5] [--json DIR] *)
 
 open Bechamel
 open Toolkit
@@ -26,6 +26,7 @@ type options = {
   scale : Medical.scale;
   wallclock : bool;
   only : string list option;
+  json_dir : string option;
 }
 
 let parse_args () =
@@ -33,6 +34,7 @@ let parse_args () =
   let scale = ref Medical.small in
   let wallclock = ref true in
   let only = ref None in
+  let json_dir = ref None in
   let set_scale s =
     scale :=
       match s with
@@ -48,19 +50,47 @@ let parse_args () =
     ("--scale", Arg.String set_scale, "SCALE tiny|small|medium|paper (default small)");
     ("--no-wallclock", Arg.Clear wallclock, " skip the Bechamel wall-clock pass");
     ("--only", Arg.String set_only, "IDS comma-separated experiment ids (e.g. E1,E5)");
+    ("--json", Arg.String (fun d -> json_dir := Some d),
+     "DIR also write each selected report as DIR/BENCH_<id>.json");
   ] in
   Arg.parse (Arg.align specs) (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
     "GhostDB benchmark harness";
-  { full = !full; scale = !scale; wallclock = !wallclock; only = !only }
+  { full = !full; scale = !scale; wallclock = !wallclock; only = !only;
+    json_dir = !json_dir }
+
+let write_json dir report =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" report.Report.id) in
+  let oc = open_out path in
+  output_string oc (Report.to_json report);
+  output_char oc '\n';
+  close_out oc
 
 let print_experiments opts =
   let reports = Experiments.all ~scale:opts.scale ~full:opts.full () in
   let selected =
     match opts.only with
     | None -> reports
-    | Some ids -> List.filter (fun (id, _) -> List.mem id ids) reports
+    | Some ids ->
+      let known = List.map fst reports in
+      (match List.filter (fun id -> not (List.mem id known)) ids with
+       | [] -> ()
+       | unknown ->
+         Printf.eprintf
+           "main.exe: unknown experiment id%s %s\nValid ids: %s\nUsage: main.exe \
+            [--full] [--scale SCALE] [--no-wallclock] [--only IDS] [--json DIR]\n"
+           (if List.length unknown > 1 then "s" else "")
+           (String.concat ", " unknown)
+           (String.concat ", " known);
+         exit 2);
+      List.filter (fun (id, _) -> List.mem id ids) reports
   in
-  List.iter (fun (_, thunk) -> print_string (Report.to_string (thunk ()))) selected
+  List.iter
+    (fun (_, thunk) ->
+       let report = thunk () in
+       print_string (Report.to_string report);
+       Option.iter (fun dir -> write_json dir report) opts.json_dir)
+    selected
 
 (* ---- Bechamel wall-clock pass ---- *)
 

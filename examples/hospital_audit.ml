@@ -60,7 +60,8 @@ let () =
               is the paper's accepted leak, report it honestly *)
            ignore q;
            false
-         | Trace.Id_list _ | Trace.Result_tuples _ | Trace.Ack -> false)
+         | Trace.Id_list _ | Trace.Result_tuples _ | Trace.Ack
+         | Trace.Cache_stats _ -> false)
       events
   in
   List.iter

@@ -74,6 +74,13 @@ val robustness : ?scale:Medical.scale -> unit -> Report.t
     retry-with-backoff — on an insert + query workload, per fault
     profile. Deterministic (seeded fault injection). *)
 
+val page_cache_sweep : ?scale:Medical.scale -> unit -> Report.t
+(** E16 (extension): device time of a hidden-predicate COUNT workload
+    as the shared page cache's frame pool sweeps 0 (off), 4, 16 and
+    64 frames, with hit/miss/eviction counters and the hit ratio per
+    row. The frames=0 row is bit-identical to the cache-free
+    simulator. *)
+
 (** {2 Ablations of design choices} *)
 
 val ablation_exact_post : ?scale:Medical.scale -> unit -> Report.t
@@ -96,5 +103,5 @@ val ablation_deep_cross : ?scale:Medical.scale -> unit -> Report.t
 
 val all : ?scale:Medical.scale -> ?full:bool -> unit -> (string * (unit -> Report.t)) list
 (** The whole suite as (id, thunk) pairs — experiments run only when
-    forced, so id filters don't pay for the rest. E1–E15, A1–A5;
+    forced, so id filters don't pay for the rest. E1–E16, A1–A5;
     [full] raises E10 to the paper's one million prescriptions. *)

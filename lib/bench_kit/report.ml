@@ -51,3 +51,29 @@ let bytes n =
   else Printf.sprintf "%d B" n
 
 let factor f = Printf.sprintf "x%.1f" f
+
+(* Hand-rolled JSON (no external deps in the simulator). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let str s = "\"" ^ json_escape s ^ "\"" in
+  let arr l = "[" ^ String.concat "," l ^ "]" in
+  Printf.sprintf "{\"id\":%s,\"title\":%s,\"header\":%s,\"rows\":%s,\"notes\":%s}"
+    (str t.id) (str t.title)
+    (arr (List.map str t.header))
+    (arr (List.map (fun row -> arr (List.map str row)) t.rows))
+    (arr (List.map str t.notes))

@@ -15,6 +15,12 @@ val make :
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
+val to_json : t -> string
+(** The same table as one JSON object
+    [{"id", "title", "header", "rows", "notes"}] (all cells as
+    strings), for machine consumption of benchmark runs — e.g. the CI
+    artifact. No external JSON dependency. *)
+
 val us : float -> string
 (** Microseconds rendered with unit scaling ("1.23 s", "45 ms"). *)
 

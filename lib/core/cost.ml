@@ -25,6 +25,9 @@ type env = {
   cfg : Device.config;
   fc : Flash.cost;
   plan : Plan.t;
+  cache_hit : float;
+      (* estimated page-cache hit ratio on the main Flash region; 0.
+         without a cache *)
   mutable parts : (string * float) list;
   mutable usb_bytes : int;
   mutable ram_bytes : int;
@@ -32,15 +35,30 @@ type env = {
 
 let add env label us = env.parts <- (label, us) :: env.parts
 
-(* Time to stream [bytes] off Flash through [chunk]-byte reads. *)
-let read_stream_us env bytes =
+(* Time to stream [bytes] through [chunk]-byte reads off the scratch
+   region, which the page cache never fronts. *)
+let scratch_read_us env bytes =
   if bytes <= 0. then 0.
   else
     let chunks = Float.max 1. (Float.round (bytes /. chunk)) in
     (chunks *. env.fc.Flash.read_seek_us) +. (bytes *. env.fc.Flash.read_byte_us)
 
-(* One small random read (locator, directory entry, SKT row...). *)
-let point_read_us env bytes = env.fc.Flash.read_seek_us +. (bytes *. env.fc.Flash.read_byte_us)
+(* Time to stream [bytes] off the main Flash region: cache hits are
+   free, so the expected cost is the miss fraction of the uncached
+   stream. *)
+let read_stream_us env bytes = (1. -. env.cache_hit) *. scratch_read_us env bytes
+
+(* One small random read (locator, directory entry, SKT row...) off the
+   main region. With a cache a hit is free and a miss fills a whole
+   frame — the expected cost can exceed the uncached partial read when
+   the hit ratio is poor, which is exactly the regime where a tiny
+   cache loses. *)
+let point_read_us env bytes =
+  if env.cache_hit > 0. then
+    let page = Float.of_int env.cfg.Device.flash_geometry.Flash.page_size in
+    (1. -. env.cache_hit)
+    *. (env.fc.Flash.read_seek_us +. (page *. env.fc.Flash.read_byte_us))
+  else env.fc.Flash.read_seek_us +. (bytes *. env.fc.Flash.read_byte_us)
 
 let write_stream_us env bytes =
   if bytes <= 0. then 0.
@@ -72,7 +90,7 @@ let merge_passes_us env ~k ~bytes =
   if Float.of_int k <= fan then cpu_us env (Float.of_int k *. 10.)
   else begin
     let passes = ceil (log (Float.of_int k) /. log fan) -. 1. in
-    (passes *. (read_stream_us env bytes +. write_stream_us env bytes))
+    (passes *. (scratch_read_us env bytes +. write_stream_us env bytes))
     +. cpu_us env (bytes /. avg_varint_bytes *. 5.)
   end
 
@@ -126,10 +144,48 @@ let skt_access_us env ~n_root ~candidates ~row_bytes =
 
 let visible_sel env preds = List.fold_left (fun acc p -> acc *. sel env p) 1. preds
 
+(* Bytes the query-time point-read paths keep going back to: index
+   directories (binary searches revisit the top levels constantly),
+   SKT rows and hidden column stores. The list blobs are streamed once
+   and excluded. *)
+let cache_working_set cat =
+  let dir i = Ghost_store.Climbing_index.directory_bytes i in
+  List.fold_left
+    (fun acc (_, (e : Catalog.table_entry)) ->
+       acc
+       + (match e.Catalog.key_index with Some i -> dir i | None -> 0)
+       + List.fold_left (fun a (_, i) -> a + dir i) 0 e.Catalog.attr_indexes
+       + List.fold_left
+           (fun a (_, cs) -> a + Ghost_store.Column_store.size_bytes cs)
+           0 e.Catalog.hidden_columns)
+    0 cat.Catalog.entries
+  + List.fold_left (fun a (_, s) -> a + Ghost_store.Skt.size_bytes s) 0 cat.Catalog.skts
+
+(* Expected hit ratio of a [frames]-frame cache over that working set —
+   the fraction of hot bytes resident at steady state, capped below 1
+   because cold misses and log-append invalidations never vanish. *)
+let hit_ratio cat (cfg : Device.config) =
+  if cfg.Device.page_cache_frames <= 0 then 0.
+  else begin
+    let page = cfg.Device.flash_geometry.Flash.page_size in
+    let ws = max page (cache_working_set cat) in
+    Float.min 0.95
+      (Float.of_int (cfg.Device.page_cache_frames * page) /. Float.of_int ws)
+  end
+
 let estimate cat (plan : Plan.t) =
   let cfg = Device.config cat.Catalog.device in
   let env =
-    { cat; cfg; fc = cfg.Device.flash_cost; plan; parts = []; usb_bytes = 0; ram_bytes = 0 }
+    {
+      cat;
+      cfg;
+      fc = cfg.Device.flash_cost;
+      plan;
+      cache_hit = hit_ratio cat cfg;
+      parts = [];
+      usb_bytes = 0;
+      ram_bytes = 0;
+    }
   in
   let root = plan.Plan.root in
   let n_root = count env root in
@@ -307,7 +363,7 @@ let estimate cat (plan : Plan.t) =
          let row_bytes = survivors *. 24. in
          spend
            (Printf.sprintf "join-sort(%s)" table)
-           (write_stream_us env row_bytes +. read_stream_us env row_bytes
+           (write_stream_us env row_bytes +. scratch_read_us env row_bytes
             +. cpu_us env (survivors *. 20.))
        end)
     join_tables;

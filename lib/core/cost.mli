@@ -9,6 +9,11 @@ module Bind = Ghost_sql.Bind
     bytes, hierarchical merge passes), USB transfers, Bloom
     build/probe CPU, SKT accesses for surviving candidates, hidden
     column checks, and projection joins (RAM hash vs external sort).
+    When the device is configured with a shared page cache
+    ([page_cache_frames > 0]) the Flash components of the estimate are
+    discounted by an expected hit ratio, derived from the frame-pool
+    size against the hot working set (index directories + SKT rows +
+    hidden column stores); the scratch region is never discounted.
     The absolute numbers are approximations; what the optimizer needs
     is the {e ranking}, dominated by the Pre-filter climb volume vs the
     Post-filter candidate volume. *)

@@ -2,6 +2,7 @@ module Value = Ghost_kernel.Value
 module Codec = Ghost_kernel.Codec
 module Flash = Ghost_flash.Flash
 module Ram = Ghost_device.Ram
+module Page_cache = Ghost_device.Page_cache
 
 type durability =
   | Plain
@@ -20,6 +21,9 @@ type t = {
   record_bytes : int;
   records_per_page : int;
   durability : durability;
+  cache : Page_cache.t option;
+      (* the device's page cache, invalidated when an append programs a
+         recycled Flash page the cache may still hold *)
   mutable full_pages : int list;  (* reversed *)
   mutable tail : string list;  (* encoded records of the tail page, reversed *)
   mutable tail_page : int option;  (* current (latest) program of the tail *)
@@ -30,7 +34,7 @@ type t = {
   mutable torn_page : int option;  (* the page that tore, if known *)
 }
 
-let create ?(durability = Plain) flash ~table ~levels ~hidden_cols =
+let create ?(durability = Plain) ?cache flash ~table ~levels ~hidden_cols =
   let record_bytes =
     (4 * List.length levels)
     + List.fold_left (fun acc (_, ty) -> acc + Value.ty_width ty) 0 hidden_cols
@@ -50,6 +54,7 @@ let create ?(durability = Plain) flash ~table ~levels ~hidden_cols =
     record_bytes;
     records_per_page = usable / record_bytes;
     durability;
+    cache;
     full_pages = [];
     tail = [];
     tail_page = None;
@@ -158,6 +163,9 @@ let append t ~ids ~hidden =
   let data = build_page t ~first_seq (List.rev t.tail) in
   match Flash.append t.flash data with
   | page ->
+    (* The append may have recycled an erased page whose old content is
+       still resident in the shared cache. *)
+    Option.iter (fun c -> Page_cache.invalidate c ~page) t.cache;
     (match t.tail_page with
      | Some old -> t.stale_tails <- old :: t.stale_tails
      | None -> ());

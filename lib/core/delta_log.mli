@@ -29,6 +29,7 @@ type t
 
 val create :
   ?durability:durability ->
+  ?cache:Ghost_device.Page_cache.t ->
   Flash.t ->
   table:string ->
   levels:string list ->
@@ -37,7 +38,9 @@ val create :
 (** [levels] — the subtree preorder (the SKT level layout of the
     table); [hidden_cols] — the table's own hidden columns, in
     declaration order. [durability] defaults to [Plain] (bit-identical
-    to the original format). *)
+    to the original format). [cache] — the device's shared page cache;
+    each append invalidates the page it programs there, since
+    {!Flash.append} recycles erased pages the cache may still hold. *)
 
 val durability : t -> durability
 

@@ -11,6 +11,7 @@ module Flash = Ghost_flash.Flash
 module Ram = Ghost_device.Ram
 module Trace = Ghost_device.Trace
 module Device = Ghost_device.Device
+module Page_cache = Ghost_device.Page_cache
 module Bloom = Ghost_bloom.Bloom
 module Skt = Ghost_store.Skt
 module Column_store = Ghost_store.Column_store
@@ -57,6 +58,7 @@ type context = {
   plan : Plan.t;
   device : Device.t;
   ram : Ram.t;
+  cache : Page_cache.t option;  (* shared buffer manager, when configured *)
   resources : Resources.t;
   mutable ops_rev : op_stats list;
   exact_post : bool;
@@ -128,7 +130,10 @@ let ship_visible_ids ctx ~table preds =
 (* Union of the per-value lists of one hidden predicate at [level]. *)
 let hidden_pred_cursor ctx ~table ~(pred : Predicate.t) ~level =
   let idx = attr_index_exn ctx ~table ~column:pred.Predicate.column in
-  let sources = Climbing_index.lookup_cmp ~ram:ctx.ram idx pred.Predicate.cmp ~level in
+  let sources =
+    Climbing_index.lookup_cmp ~ram:ctx.ram ?cache:ctx.cache idx pred.Predicate.cmp
+      ~level
+  in
   union ctx sources
 
 (* Defer cursor construction to the first pull, so the opening reads
@@ -156,7 +161,8 @@ let climb ctx ~table ids =
         Array.to_list
           (Array.map
              (fun id ->
-                Climbing_index.lookup_id ~ram:ctx.ram key_idx id ~level:ctx.plan.Plan.root)
+                Climbing_index.lookup_id ~ram:ctx.ram ?cache:ctx.cache key_idx id
+                  ~level:ctx.plan.Plan.root)
              ids)
       in
       union ctx sources)
@@ -415,6 +421,7 @@ let run ?(exact_post = true) ?(bloom_fpr = 0.01) catalog public plan =
         plan;
         device;
         ram = Device.ram device;
+        cache = Device.page_cache device;
         resources;
         ops_rev = [];
         exact_post;
@@ -510,7 +517,10 @@ let run ?(exact_post = true) ?(bloom_fpr = 0.01) catalog public plan =
                     column_store_exn ctx ~table:g.Plan.g_table
                       ~column:h.Plan.h_pred.Predicate.column
                   in
-                  let reader = Column_store.open_reader ~ram:ctx.ram ~buffer_bytes:256 cs in
+                  let reader =
+                    Column_store.open_reader ~ram:ctx.ram ~buffer_bytes:256
+                      ?cache:ctx.cache cs
+                  in
                   Resources.defer resources (fun () -> Column_store.close_reader reader);
                   Some
                     {
@@ -529,7 +539,7 @@ let run ?(exact_post = true) ?(bloom_fpr = 0.01) catalog public plan =
            the row size while still batching adjacent candidates. *)
         let reader =
           Option.map
-            (fun skt -> Skt.open_reader ~ram:ctx.ram ~buffer_bytes:64 skt)
+            (fun skt -> Skt.open_reader ~ram:ctx.ram ~buffer_bytes:64 ?cache:ctx.cache skt)
             skt_opt
         in
         Option.iter
@@ -590,7 +600,8 @@ let run ?(exact_post = true) ?(bloom_fpr = 0.01) catalog public plan =
                           column_store_exn ctx ~table ~column:pred.Predicate.column
                         in
                         let reader =
-                          Column_store.open_reader ~ram:ctx.ram ~buffer_bytes:256 cs
+                          Column_store.open_reader ~ram:ctx.ram ~buffer_bytes:256
+                            ?cache:ctx.cache cs
                         in
                         Resources.defer resources (fun () ->
                           Column_store.close_reader reader);
@@ -719,7 +730,10 @@ let run ?(exact_post = true) ?(bloom_fpr = 0.01) catalog public plan =
           | Some r -> r
           | None ->
             let cs = column_store_exn ctx ~table ~column in
-            let r = Column_store.open_reader ~ram:ctx.ram ~buffer_bytes:256 cs in
+            let r =
+              Column_store.open_reader ~ram:ctx.ram ~buffer_bytes:256
+                ?cache:ctx.cache cs
+            in
             Resources.defer resources (fun () -> Column_store.close_reader r);
             Hashtbl.replace hidden_readers (table, column) r;
             r
@@ -805,6 +819,20 @@ let run ?(exact_post = true) ?(bloom_fpr = 0.01) catalog public plan =
            Flash.erase_live_blocks scratch;
            ((), 0)));
     Resources.release resources;
+    (* Buffer-manager counters travel with the results on the secure
+       display channel (zero bytes — they are rendered, not shipped). *)
+    (match ctx.cache with
+     | Some c ->
+       let s = Page_cache.stats c in
+       Trace.record trace Trace.Device_to_display
+         (Trace.Cache_stats
+            {
+              hits = s.Page_cache.hits;
+              misses = s.Page_cache.misses;
+              evictions = s.Page_cache.evictions;
+            })
+         ~bytes:0
+     | None -> ());
     let total =
       Device.usage_between device ~before:run_start ~after:(Device.snapshot device)
     in

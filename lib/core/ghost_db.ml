@@ -44,6 +44,11 @@ let tombstone_count t = Catalog.tombstone_count t.catalog (root_name t)
 
 let reorganize t =
   let rows = Reorganize.snapshot t.catalog t.public in
+  (* The old device (and its Flash content) is being abandoned: drop
+     every resident frame so nothing stale can be served if the caller
+     keeps using the old handle. The new device builds its own cache. *)
+  Option.iter Ghost_device.Page_cache.clear
+    (Device.page_cache t.catalog.Catalog.device);
   of_schema ~device_config:(Device.config (t.catalog.Catalog.device)) t.catalog.Catalog.schema rows
 
 type recovery_report = {
@@ -106,9 +111,9 @@ let storage t = Catalog.storage t.catalog
 
 exception Image_error of string
 
-(* Bumped to 2 when the device/log layouts gained the fault-injection
-   and crash-safety state: older marshalled images are incompatible. *)
-let image_magic = "GHOSTDB-IMAGE-2\n"
+(* Bumped to 3 when the device gained the shared page cache (and the
+   logs a reference to it): older marshalled images are incompatible. *)
+let image_magic = "GHOSTDB-IMAGE-3\n"
 
 let save_image t path =
   let oc = open_out_bin path in

@@ -35,6 +35,7 @@ let delta_log_for cat root =
     let levels = Schema.subtree cat.Catalog.schema root in
     let log =
       Delta_log.create ~durability:(log_durability cat)
+        ?cache:(Device.page_cache cat.Catalog.device)
         (Device.flash cat.Catalog.device)
         ~table:root ~levels ~hidden_cols
     in
@@ -82,6 +83,7 @@ let delete_root cat public ids =
     | None ->
       let log =
         Tombstone_log.create ~durability:(tombstone_durability cat)
+          ?cache:(Device.page_cache cat.Catalog.device)
           (Device.flash cat.Catalog.device) ~table:root
       in
       Hashtbl.replace cat.Catalog.tombstones root log;

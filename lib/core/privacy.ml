@@ -24,6 +24,8 @@ let audit trace =
               (Trace.payload_summary p)
             :: !violations
         | Trace.Device_to_display, Trace.Result_tuples _ -> ()
+        | Trace.Device_to_display, Trace.Cache_stats _ ->
+          ()  (* buffer-manager counters rendered beside the results *)
         | Trace.Device_to_display, p ->
           violations :=
             Printf.sprintf "event #%d: unexpected payload %s on the display channel"
@@ -42,7 +44,7 @@ let audit trace =
        | Trace.Query_text q when Trace.spy_visible e.Trace.link ->
          queries := q :: !queries
        | Trace.Query_text _ | Trace.Id_list _ | Trace.Value_stream _
-       | Trace.Result_tuples _ | Trace.Ack ->
+       | Trace.Result_tuples _ | Trace.Ack | Trace.Cache_stats _ ->
          ())
     (Trace.events trace);
   {

@@ -1,6 +1,7 @@
 module Codec = Ghost_kernel.Codec
 module Sorted_ids = Ghost_kernel.Sorted_ids
 module Flash = Ghost_flash.Flash
+module Page_cache = Ghost_device.Page_cache
 
 type durability =
   | Plain
@@ -16,6 +17,8 @@ type t = {
   table : string;
   ids_per_page : int;
   durability : durability;
+  cache : Page_cache.t option;
+      (* invalidated when an append programs a recycled Flash page *)
   mutable full_pages : int list;  (* reversed *)
   mutable tail : int list;  (* reversed *)
   mutable tail_page : int option;
@@ -27,7 +30,7 @@ type t = {
   members : (int, unit) Hashtbl.t;
 }
 
-let create ?(durability = Plain) flash ~table =
+let create ?(durability = Plain) ?cache flash ~table =
   let page = (Flash.geometry flash).Flash.page_size in
   let usable =
     match durability with
@@ -40,6 +43,7 @@ let create ?(durability = Plain) flash ~table =
     table;
     ids_per_page = usable / 4;
     durability;
+    cache;
     full_pages = [];
     tail = [];
     tail_page = None;
@@ -113,6 +117,9 @@ let program_tail t =
    | None -> ());
   match Flash.append t.flash b with
   | page ->
+    (* The append may have recycled an erased page still resident in
+       the shared cache. *)
+    Option.iter (fun c -> Page_cache.invalidate c ~page) t.cache;
     (match t.tail_page with
      | Some old -> t.stale_tails <- old :: t.stale_tails
      | None -> ());

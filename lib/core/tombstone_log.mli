@@ -20,9 +20,15 @@ type durability =
 
 type t
 
-val create : ?durability:durability -> Flash.t -> table:string -> t
+val create :
+  ?durability:durability ->
+  ?cache:Ghost_device.Page_cache.t ->
+  Flash.t ->
+  table:string ->
+  t
 (** [durability] defaults to [Plain] (bit-identical to the original
-    format). *)
+    format). [cache] — the device's shared page cache; each append
+    invalidates the page it programs there (see {!Delta_log.create}). *)
 
 val table : t -> string
 val count : t -> int

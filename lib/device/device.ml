@@ -27,6 +27,7 @@ type config = {
   flash_fault : Flash.fault_config option;
   usb_fault : usb_fault option;
   durable_logs : bool;
+  page_cache_frames : int;
 }
 
 let default_config = {
@@ -39,6 +40,7 @@ let default_config = {
   flash_fault = None;
   usb_fault = None;
   durable_logs = false;
+  page_cache_frames = 0;
 }
 
 let high_speed_usb config = { config with usb_mbit_per_s = 480.0 }
@@ -48,6 +50,7 @@ type t = {
   flash : Flash.t;
   scratch : Flash.t;
   ram : Ram.t;
+  page_cache : Page_cache.t option;
   trace : Trace.t;
   usb_rng : Rng.t option;
   mutable usb_bytes_in : int;
@@ -60,15 +63,23 @@ type t = {
   mutable cpu_ops : int;
 }
 
-let create ?(config = default_config) ~trace () = {
-  config;
-  flash =
+let create ?(config = default_config) ~trace () =
+  let flash =
     Flash.create ~geometry:config.flash_geometry ~cost:config.flash_cost
-      ?fault:config.flash_fault ();
+      ?fault:config.flash_fault ()
+  in
+  let ram = Ram.create ~budget:config.ram_budget in
+  {
+  config;
+  flash;
   scratch =
     Flash.create ~geometry:config.flash_geometry ~cost:config.flash_cost
       ?fault:config.flash_fault ();
-  ram = Ram.create ~budget:config.ram_budget;
+  ram;
+  page_cache =
+    (if config.page_cache_frames > 0 then
+       Some (Page_cache.create ~ram flash ~frames:config.page_cache_frames)
+     else None);
   trace;
   usb_rng = Option.map (fun f -> Rng.create f.usb_seed) config.usb_fault;
   usb_bytes_in = 0;
@@ -85,7 +96,13 @@ let config t = t.config
 let flash t = t.flash
 let scratch t = t.scratch
 let ram t = t.ram
+let page_cache t = t.page_cache
 let trace t = t.trace
+
+let cache_stats t =
+  match t.page_cache with
+  | Some c -> Page_cache.stats c
+  | None -> Page_cache.zero_stats
 
 let cpu t n =
   if n < 0 then invalid_arg "Device.cpu: negative";
@@ -230,6 +247,7 @@ type snapshot = {
   cpu_ops : int;
   elapsed : float;
   faults : fault_counters;
+  cache : Page_cache.stats;
 }
 
 let snapshot (t : t) = {
@@ -240,6 +258,7 @@ let snapshot (t : t) = {
   cpu_ops = t.cpu_ops;
   elapsed = elapsed_us t;
   faults = fault_counters t;
+  cache = cache_stats t;
 }
 
 type usage = {
@@ -252,6 +271,7 @@ type usage = {
   cpu_us : float;
   total_us : float;
   faults : fault_counters;
+  cache : Page_cache.stats;
 }
 
 let usage_between t ~before ~after =
@@ -267,6 +287,7 @@ let usage_between t ~before ~after =
     cpu_us = Float.of_int cpu_ops /. t.config.cpu_mips;
     total_us = after.elapsed -. before.elapsed;
     faults = diff_faults ~after:after.faults ~before:before.faults;
+    cache = Page_cache.diff_stats ~after:after.cache ~before:before.cache;
   }
 
 let zero_usage = {
@@ -279,6 +300,7 @@ let zero_usage = {
   cpu_us = 0.;
   total_us = 0.;
   faults = zero_faults;
+  cache = Page_cache.zero_stats;
 }
 
 let add_usage a b = {
@@ -291,6 +313,7 @@ let add_usage a b = {
   cpu_us = a.cpu_us +. b.cpu_us;
   total_us = a.total_us +. b.total_us;
   faults = add_faults a.faults b.faults;
+  cache = Page_cache.add_stats a.cache b.cache;
 }
 
 let pp_usage fmt u =
@@ -303,4 +326,8 @@ let pp_usage fmt u =
       " [faults: %d flips (%d ecc-fixed), %d prog-fail, %d remapped, %d bad blk, %d power cuts, %d usb retries]"
       u.faults.flash_bit_flips u.faults.flash_ecc_corrected
       u.faults.flash_program_failures u.faults.flash_pages_remapped
-      u.faults.flash_bad_blocks u.faults.flash_power_cuts u.faults.usb_retries
+      u.faults.flash_bad_blocks u.faults.flash_power_cuts u.faults.usb_retries;
+  if not (Page_cache.no_activity u.cache) then
+    Format.fprintf fmt " [cache: %d hit %d miss %d evict %d inval]"
+      u.cache.Page_cache.hits u.cache.Page_cache.misses
+      u.cache.Page_cache.evictions u.cache.Page_cache.invalidations

@@ -41,6 +41,11 @@ type config = {
       (** create the delta / tombstone logs [Checksummed] so they
           survive power cuts (default false: seed format, zero
           overhead) *)
+  page_cache_frames : int;
+      (** frames of the shared {!Page_cache} over the main Flash
+          region, each one page and charged to the RAM budget for the
+          device's lifetime (default 0: no cache, every code path and
+          cost bit-identical to the cache-free simulator) *)
 }
 
 val default_config : config
@@ -66,6 +71,15 @@ val scratch : t -> Flash.t
     {!flash}; its traffic counts toward the device clock. *)
 
 val ram : t -> Ram.t
+
+val page_cache : t -> Page_cache.t option
+(** The shared buffer manager over {!flash}, present when
+    [page_cache_frames > 0]. Query-time readers route page fills
+    through it; the scratch region is never cached. *)
+
+val cache_stats : t -> Page_cache.stats
+(** {!Page_cache.stats} of the cache, or all zeros without one. *)
+
 val trace : t -> Trace.t
 
 val cpu : t -> int -> unit
@@ -129,6 +143,7 @@ type snapshot = {
   cpu_ops : int;
   elapsed : float;
   faults : fault_counters;
+  cache : Page_cache.stats;
 }
 
 val snapshot : t -> snapshot
@@ -143,6 +158,7 @@ type usage = {
   cpu_us : float;
   total_us : float;
   faults : fault_counters;  (** faults injected within the window *)
+  cache : Page_cache.stats;  (** page-cache activity within the window *)
 }
 
 val usage_between : t -> before:snapshot -> after:snapshot -> usage
@@ -150,5 +166,5 @@ val zero_usage : usage
 val add_usage : usage -> usage -> usage
 
 val pp_usage : Format.formatter -> usage -> unit
-(** Unchanged rendering when the window saw no faults; otherwise a
-    bracketed robustness summary is appended. *)
+(** Unchanged rendering when the window saw no faults and no cache
+    activity; otherwise bracketed summaries are appended. *)

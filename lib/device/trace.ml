@@ -22,6 +22,9 @@ type payload =
   | Value_stream of { table : string; column : string; count : int }
   | Result_tuples of { count : int }
   | Ack
+  | Cache_stats of { hits : int; misses : int; evictions : int }
+      (** buffer-manager counters shown on the secure display next to
+          the results (zero bytes on the wire, never spy-visible) *)
 
 let payload_summary = function
   | Query_text q -> Printf.sprintf "query %S" q
@@ -30,6 +33,8 @@ let payload_summary = function
     Printf.sprintf "value-stream(%s.%s) x%d" table column count
   | Result_tuples { count } -> Printf.sprintf "result-tuples x%d" count
   | Ack -> "ack"
+  | Cache_stats { hits; misses; evictions } ->
+    Printf.sprintf "cache-stats %d hit / %d miss / %d evict" hits misses evictions
 
 type event = {
   seq : int;

@@ -25,6 +25,9 @@ type payload =
   | Value_stream of { table : string; column : string; count : int }
   | Result_tuples of { count : int }
   | Ack
+  | Cache_stats of { hits : int; misses : int; evictions : int }
+      (** buffer-manager counters, rendered on the secure display next
+          to the results (zero bytes, [Device_to_display] only) *)
 
 val payload_summary : payload -> string
 

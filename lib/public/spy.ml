@@ -35,7 +35,8 @@ let analyze trace =
       (fun e ->
          match e.Trace.payload with
          | Trace.Query_text q -> Some q
-         | Trace.Id_list _ | Trace.Value_stream _ | Trace.Result_tuples _ | Trace.Ack ->
+         | Trace.Id_list _ | Trace.Value_stream _ | Trace.Result_tuples _ | Trace.Ack
+         | Trace.Cache_stats _ ->
            None)
       events
   in
@@ -48,7 +49,7 @@ let analyze trace =
          | Trace.Id_list { table; count } when e.Trace.link = Trace.Pc_to_device ->
            Some (table, count)
          | Trace.Id_list _ | Trace.Query_text _ | Trace.Value_stream _
-         | Trace.Result_tuples _ | Trace.Ack ->
+         | Trace.Result_tuples _ | Trace.Ack | Trace.Cache_stats _ ->
            None)
       events
   in
@@ -60,7 +61,7 @@ let analyze trace =
            when e.Trace.link = Trace.Pc_to_device ->
            Some (table, column, count)
          | Trace.Value_stream _ | Trace.Query_text _ | Trace.Id_list _
-         | Trace.Result_tuples _ | Trace.Ack ->
+         | Trace.Result_tuples _ | Trace.Ack | Trace.Cache_stats _ ->
            None)
       events
   in

@@ -169,6 +169,8 @@ let entry_count t = t.entry_count
 let size_bytes t =
   t.directory.Pager.length + t.keys.Pager.length + t.lists.Pager.length
 
+let directory_bytes t = t.directory.Pager.length + t.keys.Pager.length
+
 (* ---- lookups ---- *)
 
 type locator = {
@@ -184,11 +186,13 @@ let read_locator t dir_reader ~entry ~level =
   let b = Pager.Reader.read dir_reader ~off:base ~len:level_slot in
   { loc_count = Codec.get_u32 b 0; loc_off = Codec.get_u64 b 4; loc_len = Codec.get_u32 b 12 }
 
-let make_source t ~ram { loc_off; loc_len; _ } : Merge_union.source =
+let make_source t ~ram ?cache { loc_off; loc_len; _ } : Merge_union.source =
   fun () ->
     if loc_len = 0 then (Cursor.empty (), fun () -> ())
     else begin
-      let reader = Pager.Reader.open_ ~ram ~buffer_bytes:chunk_bytes t.flash t.lists in
+      let reader =
+        Pager.Reader.open_ ~ram ~buffer_bytes:chunk_bytes ?cache t.flash t.lists
+      in
       (Id_list.cursor reader ~off:loc_off ~len:loc_len, fun () -> Pager.Reader.close reader)
     end
 
@@ -215,52 +219,53 @@ let bound t ~dir_reader ~keys_reader ~strict v =
   done;
   !lo
 
-let with_dir_readers ~ram t f =
+let with_dir_readers ~ram ?cache t f =
   if t.dense then invalid_arg "Climbing_index: sorted lookup on a dense index";
-  Pager.with_reader ~ram ~buffer_bytes:chunk_bytes t.flash t.directory (fun dir ->
-    Pager.with_reader ~ram ~buffer_bytes:chunk_bytes t.flash t.keys (fun keys ->
+  Pager.with_reader ~ram ~buffer_bytes:chunk_bytes ?cache t.flash t.directory (fun dir ->
+    Pager.with_reader ~ram ~buffer_bytes:chunk_bytes ?cache t.flash t.keys (fun keys ->
       f ~dir ~keys))
 
-let lookup_eq ~ram t v ~level =
+let lookup_eq ~ram ?cache t v ~level =
   let lvl = level_pos t level in
-  with_dir_readers ~ram t (fun ~dir ~keys ->
+  with_dir_readers ~ram ?cache t (fun ~dir ~keys ->
     let i = bound t ~dir_reader:dir ~keys_reader:keys ~strict:false v in
     if i < t.entry_count && compare_entry t ~dir_reader:dir ~keys_reader:keys i v = 0
-    then Some (make_source t ~ram (read_locator t dir ~entry:i ~level:lvl))
+    then Some (make_source t ~ram ?cache (read_locator t dir ~entry:i ~level:lvl))
     else None)
 
-let count_eq ~ram t v ~level =
+let count_eq ~ram ?cache t v ~level =
   let lvl = level_pos t level in
-  with_dir_readers ~ram t (fun ~dir ~keys ->
+  with_dir_readers ~ram ?cache t (fun ~dir ~keys ->
     let i = bound t ~dir_reader:dir ~keys_reader:keys ~strict:false v in
     if i < t.entry_count && compare_entry t ~dir_reader:dir ~keys_reader:keys i v = 0
     then (read_locator t dir ~entry:i ~level:lvl).loc_count
     else 0)
 
-let range_sources ~ram t ~level ~first ~last_exclusive ?(exclude = fun _ -> false) () =
-  with_dir_readers ~ram t (fun ~dir ~keys ->
+let range_sources ~ram ?cache t ~level ~first ~last_exclusive
+    ?(exclude = fun _ -> false) () =
+  with_dir_readers ~ram ?cache t (fun ~dir ~keys ->
     ignore keys;
     let rec collect i acc =
       if i >= last_exclusive then List.rev acc
       else if exclude i then collect (i + 1) acc
       else
         collect (i + 1)
-          (make_source t ~ram (read_locator t dir ~entry:i ~level) :: acc)
+          (make_source t ~ram ?cache (read_locator t dir ~entry:i ~level) :: acc)
     in
     collect first [])
 
-let lookup_cmp ~ram t cmp ~level =
+let lookup_cmp ~ram ?cache t cmp ~level =
   let lvl = level_pos t level in
-  let bounds f = with_dir_readers ~ram t f in
+  let bounds f = with_dir_readers ~ram ?cache t f in
   match cmp with
   | Predicate.Eq v ->
-    (match lookup_eq ~ram t v ~level with
+    (match lookup_eq ~ram ?cache t v ~level with
      | Some s -> [ s ]
      | None -> [])
   | Predicate.In vs ->
     List.concat_map
       (fun v ->
-         match lookup_eq ~ram t v ~level with
+         match lookup_eq ~ram ?cache t v ~level with
          | Some s -> [ s ]
          | None -> [])
       (List.sort_uniq Value.compare vs)
@@ -272,28 +277,28 @@ let lookup_cmp ~ram t cmp ~level =
         then Some i
         else None)
     in
-    range_sources ~ram t ~level:lvl ~first:0 ~last_exclusive:t.entry_count
+    range_sources ~ram ?cache t ~level:lvl ~first:0 ~last_exclusive:t.entry_count
       ~exclude:(fun i -> Some i = eq_idx)
       ()
   | Predicate.Lt v ->
     let last = bounds (fun ~dir ~keys -> bound t ~dir_reader:dir ~keys_reader:keys ~strict:false v) in
-    range_sources ~ram t ~level:lvl ~first:0 ~last_exclusive:last ()
+    range_sources ~ram ?cache t ~level:lvl ~first:0 ~last_exclusive:last ()
   | Predicate.Le v ->
     let last = bounds (fun ~dir ~keys -> bound t ~dir_reader:dir ~keys_reader:keys ~strict:true v) in
-    range_sources ~ram t ~level:lvl ~first:0 ~last_exclusive:last ()
+    range_sources ~ram ?cache t ~level:lvl ~first:0 ~last_exclusive:last ()
   | Predicate.Gt v ->
     let first = bounds (fun ~dir ~keys -> bound t ~dir_reader:dir ~keys_reader:keys ~strict:true v) in
-    range_sources ~ram t ~level:lvl ~first ~last_exclusive:t.entry_count ()
+    range_sources ~ram ?cache t ~level:lvl ~first ~last_exclusive:t.entry_count ()
   | Predicate.Ge v ->
     let first = bounds (fun ~dir ~keys -> bound t ~dir_reader:dir ~keys_reader:keys ~strict:false v) in
-    range_sources ~ram t ~level:lvl ~first ~last_exclusive:t.entry_count ()
+    range_sources ~ram ?cache t ~level:lvl ~first ~last_exclusive:t.entry_count ()
   | Predicate.Between (lo, hi) ->
     let first, last =
       bounds (fun ~dir ~keys ->
         ( bound t ~dir_reader:dir ~keys_reader:keys ~strict:false lo,
           bound t ~dir_reader:dir ~keys_reader:keys ~strict:true hi ))
     in
-    range_sources ~ram t ~level:lvl ~first ~last_exclusive:last ()
+    range_sources ~ram ?cache t ~level:lvl ~first ~last_exclusive:last ()
   | Predicate.Prefix p ->
     let lo = Value.Str p in
     let first, last =
@@ -304,16 +309,16 @@ let lookup_cmp ~ram t cmp ~level =
             bound t ~dir_reader:dir ~keys_reader:keys ~strict:false (Value.Str u)
           | None -> t.entry_count ))
     in
-    range_sources ~ram t ~level:lvl ~first ~last_exclusive:last ()
+    range_sources ~ram ?cache t ~level:lvl ~first ~last_exclusive:last ()
 
-let lookup_id ~ram t id ~level : Merge_union.source =
+let lookup_id ~ram ?cache t id ~level : Merge_union.source =
   if not t.dense then invalid_arg "Climbing_index.lookup_id: not a dense index";
   let lvl = level_pos t level in
   if id < 1 || id > t.entry_count then fun () -> (Cursor.empty (), fun () -> ())
   else
     fun () ->
       let loc =
-        Pager.with_reader ~ram ~buffer_bytes:chunk_bytes t.flash t.directory
+        Pager.with_reader ~ram ~buffer_bytes:chunk_bytes ?cache t.flash t.directory
           (fun dir -> read_locator t dir ~entry:(id - 1) ~level:lvl)
       in
-      (make_source t ~ram loc) ()
+      (make_source t ~ram ?cache loc) ()

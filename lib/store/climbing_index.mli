@@ -68,23 +68,35 @@ val entry_count : t -> int
 val size_bytes : t -> int
 (** Directory + key blob + list blob. *)
 
-(** {2 Query-time lookups} *)
+val directory_bytes : t -> int
+(** Directory + key blob only — the repeatedly-probed hot part, which
+    is what the cost model counts toward the page-cache working set. *)
+
+(** {2 Query-time lookups}
+
+    All lookups accept the device's shared page [cache]; directory
+    probes, key comparisons and list decoding then serve resident
+    pages from RAM (see {!Pager.Reader.open_}). *)
 
 val lookup_eq :
-  ram:Ram.t -> t -> Value.t -> level:string -> Merge_union.source option
+  ram:Ram.t -> ?cache:Pager.Cache.t -> t -> Value.t -> level:string ->
+  Merge_union.source option
 (** The id list of one value at one level; [None] when the value is
     absent. Binary search on the directory: O(log n) partial-page
     reads. *)
 
 val lookup_cmp :
-  ram:Ram.t -> t -> Predicate.comparison -> level:string -> Merge_union.source list
+  ram:Ram.t -> ?cache:Pager.Cache.t -> t -> Predicate.comparison ->
+  level:string -> Merge_union.source list
 (** One source per matching value (range scan of the directory). *)
 
 val lookup_id :
-  ram:Ram.t -> t -> int -> level:string -> Merge_union.source
+  ram:Ram.t -> ?cache:Pager.Cache.t -> t -> int -> level:string ->
+  Merge_union.source
 (** Dense directories only: the ancestor list of one identifier (a
     direct-addressed locator read). Ids out of range yield an empty
     source. *)
 
-val count_eq : ram:Ram.t -> t -> Value.t -> level:string -> int
+val count_eq :
+  ram:Ram.t -> ?cache:Pager.Cache.t -> t -> Value.t -> level:string -> int
 (** Cardinality of {!lookup_eq} without reading the list. *)

@@ -34,18 +34,24 @@ let segment t = t.segment
 type reader = {
   store : t;
   pr : Pager.Reader.t;
+  scratch : Bytes.t;  (* one encoded value, reused across point reads *)
 }
 
-let open_reader ?ram ?buffer_bytes t =
-  { store = t; pr = Pager.Reader.open_ ?ram ?buffer_bytes t.flash t.segment }
+let open_reader ?ram ?buffer_bytes ?cache t =
+  {
+    store = t;
+    pr = Pager.Reader.open_ ?ram ?buffer_bytes ?cache t.flash t.segment;
+    scratch = Bytes.create t.width;
+  }
 
 let close_reader r = Pager.Reader.close r.pr
 
 let get r id =
   if id < 1 || id > r.store.count then
     invalid_arg (Printf.sprintf "Column_store.get: id %d out of 1..%d" id r.store.count);
-  let b = Pager.Reader.read r.pr ~off:((id - 1) * r.store.width) ~len:r.store.width in
-  Value.decode r.store.ty b 0
+  Pager.Reader.read_into r.pr ~off:((id - 1) * r.store.width) ~len:r.store.width
+    r.scratch ~pos:0;
+  Value.decode r.store.ty r.scratch 0
 
 let scan r =
   let id = ref 0 in

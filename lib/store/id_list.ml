@@ -26,12 +26,15 @@ let cursor reader ~off ~len =
   let pos = ref off in
   let stop = off + len in
   let prev = ref (-1) in
+  (* A valid varint never spans more than 10 bytes, and get_varint stops
+     at its terminator, so one scratch buffer serves every step. *)
+  let scratch = Bytes.create 10 in
   Cursor.make (fun () ->
     if !pos >= stop then None
     else begin
       let look = min 10 (stop - !pos) in
-      let chunk = Pager.Reader.read reader ~off:!pos ~len:look in
-      let delta, next = Codec.get_varint chunk 0 in
+      Pager.Reader.read_into reader ~off:!pos ~len:look scratch ~pos:0;
+      let delta, next = Codec.get_varint scratch 0 in
       pos := !pos + next;
       let id = !prev + 1 + delta in
       prev := id;

@@ -1,5 +1,6 @@
 module Flash = Ghost_flash.Flash
 module Ram = Ghost_device.Ram
+module Cache = Ghost_device.Page_cache
 
 type segment = {
   pages : int array;
@@ -74,15 +75,23 @@ module Reader = struct
     window : Bytes.t;  (* cached window *)
     mutable win_off : int;
     mutable win_len : int;
+    cache : Cache.t option;
     ram : Ram.t option;
     mutable cell : Ram.cell option;
     mutable closed : bool;
   }
 
-  let open_ ?ram ?buffer_bytes flash segment =
+  let open_ ?ram ?buffer_bytes ?cache flash segment =
     let page_size = (Flash.geometry flash).Flash.page_size in
     let buffer_bytes = Option.value buffer_bytes ~default:page_size in
     if buffer_bytes <= 0 then invalid_arg "Pager.Reader.open_: buffer_bytes <= 0";
+    (* The cache fronts exactly one Flash region; readers over any
+       other (the scratch Flash) silently bypass it. *)
+    let cache =
+      match cache with
+      | Some c when Cache.flash c == flash -> Some c
+      | Some _ | None -> None
+    in
     let cell =
       Option.map (fun r -> Ram.alloc r ~label:"pager-buffer" buffer_bytes) ram
     in
@@ -94,6 +103,7 @@ module Reader = struct
       window = Bytes.make buffer_bytes '\000';
       win_off = 0;
       win_len = 0;
+      cache;
       ram;
       cell;
       closed = false;
@@ -101,48 +111,56 @@ module Reader = struct
 
   let length t = t.segment.length
 
-  (* Copy [len] bytes at logical offset [off] into [dst] at [dst_off],
-     issuing one Flash read per touched page. *)
+  (* Copy [len] bytes at logical offset [off] into [dst] at [dst_off] —
+     through the shared page cache when there is one (hits are free,
+     misses fill a frame with one full-page read), else one partial
+     Flash read per touched page. *)
   let fetch t ~off ~len dst dst_off =
     let remaining = ref len and src = ref off and out = ref dst_off in
     while !remaining > 0 do
       let page_idx = !src / t.page_size in
       let in_page = !src mod t.page_size in
       let chunk = min !remaining (t.page_size - in_page) in
-      let data =
-        Flash.read t.flash ~page:t.segment.pages.(page_idx) ~off:in_page ~len:chunk
-      in
-      Bytes.blit data 0 dst !out chunk;
+      (match t.cache with
+       | Some cache ->
+         Cache.read cache ~page:t.segment.pages.(page_idx) ~off:in_page ~len:chunk
+           dst ~pos:!out
+       | None ->
+         let data =
+           Flash.read t.flash ~page:t.segment.pages.(page_idx) ~off:in_page ~len:chunk
+         in
+         Bytes.blit data 0 dst !out chunk);
       src := !src + chunk;
       out := !out + chunk;
       remaining := !remaining - chunk
     done
 
-  let read t ~off ~len =
-    if t.closed then invalid_arg "Pager.Reader.read: closed";
+  let read_into t ~off ~len dst ~pos =
+    if t.closed then invalid_arg "Pager.Reader.read_into: closed";
     if off < 0 || len < 0 || off + len > t.segment.length then
       invalid_arg
-        (Printf.sprintf "Pager.Reader.read: [%d, %d) out of segment of %d bytes" off
-           (off + len) t.segment.length);
-    let out = Bytes.make len '\000' in
-    if len = 0 then out
-    else if off >= t.win_off && off + len <= t.win_off + t.win_len then begin
-      Bytes.blit t.window (off - t.win_off) out 0 len;
-      out
-    end
-    else if len >= t.buffer_bytes then begin
-      (* Too big to cache: stream straight through. *)
-      fetch t ~off ~len out 0;
-      out
-    end
+        (Printf.sprintf "Pager.Reader.read_into: [%d, %d) out of segment of %d bytes"
+           off (off + len) t.segment.length);
+    if pos < 0 || pos + len > Bytes.length dst then
+      invalid_arg "Pager.Reader.read_into: destination range out of bounds";
+    if len = 0 then ()
+    else if off >= t.win_off && off + len <= t.win_off + t.win_len then
+      Bytes.blit t.window (off - t.win_off) dst pos len
+    else if len >= t.buffer_bytes then
+      (* Too big to cache in the window: stream straight through. *)
+      fetch t ~off ~len dst pos
     else begin
       let win_len = min t.buffer_bytes (t.segment.length - off) in
       fetch t ~off ~len:win_len t.window 0;
       t.win_off <- off;
       t.win_len <- win_len;
-      Bytes.blit t.window 0 out 0 len;
-      out
+      Bytes.blit t.window 0 dst pos len
     end
+
+  let read t ~off ~len =
+    let out = Bytes.make len '\000' in
+    read_into t ~off ~len out ~pos:0;
+    out
 
   let close t =
     if not t.closed then begin
@@ -153,8 +171,8 @@ module Reader = struct
     end
 end
 
-let with_reader ?ram ?buffer_bytes flash segment f =
-  let r = Reader.open_ ?ram ?buffer_bytes flash segment in
+let with_reader ?ram ?buffer_bytes ?cache flash segment f =
+  let r = Reader.open_ ?ram ?buffer_bytes ?cache flash segment in
   match f r with
   | v ->
     Reader.close r;

@@ -1,5 +1,6 @@
 module Flash = Ghost_flash.Flash
 module Ram = Ghost_device.Ram
+module Cache = Ghost_device.Page_cache
 
 (** Byte segments over Flash pages.
 
@@ -44,15 +45,25 @@ val write_segment : Flash.t -> string -> segment
 module Reader : sig
   type t
 
-  val open_ : ?ram:Ram.t -> ?buffer_bytes:int -> Flash.t -> segment -> t
+  val open_ : ?ram:Ram.t -> ?buffer_bytes:int -> ?cache:Cache.t -> Flash.t -> segment -> t
   (** [buffer_bytes] (default one page) is the read-buffer size charged
       to [ram] while the reader is open. Smaller buffers let many
-      readers coexist in tiny RAM at the price of more Flash seeks. *)
+      readers coexist in tiny RAM at the price of more Flash seeks.
+      When [cache] fronts the same Flash region, page fills are served
+      through it: a resident page costs nothing, a miss fills a frame
+      with one full-page read. A cache over a different Flash region is
+      ignored. *)
 
   val read : t -> off:int -> len:int -> bytes
   (** Random access; spans pages transparently. Consecutive reads from
       the buffered window cost no Flash access. Raises
       [Invalid_argument] out of bounds. *)
+
+  val read_into : t -> off:int -> len:int -> bytes -> pos:int -> unit
+  (** Zero-copy variant of {!read}: fills [dst.(pos .. pos+len-1)] in
+      place so hot point-read paths can reuse one scratch buffer
+      instead of allocating per access. Same window/caching behaviour
+      and bounds checks as {!read}. *)
 
   val length : t -> int
   val close : t -> unit
@@ -60,4 +71,5 @@ module Reader : sig
 end
 
 val with_reader :
-  ?ram:Ram.t -> ?buffer_bytes:int -> Flash.t -> segment -> (Reader.t -> 'a) -> 'a
+  ?ram:Ram.t -> ?buffer_bytes:int -> ?cache:Cache.t -> Flash.t -> segment ->
+  (Reader.t -> 'a) -> 'a

@@ -59,10 +59,15 @@ let size_bytes t = t.segment.Pager.length
 type reader = {
   skt : t;
   pr : Pager.Reader.t;
+  scratch : Bytes.t;  (* one row, reused across point reads *)
 }
 
-let open_reader ?ram ?buffer_bytes t =
-  { skt = t; pr = Pager.Reader.open_ ?ram ?buffer_bytes t.flash t.segment }
+let open_reader ?ram ?buffer_bytes ?cache t =
+  {
+    skt = t;
+    pr = Pager.Reader.open_ ?ram ?buffer_bytes ?cache t.flash t.segment;
+    scratch = Bytes.create t.row_width;
+  }
 
 let close_reader r = Pager.Reader.close r.pr
 
@@ -72,15 +77,17 @@ let check_id r id =
 
 let get r id =
   check_id r id;
-  let b = Pager.Reader.read r.pr ~off:((id - 1) * r.skt.row_width) ~len:r.skt.row_width in
-  Array.init (Array.length r.skt.levels) (fun i -> Codec.get_u32 b (4 * i))
+  Pager.Reader.read_into r.pr ~off:((id - 1) * r.skt.row_width)
+    ~len:r.skt.row_width r.scratch ~pos:0;
+  Array.init (Array.length r.skt.levels) (fun i -> Codec.get_u32 r.scratch (4 * i))
 
 let get_level r id ~level =
   check_id r id;
   if level < 0 || level >= Array.length r.skt.levels then
     invalid_arg "Skt.get_level: bad level";
-  let b = Pager.Reader.read r.pr ~off:(((id - 1) * r.skt.row_width) + (4 * level)) ~len:4 in
-  Codec.get_u32 b 0
+  Pager.Reader.read_into r.pr ~off:(((id - 1) * r.skt.row_width) + (4 * level))
+    ~len:4 r.scratch ~pos:0;
+  Codec.get_u32 r.scratch 0
 
 let scan r =
   let id = ref 0 in

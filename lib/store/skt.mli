@@ -31,7 +31,11 @@ val size_bytes : t -> int
 
 type reader
 
-val open_reader : ?ram:Ram.t -> ?buffer_bytes:int -> t -> reader
+val open_reader :
+  ?ram:Ram.t -> ?buffer_bytes:int -> ?cache:Pager.Cache.t -> t -> reader
+(** [cache] routes page fills through the device's shared page cache
+    (see {!Pager.Reader.open_}). *)
+
 val close_reader : reader -> unit
 
 val get : reader -> int -> int array

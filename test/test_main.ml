@@ -30,4 +30,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("recovery", Test_recovery.suite);
       ("retail", Test_retail.suite);
+      ("cache", Test_cache.suite);
     ]
