@@ -65,7 +65,8 @@ let () =
   Printf.printf
     "\nrecovered: %d delta records durable, %d lost (never acknowledged), %d \
      torn page(s)\n"
-    r.Ghost_db.delta_recovered r.Ghost_db.delta_lost r.Ghost_db.torn_pages;
+    r.Ghost_db.delta_recovered r.Ghost_db.delta_lost
+    (r.Ghost_db.delta_torn_pages + r.Ghost_db.tombstone_torn_pages);
   Printf.printf "total prescriptions after recovery: %d\n"
     (count_prescriptions db);
 
@@ -75,6 +76,33 @@ let () =
   Printf.printf "device counters: %d power cut(s), %d recovered, %d lost\n"
     f.Device.flash_power_cuts f.Device.records_recovered f.Device.records_lost;
 
-  let db = Ghost_db.reorganize db in
-  Printf.printf "reorganized: %d prescriptions, %d pending\n"
-    (count_prescriptions db) (Ghost_db.delta_count db)
+  (* Now the power fails *during* reorganization. With durable logs the
+     rebuild runs as a checkpointed shadow build (DESIGN.md §9.4): the
+     old image stays live, and recovery rolls the rebuild forward from
+     the last journaled checkpoint instead of starting over. *)
+  Ghost_db.insert db (fresh_prescriptions db rng 5);
+  let before = count_prescriptions db in
+  Flash.arm_power_cut (Device.flash (Ghost_db.device db)) ~after_programs:4;
+  (try
+     ignore (Ghost_db.reorganize db);
+     print_endline "unreachable"
+   with Flash.Power_cut _ ->
+     print_endline "\n*** power cut mid-reorganization ***");
+  (try Ghost_db.insert db (fresh_prescriptions db rng 1)
+   with Failure msg -> Printf.printf "insert refused: %s\n" msg);
+  let r = Ghost_db.recover db in
+  let db =
+    match r.Ghost_db.reorg with
+    | Some (Ghost_db.Reorg_completed { db; phases_reused; phases_redone }) ->
+      Printf.printf
+        "rolled forward: %d journaled phase(s) reused, %d redone\n"
+        phases_reused phases_redone;
+      db
+    | Some (Ghost_db.Reorg_rolled_back { journal_records }) ->
+      Printf.printf "rolled back (%d journal records); old image live\n"
+        journal_records;
+      Ghost_db.reorganize db
+    | None -> db
+  in
+  Printf.printf "reorganized: %d prescriptions (was %d), %d pending\n"
+    (count_prescriptions db) before (Ghost_db.delta_count db)

@@ -61,7 +61,7 @@ let () =
            ignore q;
            false
          | Trace.Id_list _ | Trace.Result_tuples _ | Trace.Ack
-         | Trace.Cache_stats _ -> false)
+         | Trace.Cache_stats _ | Trace.Reorg_progress _ -> false)
       events
   in
   List.iter

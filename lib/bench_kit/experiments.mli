@@ -81,6 +81,14 @@ val page_cache_sweep : ?scale:Medical.scale -> unit -> Report.t
     row. The frames=0 row is bit-identical to the cache-free
     simulator. *)
 
+val reorg_cost : ?scale:Medical.scale -> unit -> Report.t
+(** E17 (extension): cost of the journaled (crash-safe) reorganization
+    and of recovering from a power cut, as the pending delta/tombstone
+    logs grow. Per log size: journal pages written, the uninterrupted
+    rebuild's device time, and the recovery time after a cut that
+    forces a roll-back (Begin torn) vs one that allows a roll-forward
+    (snapshot checkpoint durable, completed phases reused). *)
+
 (** {2 Ablations of design choices} *)
 
 val ablation_exact_post : ?scale:Medical.scale -> unit -> Report.t
@@ -103,5 +111,5 @@ val ablation_deep_cross : ?scale:Medical.scale -> unit -> Report.t
 
 val all : ?scale:Medical.scale -> ?full:bool -> unit -> (string * (unit -> Report.t)) list
 (** The whole suite as (id, thunk) pairs — experiments run only when
-    forced, so id filters don't pay for the rest. E1–E16, A1–A5;
+    forced, so id filters don't pay for the rest. E1–E17, A1–A5;
     [full] raises E10 to the paper's one million prescriptions. *)

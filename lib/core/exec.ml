@@ -488,6 +488,19 @@ let run ?(exact_post = true) ?(bloom_fpr = 0.01) catalog public plan =
         let arr = Cursor.to_array c in
         cpu ctx (Array.length arr);
         let arr =
+          (* A visible pre-filter on the root ships public-store ids,
+             which include rows inserted after the load. The SKT and
+             the column stores do not cover those: drop them here (the
+             delta scan below finds them through the same id lists). *)
+          let n = Array.length arr in
+          if n = 0 || arr.(n - 1) <= n_root then arr
+          else begin
+            let k = ref 0 in
+            while !k < n && arr.(!k) <= n_root do incr k done;
+            Array.sub arr 0 !k
+          end
+        in
+        let arr =
           if Array.length tombstones = 0 then arr
           else Sorted_ids.difference arr tombstones
         in

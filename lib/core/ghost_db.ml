@@ -1,6 +1,8 @@
 module Value = Ghost_kernel.Value
+module Codec = Ghost_kernel.Codec
 module Schema = Ghost_relation.Schema
 module Relation = Ghost_relation.Relation
+module Flash = Ghost_flash.Flash
 module Device = Ghost_device.Device
 module Trace = Ghost_device.Trace
 module Parser = Ghost_sql.Parser
@@ -12,6 +14,8 @@ type t = {
   catalog : Catalog.t;
   public : Public_store.t;
   trace : Trace.t;
+  mutable reorg : Reorg.progress option;
+      (* an interrupted journaled reorganization awaiting recovery *)
 }
 
 let of_schema ?device_config ?index_hidden_fks schema rows =
@@ -19,7 +23,7 @@ let of_schema ?device_config ?index_hidden_fks schema rows =
   let catalog, public =
     Loader.load ?device_config ?index_hidden_fks ~trace schema rows
   in
-  { catalog; public; trace }
+  { catalog; public; trace; reorg = None }
 
 let create ?device_config ?index_hidden_fks ~ddl rows =
   let schema = Bind.ddl_to_schema (Parser.parse_ddl ddl) in
@@ -33,8 +37,21 @@ let trace t = t.trace
 
 let bind t sql = Bind.bind (schema t) sql
 
-let insert t rows = Insert.insert_root t.catalog t.public rows
-let delete t ids = Insert.delete_root t.catalog t.public ids
+let check_no_reorg t op =
+  if t.reorg <> None then
+    failwith
+      (Printf.sprintf
+         "Ghost_db.%s: a reorganization was interrupted by a power cut; run \
+          recover first"
+         op)
+
+let insert t rows =
+  check_no_reorg t "insert";
+  Insert.insert_root t.catalog t.public rows
+
+let delete t ids =
+  check_no_reorg t "delete";
+  Insert.delete_root t.catalog t.public ids
 
 let root_name t =
   (Ghost_relation.Schema.root t.catalog.Catalog.schema).Ghost_relation.Schema.name
@@ -42,31 +59,96 @@ let root_name t =
 let delta_count t = Catalog.delta_count t.catalog (root_name t)
 let tombstone_count t = Catalog.tombstone_count t.catalog (root_name t)
 
-let reorganize t =
-  let rows = Reorganize.snapshot t.catalog t.public in
-  (* The old device (and its Flash content) is being abandoned: drop
-     every resident frame so nothing stale can be served if the caller
-     keeps using the old handle. The new device builds its own cache. *)
-  Option.iter Ghost_device.Page_cache.clear
-    (Device.page_cache t.catalog.Catalog.device);
-  of_schema ~device_config:(Device.config (t.catalog.Catalog.device)) t.catalog.Catalog.schema rows
+type reorg_outcome =
+  | Reorg_completed of { db : t; phases_reused : int; phases_redone : int }
+  | Reorg_rolled_back of { journal_records : int }
 
 type recovery_report = {
   delta_recovered : int;
   delta_lost : int;
   tombstones_recovered : int;
   tombstones_lost : int;
-  torn_pages : int;
+  delta_torn_pages : int;
+  tombstone_torn_pages : int;
+  reorg : reorg_outcome option;
 }
 
-let needs_recovery t =
-  let root = root_name t in
-  (match Catalog.delta t.catalog root with
-   | Some log -> Delta_log.needs_recovery log
-   | None -> false)
-  || (match Catalog.tombstone t.catalog root with
+let needs_recovery (t : t) =
+  t.reorg <> None
+  || (match Catalog.delta t.catalog (root_name t) with
+      | Some log -> Delta_log.needs_recovery log
+      | None -> false)
+  || (match Catalog.tombstone t.catalog (root_name t) with
       | Some log -> Tombstone_log.needs_recovery log
       | None -> false)
+
+let reorganize t =
+  check_no_reorg t "reorganize";
+  if (Device.config t.catalog.Catalog.device).Device.durable_logs then begin
+    (* Journaled shadow build: crash-safe, resumable (see {!Reorg}).
+       Refuse before the journal's first record if a log still needs
+       recovery — same policy as {!Reorganize.snapshot}, checked here
+       so no Begin record is wasted on a doomed build. *)
+    if needs_recovery t then
+      failwith
+        "Ghost_db.reorganize: logs need recovery after a power cut; run \
+         recover first";
+    let p = Reorg.create t.catalog t.public in
+    t.reorg <- Some p;
+    match Reorg.advance p with
+    | catalog, public, trace ->
+      t.reorg <- None;
+      { catalog; public; trace; reorg = None }
+    | exception (Flash.Power_cut _ as e) ->
+      Reorg.note_crash p;
+      raise e
+  end
+  else begin
+    let rows = Reorganize.snapshot t.catalog t.public in
+    (* The old device (and its Flash content) is being abandoned: drop
+       every resident frame so nothing stale can be served if the caller
+       keeps using the old handle. The new device builds its own cache. *)
+    Option.iter Ghost_device.Page_cache.clear
+      (Device.page_cache t.catalog.Catalog.device);
+    of_schema
+      ~device_config:(Device.config t.catalog.Catalog.device)
+      t.catalog.Catalog.schema rows
+  end
+
+let recover_reorg (t : t) =
+  match t.reorg with
+  | None -> None
+  | Some p ->
+    let device = t.catalog.Catalog.device in
+    Reorg.revalidate p;
+    if Reorg.can_roll_forward p then begin
+      match Reorg.advance p with
+      | catalog, public, trace ->
+        t.reorg <- None;
+        Device.note_reorg_outcome device ~rolled_forward:true;
+        Some
+          (Reorg_completed
+             {
+               db = { catalog; public; trace; reorg = None };
+               phases_reused = Reorg.phases_reused p;
+               phases_redone = Reorg.phases_redone p;
+             })
+      | exception (Flash.Power_cut _ as e) ->
+        (* Crashed again mid-resume: the progress stays pending; the
+           next recover revalidates and picks up from here. *)
+        Reorg.note_crash p;
+        raise e
+    end
+    else begin
+      match Reorg.abort p with
+      | () ->
+        t.reorg <- None;
+        Device.note_reorg_outcome device ~rolled_forward:false;
+        Some (Reorg_rolled_back { journal_records = Reorg.journal_pages p })
+      | exception (Flash.Power_cut _ as e) ->
+        Reorg.note_crash p;
+        raise e
+    end
 
 let recover t =
   let root = root_name t in
@@ -86,12 +168,15 @@ let recover t =
     | _ -> (0, 0, 0)
   in
   Device.note_recovery device ~recovered:(dr + tr) ~lost:(dl + tl);
+  let reorg = recover_reorg t in
   {
     delta_recovered = dr;
     delta_lost = dl;
     tombstones_recovered = tr;
     tombstones_lost = tl;
-    torn_pages = dt + tt;
+    delta_torn_pages = dt;
+    tombstone_torn_pages = tt;
+    reorg;
   }
 
 let plans t sql = Planner.with_estimates t.catalog (bind t sql)
@@ -111,41 +196,77 @@ let storage t = Catalog.storage t.catalog
 
 exception Image_error of string
 
-(* Bumped to 3 when the device gained the shared page cache (and the
-   logs a reference to it): older marshalled images are incompatible. *)
-let image_magic = "GHOSTDB-IMAGE-3\n"
+(* Bumped to 4 when the image gained its length header and CRC-32
+   trailer (and the instance its reorg field): older marshalled images
+   are incompatible. *)
+let image_magic = "GHOSTDB-IMAGE-4\n"
+
+(* Image layout: magic | u64 payload length | payload (marshalled
+   instance) | u32 CRC-32 of the payload. Written to [<path>.tmp] and
+   renamed into place, so a crash mid-save leaves the previous image
+   (or no file) — never a partial one. *)
 
 let save_image t path =
-  let oc = open_out_bin path in
+  check_no_reorg t "save_image";
+  let payload = Marshal.to_string (t : t) [] in
+  let len = String.length payload in
+  let crc = Codec.crc32 (Bytes.unsafe_of_string payload) ~pos:0 ~len in
+  let tmp = path ^ ".tmp" in
+  let oc =
+    try open_out_bin tmp with Sys_error msg -> raise (Image_error msg)
+  in
   (try
      output_string oc image_magic;
-     Marshal.to_channel oc (t : t) []
+     let hdr = Bytes.create 8 in
+     Codec.put_u64 hdr 0 len;
+     output_bytes oc hdr;
+     output_string oc payload;
+     let tail = Bytes.create 4 in
+     Codec.put_u32 tail 0 crc;
+     output_bytes oc tail;
+     close_out oc
    with e ->
      close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  close_out oc
+  try Sys.rename tmp path
+  with Sys_error msg ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise (Image_error msg)
 
 let load_image path =
   let ic =
-    try open_in_bin path
-    with Sys_error msg -> raise (Image_error msg)
+    try open_in_bin path with Sys_error msg -> raise (Image_error msg)
   in
-  let finish v =
-    close_in_noerr ic;
-    v
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let magic =
+    try really_input_string ic (String.length image_magic)
+    with End_of_file ->
+      raise (Image_error (path ^ " is truncated: shorter than the magic"))
   in
-  try
-    let magic = really_input_string ic (String.length image_magic) in
-    if magic <> image_magic then
-      raise (Image_error (path ^ " is not a GhostDB image"));
-    finish (Marshal.from_channel ic : t)
-  with
-  | Image_error _ as e ->
-    close_in_noerr ic;
-    raise e
-  | End_of_file | Failure _ ->
-    close_in_noerr ic;
-    raise (Image_error (path ^ " is truncated or incompatible"))
+  if magic <> image_magic then
+    raise
+      (Image_error (path ^ " is not a GhostDB image (or an incompatible version)"));
+  let hdr = Bytes.create 8 in
+  (try really_input ic hdr 0 8
+   with End_of_file ->
+     raise (Image_error (path ^ " is truncated: payload length missing")));
+  let len = Codec.get_u64 hdr 0 in
+  let remaining = in_channel_length ic - pos_in ic in
+  if len < 0 || len + 4 > remaining then
+    raise
+      (Image_error
+         (Printf.sprintf "%s is truncated: %d payload bytes promised, %d present"
+            path len (max 0 (remaining - 4))));
+  let payload = Bytes.create len in
+  really_input ic payload 0 len;
+  let tail = Bytes.create 4 in
+  really_input ic tail 0 4;
+  if Codec.get_u32 tail 0 <> Codec.crc32 payload ~pos:0 ~len then
+    raise (Image_error (path ^ " is corrupted: payload checksum mismatch"));
+  try (Marshal.from_bytes payload 0 : t)
+  with Failure _ ->
+    raise (Image_error (path ^ " is corrupted: unmarshalling failed"))
 
 let row_to_string row =
   String.concat " | " (Array.to_list (Array.map Value.to_string row))

@@ -73,7 +73,17 @@ val reorganize : t -> t
     root ids (tombstoned gaps close, so root keys change), rebuilds
     every index structure, and returns a fresh instance. The read cost
     is charged to the old device's clock. Refuses to run (raises
-    [Failure]) while a log {!needs_recovery}. *)
+    [Failure]) while a log {!needs_recovery}.
+
+    With [durable_logs] set the rebuild runs as a {e journaled shadow
+    build} ({!Reorg}): each phase writes a checksummed checkpoint
+    record to a reorg journal on the old device's Flash and a single
+    commit record flips the live image. A power cut mid-rebuild raises
+    {!Ghost_flash.Flash.Power_cut} and leaves the instance
+    {!needs_recovery}: {!recover} then either rolls the rebuild
+    forward from the last durable checkpoint or rolls back to the
+    intact pre-reorg image. Without [durable_logs] the rebuild is the
+    seed's one-shot path, bit-identical, journal-free. *)
 
 (** {2 Crash recovery}
 
@@ -83,24 +93,49 @@ val reorganize : t -> t
     interrupted operation is not acknowledged, and [recover] truncates
     the logs to exactly the acknowledged prefix. *)
 
+type reorg_outcome =
+  | Reorg_completed of {
+      db : t;  (** the rebuilt instance — the reorganization's result *)
+      phases_reused : int;
+          (** phases skipped on resume, their checkpoints durable *)
+      phases_redone : int;
+          (** phases re-executed, their checkpoint (or build) torn *)
+    }  (** rolled forward: resumed from the last durable checkpoint *)
+  | Reorg_rolled_back of {
+      journal_records : int;  (** journal records that had survived *)
+    }
+      (** rolled back: no durable (digest-valid) snapshot checkpoint,
+          so the intact pre-reorg image stays live *)
+
 type recovery_report = {
   delta_recovered : int;  (** delta records durable after recovery *)
   delta_lost : int;  (** volatile delta records dropped *)
   tombstones_recovered : int;
   tombstones_lost : int;
-  torn_pages : int;  (** pages found torn or checksum-invalid *)
+  delta_torn_pages : int;
+      (** delta-log pages found torn or checksum-invalid *)
+  tombstone_torn_pages : int;
+      (** tombstone-log pages found torn or checksum-invalid *)
+  reorg : reorg_outcome option;
+      (** outcome of an interrupted reorganization, if one was pending *)
 }
 
 val needs_recovery : t -> bool
-(** True after a power cut tore a log program. The volatile log state
-    may still include the unacknowledged record, so query results are
-    untrusted — and {!insert}, {!delete} and {!reorganize} refuse —
+(** True after a power cut tore a log program or interrupted a
+    journaled reorganization. The volatile state may still include
+    unacknowledged work, so query results are untrusted — and
+    {!insert}, {!delete}, {!reorganize} and {!save_image} refuse —
     until {!recover} is called. *)
 
 val recover : t -> recovery_report
 (** Runs the post-crash recovery protocol on every log that needs it
-    (metered on the device clock) and accounts the outcome in the
-    device's robustness counters ({!Device.fault_counters}). *)
+    (metered on the device clock), resolves an interrupted
+    reorganization (roll forward or roll back — see {!reorg_outcome})
+    and accounts the outcomes in the device's robustness counters
+    ({!Device.fault_counters}). A power cut during a roll-forward
+    resume raises {!Ghost_flash.Flash.Power_cut} again; the
+    reorganization stays pending and the next [recover] picks it up
+    from the checkpoints that survived. *)
 
 val query : t -> ?exact_post:bool -> ?bloom_fpr:float -> string -> Exec.result
 (** Optimize and execute. *)
@@ -129,12 +164,18 @@ val storage : t -> Catalog.storage_report
 exception Image_error of string
 
 val save_image : t -> string -> unit
-(** Writes the instance to a file. *)
+(** Writes the instance to a file, atomically: the image (with a
+    length header and a CRC-32 trailer over the marshalled payload) is
+    written to [<path>.tmp] and renamed into place, so a failed save
+    leaves the previous image — or no file — never a partial one.
+    Raises [Failure] while a reorganization awaits {!recover}. *)
 
 val load_image : string -> t
 (** Reopens a saved instance. Raises {!Image_error} on a file that is
-    not a GhostDB image or was written by an incompatible version.
-    The image format trusts its producer (it is a marshalled heap):
-    only load images you saved. *)
+    not a GhostDB image or was written by an incompatible version,
+    with distinct messages for a {e truncated} image (bytes missing)
+    and a {e corrupted} one (checksum mismatch). The image format
+    trusts its producer (it is a marshalled heap): only load images
+    you saved. *)
 
 val row_to_string : Value.t array -> string

@@ -106,13 +106,30 @@ let bucket_by_value values ids_of =
     values;
   Vmap.map (fun l -> Sorted_ids.of_unsorted l) !m
 
-let load ?device_config ?(index_hidden_fks = false) ~trace schema tables_with_rows =
+(* A prepared load: host-side arrays validated and a device created,
+   but nothing programmed to Flash yet. {!Reorg} drives the phases
+   below one at a time (checkpointing between them); [load] runs them
+   back to back. The split is observation-free: running the phases in
+   order issues exactly the same Flash programs as the former
+   monolithic loader. *)
+type prepared = {
+  device : Device.t;
+  schema : Schema.t;
+  datas : (string * table_data) list;  (* Schema.tables order *)
+  rows : (string * Relation.tuple list) list;
+  index_hidden_fks : bool;
+}
+
+let device p = p.device
+let table_names p = List.map fst p.datas
+
+let prepare ?device_config ?(index_hidden_fks = false) ~trace schema tables_with_rows
+  =
   let device =
     match device_config with
     | Some config -> Device.create ~config ~trace ()
     | None -> Device.create ~trace ()
   in
-  let flash = Device.flash device in
   let datas =
     List.map
       (fun (tbl : Schema.table) ->
@@ -141,141 +158,156 @@ let load ?device_config ?(index_hidden_fks = false) ~trace schema tables_with_ro
                 (column_values data c.Column.name))
          data.tbl.Schema.columns)
     datas;
-  let comp ~ancestor ~descendant = composition schema data_of ~ancestor ~descendant in
+  { device; schema; datas; rows = tables_with_rows; index_hidden_fks }
+
+let comp_of p =
+  let data_of name = List.assoc name p.datas in
+  fun ~ancestor ~descendant -> composition p.schema data_of ~ancestor ~descendant
+
+let build_skts p =
+  let flash = Device.flash p.device in
+  let comp = comp_of p in
   (* SKTs for tables with children. *)
-  let skts =
-    List.filter_map
-      (fun (name, data) ->
-         if Schema.children schema name = [] then None
-         else begin
-           let levels = Schema.subtree schema name in
-           let comps =
-             List.map
-               (fun d -> if d = name then None else Some (comp ~ancestor:name ~descendant:d))
-               levels
-           in
-           let rows =
-             Array.init data.n (fun i ->
-               Array.of_list
-                 (List.map
-                    (function
-                      | None -> i + 1
-                      | Some arr -> arr.(i))
-                    comps))
-           in
-           Some (name, Skt.build flash ~root:name ~levels ~rows)
-         end)
-      datas
-  in
-  (* Per-table device structures. *)
-  let entries =
-    List.map
-      (fun (name, data) ->
-         let tbl = data.tbl in
-         let hidden_cols =
-           List.filter (fun (c : Column.t) -> Column.is_hidden c) tbl.Schema.columns
-         in
-         let hidden_columns =
+  List.filter_map
+    (fun (name, data) ->
+       if Schema.children p.schema name = [] then None
+       else begin
+         let levels = Schema.subtree p.schema name in
+         let comps =
            List.map
-             (fun (c : Column.t) ->
-                ( c.Column.name,
-                  Column_store.build flash c.Column.ty (column_values data c.Column.name) ))
-             hidden_cols
+             (fun d -> if d = name then None else Some (comp ~ancestor:name ~descendant:d))
+             levels
          in
-         let climb = Schema.climb_path schema name in
-         let attr_indexes =
-           List.filter_map
-             (fun (c : Column.t) ->
-                if not (Column.is_hidden c) then None
-                else if Column.is_foreign_key c && not index_hidden_fks then None
-                else begin
-                  let values = column_values data c.Column.name in
-                  (* Per level: value -> sorted id list. *)
-                  let per_level =
-                    List.map
-                      (fun level ->
-                         if level = name then bucket_by_value values (fun i -> i + 1)
-                         else begin
-                           let comp_arr = comp ~ancestor:level ~descendant:name in
-                           let level_values =
-                             Array.map (fun tid -> values.(tid - 1)) comp_arr
-                           in
-                           bucket_by_value level_values (fun i -> i + 1)
-                         end)
-                      climb
-                  in
-                  let keys =
-                    match per_level with
-                    | own :: _ -> List.map fst (Vmap.bindings own)
-                    | [] -> assert false
-                  in
-                  let entries =
-                    List.map
-                      (fun v ->
-                         ( v,
-                           Array.of_list
-                             (List.map
-                                (fun m -> Option.value (Vmap.find_opt v m) ~default:[||])
-                                per_level) ))
-                      keys
-                  in
-                  Some
-                    ( c.Column.name,
-                      Climbing_index.build_sorted flash ~table:name
-                        ~column:c.Column.name ~levels:climb entries )
-                end)
-             tbl.Schema.columns
+         let rows =
+           Array.init data.n (fun i ->
+             Array.of_list
+               (List.map
+                  (function
+                    | None -> i + 1
+                    | Some arr -> arr.(i))
+                  comps))
          in
-         let key_index =
-           match climb with
-           | [] -> assert false  (* climb_path always contains the table *)
-           | [ _ ] -> None  (* schema root: nothing to climb to *)
-           | _ :: ancestors ->
-             let per_level =
-               List.map
-                 (fun level ->
-                    let comp_arr = comp ~ancestor:level ~descendant:name in
-                    let buckets = Array.make data.n [] in
-                    Array.iteri
-                      (fun i tid -> buckets.(tid - 1) <- (i + 1) :: buckets.(tid - 1))
-                      comp_arr;
-                    Array.map Sorted_ids.of_unsorted buckets)
-                 ancestors
-             in
-             Some
-               (Climbing_index.build_dense flash ~table:name ~count:data.n
-                  ~levels:ancestors (fun id ->
-                    Array.of_list (List.map (fun lists -> lists.(id - 1)) per_level)))
-         in
-         let stats =
-           (tbl.Schema.key, Col_stats.of_values (Array.init data.n (fun i -> Value.Int (i + 1))))
-           :: List.map
-                (fun (cname, values) -> (cname, Col_stats.of_values values))
-                data.columns
-         in
-         ( name,
-           {
-             Catalog.table = tbl;
-             count = data.n;
-             hidden_columns;
-             key_index;
-             attr_indexes;
-             stats;
-           } ))
-      datas
+         Some (name, Skt.build flash ~root:name ~levels ~rows)
+       end)
+    p.datas
+
+let build_entry p name =
+  let flash = Device.flash p.device in
+  let schema = p.schema in
+  let index_hidden_fks = p.index_hidden_fks in
+  let comp = comp_of p in
+  let data = List.assoc name p.datas in
+  let tbl = data.tbl in
+  let hidden_cols =
+    List.filter (fun (c : Column.t) -> Column.is_hidden c) tbl.Schema.columns
   in
-  let public = Public_store.create schema tables_with_rows in
+  let hidden_columns =
+    List.map
+      (fun (c : Column.t) ->
+         ( c.Column.name,
+           Column_store.build flash c.Column.ty (column_values data c.Column.name) ))
+      hidden_cols
+  in
+  let climb = Schema.climb_path schema name in
+  let attr_indexes =
+    List.filter_map
+      (fun (c : Column.t) ->
+         if not (Column.is_hidden c) then None
+         else if Column.is_foreign_key c && not index_hidden_fks then None
+         else begin
+           let values = column_values data c.Column.name in
+           (* Per level: value -> sorted id list. *)
+           let per_level =
+             List.map
+               (fun level ->
+                  if level = name then bucket_by_value values (fun i -> i + 1)
+                  else begin
+                    let comp_arr = comp ~ancestor:level ~descendant:name in
+                    let level_values =
+                      Array.map (fun tid -> values.(tid - 1)) comp_arr
+                    in
+                    bucket_by_value level_values (fun i -> i + 1)
+                  end)
+               climb
+           in
+           let keys =
+             match per_level with
+             | own :: _ -> List.map fst (Vmap.bindings own)
+             | [] -> assert false
+           in
+           let entries =
+             List.map
+               (fun v ->
+                  ( v,
+                    Array.of_list
+                      (List.map
+                         (fun m -> Option.value (Vmap.find_opt v m) ~default:[||])
+                         per_level) ))
+               keys
+           in
+           Some
+             ( c.Column.name,
+               Climbing_index.build_sorted flash ~table:name
+                 ~column:c.Column.name ~levels:climb entries )
+         end)
+      tbl.Schema.columns
+  in
+  let key_index =
+    match climb with
+    | [] -> assert false  (* climb_path always contains the table *)
+    | [ _ ] -> None  (* schema root: nothing to climb to *)
+    | _ :: ancestors ->
+      let per_level =
+        List.map
+          (fun level ->
+             let comp_arr = comp ~ancestor:level ~descendant:name in
+             let buckets = Array.make data.n [] in
+             Array.iteri
+               (fun i tid -> buckets.(tid - 1) <- (i + 1) :: buckets.(tid - 1))
+               comp_arr;
+             Array.map Sorted_ids.of_unsorted buckets)
+          ancestors
+      in
+      Some
+        (Climbing_index.build_dense flash ~table:name ~count:data.n
+           ~levels:ancestors (fun id ->
+             Array.of_list (List.map (fun lists -> lists.(id - 1)) per_level)))
+  in
+  let stats =
+    (tbl.Schema.key, Col_stats.of_values (Array.init data.n (fun i -> Value.Int (i + 1))))
+    :: List.map
+         (fun (cname, values) -> (cname, Col_stats.of_values values))
+         data.columns
+  in
+  ( name,
+    {
+      Catalog.table = tbl;
+      count = data.n;
+      hidden_columns;
+      key_index;
+      attr_indexes;
+      stats;
+    } )
+
+let assemble p ~skts ~entries =
+  let public = Public_store.create p.schema p.rows in
   (* Loading happened in the secure setting: query-time accounting
      starts from a clean clock. *)
-  Flash.reset_stats flash;
-  Flash.reset_stats (Device.scratch device);
+  Flash.reset_stats (Device.flash p.device);
+  Flash.reset_stats (Device.scratch p.device);
   ( Catalog.
       {
-        schema;
-        device;
+        schema = p.schema;
+        device = p.device;
         entries;
         skts;
         deltas = Hashtbl.create 4;
         tombstones = Hashtbl.create 4;
       },
     public )
+
+let load ?device_config ?index_hidden_fks ~trace schema tables_with_rows =
+  let p = prepare ?device_config ?index_hidden_fks ~trace schema tables_with_rows in
+  let skts = build_skts p in
+  let entries = List.map (build_entry p) (table_names p) in
+  assemble p ~skts ~entries

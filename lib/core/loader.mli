@@ -32,3 +32,45 @@ val load :
     indexes on hidden foreign-key columns. Raises {!Load_error} when a
     table is missing, keys are not dense 1..N, or a foreign key
     dangles. *)
+
+(** {2 Phased loading}
+
+    [load] decomposed into its build phases so that {!Reorg} can
+    checkpoint between them while rebuilding the device image. Running
+    [prepare], [build_skts], [build_entry] per table (in [table_names]
+    order) and [assemble] issues exactly the same Flash programs, in
+    the same order, as [load]. *)
+
+type prepared
+(** Host-side arrays validated and a device created; nothing
+    programmed to Flash yet. *)
+
+val prepare :
+  ?device_config:Device.config ->
+  ?index_hidden_fks:bool ->
+  trace:Trace.t ->
+  Schema.t ->
+  (string * Relation.tuple list) list ->
+  prepared
+(** Same validation (and {!Load_error} conditions) as [load]. Performs
+    no Flash programs, so the caller may still rewire the device — e.g.
+    {!Ghost_flash.Flash.share_power} — before building. *)
+
+val device : prepared -> Device.t
+val table_names : prepared -> string list
+(** Tables in build order ({!Schema.tables} order). *)
+
+val build_skts : prepared -> (string * Ghost_store.Skt.t) list
+(** Builds the SKTs of every non-leaf table onto the device Flash. *)
+
+val build_entry : prepared -> string -> string * Catalog.table_entry
+(** Builds one table's device structures (hidden column stores,
+    climbing indexes, key index, statistics) onto the device Flash. *)
+
+val assemble :
+  prepared ->
+  skts:(string * Ghost_store.Skt.t) list ->
+  entries:(string * Catalog.table_entry) list ->
+  Catalog.t * Public_store.t
+(** Creates the public store, resets the Flash clocks (loading happens
+    in the secure setting) and closes the catalog. *)

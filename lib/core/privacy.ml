@@ -17,6 +17,8 @@ let audit trace =
     (fun (e : Trace.event) ->
        (match e.Trace.link, e.Trace.payload with
         | Trace.Device_to_pc, Trace.Ack -> ()
+        | Trace.Device_to_pc, Trace.Reorg_progress _ when e.Trace.bytes = 0 ->
+          ()  (* content-free liveness notice during reorganization *)
         | Trace.Device_to_pc, p ->
           outbound := !outbound + e.Trace.bytes;
           violations :=
@@ -44,7 +46,8 @@ let audit trace =
        | Trace.Query_text q when Trace.spy_visible e.Trace.link ->
          queries := q :: !queries
        | Trace.Query_text _ | Trace.Id_list _ | Trace.Value_stream _
-       | Trace.Result_tuples _ | Trace.Ack | Trace.Cache_stats _ ->
+       | Trace.Result_tuples _ | Trace.Ack | Trace.Cache_stats _
+       | Trace.Reorg_progress _ ->
          ())
     (Trace.events trace);
   {

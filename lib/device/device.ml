@@ -60,6 +60,9 @@ type t = {
   mutable usb_retries : int;
   mutable records_recovered : int;
   mutable records_lost : int;
+  mutable reorg_checkpoints : int;
+  mutable reorg_rollbacks : int;
+  mutable reorg_rollforwards : int;
   mutable cpu_ops : int;
 }
 
@@ -89,6 +92,9 @@ let create ?(config = default_config) ~trace () =
   usb_retries = 0;
   records_recovered = 0;
   records_lost = 0;
+  reorg_checkpoints = 0;
+  reorg_rollbacks = 0;
+  reorg_rollforwards = 0;
   cpu_ops = 0;
 }
 
@@ -162,6 +168,16 @@ let note_recovery t ~recovered ~lost =
   t.records_recovered <- t.records_recovered + recovered;
   t.records_lost <- t.records_lost + lost
 
+let note_reorg_checkpoint t = t.reorg_checkpoints <- t.reorg_checkpoints + 1
+
+let note_reorg_outcome t ~rolled_forward =
+  if rolled_forward then t.reorg_rollforwards <- t.reorg_rollforwards + 1
+  else t.reorg_rollbacks <- t.reorg_rollbacks + 1
+
+let emit_reorg_progress t ~phase ~phases =
+  transfer t Outbound Trace.Device_to_pc
+    (Trace.Reorg_progress { phase; phases }) ~bytes:0
+
 let cpu_time_us t = Float.of_int t.cpu_ops /. t.config.cpu_mips
 let usb_time_us t = t.usb_us
 let elapsed_us t =
@@ -178,6 +194,9 @@ type fault_counters = {
   usb_retries : int;
   records_recovered : int;
   records_lost : int;
+  reorg_checkpoints : int;
+  reorg_rollbacks : int;
+  reorg_rollforwards : int;
 }
 
 let zero_faults = {
@@ -191,6 +210,9 @@ let zero_faults = {
   usb_retries = 0;
   records_recovered = 0;
   records_lost = 0;
+  reorg_checkpoints = 0;
+  reorg_rollbacks = 0;
+  reorg_rollforwards = 0;
 }
 
 let add_faults a b = {
@@ -204,6 +226,9 @@ let add_faults a b = {
   usb_retries = a.usb_retries + b.usb_retries;
   records_recovered = a.records_recovered + b.records_recovered;
   records_lost = a.records_lost + b.records_lost;
+  reorg_checkpoints = a.reorg_checkpoints + b.reorg_checkpoints;
+  reorg_rollbacks = a.reorg_rollbacks + b.reorg_rollbacks;
+  reorg_rollforwards = a.reorg_rollforwards + b.reorg_rollforwards;
 }
 
 let diff_faults ~after ~before = {
@@ -218,6 +243,9 @@ let diff_faults ~after ~before = {
   usb_retries = after.usb_retries - before.usb_retries;
   records_recovered = after.records_recovered - before.records_recovered;
   records_lost = after.records_lost - before.records_lost;
+  reorg_checkpoints = after.reorg_checkpoints - before.reorg_checkpoints;
+  reorg_rollbacks = after.reorg_rollbacks - before.reorg_rollbacks;
+  reorg_rollforwards = after.reorg_rollforwards - before.reorg_rollforwards;
 }
 
 let no_faults f = f = zero_faults
@@ -237,6 +265,9 @@ let fault_counters (t : t) =
     usb_retries = t.usb_retries;
     records_recovered = t.records_recovered;
     records_lost = t.records_lost;
+    reorg_checkpoints = t.reorg_checkpoints;
+    reorg_rollbacks = t.reorg_rollbacks;
+    reorg_rollforwards = t.reorg_rollforwards;
   }
 
 type snapshot = {
@@ -330,4 +361,9 @@ let pp_usage fmt u =
   if not (Page_cache.no_activity u.cache) then
     Format.fprintf fmt " [cache: %d hit %d miss %d evict %d inval]"
       u.cache.Page_cache.hits u.cache.Page_cache.misses
-      u.cache.Page_cache.evictions u.cache.Page_cache.invalidations
+      u.cache.Page_cache.evictions u.cache.Page_cache.invalidations;
+  if u.faults.reorg_checkpoints > 0 || u.faults.reorg_rollbacks > 0
+     || u.faults.reorg_rollforwards > 0 then
+    Format.fprintf fmt " [reorg: %d ckpt %d roll-fwd %d roll-back]"
+      u.faults.reorg_checkpoints u.faults.reorg_rollforwards
+      u.faults.reorg_rollbacks

@@ -105,6 +105,21 @@ val note_recovery : t -> recovered:int -> lost:int -> unit
 (** Accounts a log-recovery outcome (see {!Delta_log.recover}) so the
     device's robustness counters report it. *)
 
+val note_reorg_checkpoint : t -> unit
+(** Accounts one durable reorganization checkpoint record (see
+    {!Reorg} in the core library). *)
+
+val note_reorg_outcome : t -> rolled_forward:bool -> unit
+(** Accounts the recovery outcome of an interrupted reorganization:
+    roll-forward (resumed from the last durable checkpoint) or
+    roll-back (pre-reorg image kept). *)
+
+val emit_reorg_progress : t -> phase:int -> phases:int -> unit
+(** A zero-byte reorganization checkpoint notice on [Device_to_pc]
+    (spy-visible, auditor-allowed): the device signals it is alive
+    mid-rebuild without revealing anything about the data. Same retry
+    discipline as {!receive}. *)
+
 (** {2 Accounting} *)
 
 val cpu_time_us : t -> float
@@ -123,6 +138,9 @@ type fault_counters = {
   usb_retries : int;
   records_recovered : int;
   records_lost : int;
+  reorg_checkpoints : int;  (** durable reorg checkpoint records written *)
+  reorg_rollbacks : int;  (** interrupted reorgs rolled back to the old image *)
+  reorg_rollforwards : int;  (** interrupted reorgs resumed from a checkpoint *)
 }
 (** Robustness counters: faults injected and survived. All zero unless
     fault injection is configured (or a recovery was noted). *)

@@ -25,6 +25,11 @@ type payload =
   | Cache_stats of { hits : int; misses : int; evictions : int }
       (** buffer-manager counters shown on the secure display next to
           the results (zero bytes on the wire, never spy-visible) *)
+  | Reorg_progress of { phase : int; phases : int }
+      (** reorganization checkpoint notice on [Device_to_pc]: the
+          device signals it is still alive mid-rebuild. Zero bytes of
+          payload — a spy learns only that a reorganization is running,
+          which unplugging the device reveals anyway *)
 
 let payload_summary = function
   | Query_text q -> Printf.sprintf "query %S" q
@@ -35,6 +40,8 @@ let payload_summary = function
   | Ack -> "ack"
   | Cache_stats { hits; misses; evictions } ->
     Printf.sprintf "cache-stats %d hit / %d miss / %d evict" hits misses evictions
+  | Reorg_progress { phase; phases } ->
+    Printf.sprintf "reorg-progress %d/%d" phase phases
 
 type event = {
   seq : int;

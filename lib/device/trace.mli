@@ -28,6 +28,10 @@ type payload =
   | Cache_stats of { hits : int; misses : int; evictions : int }
       (** buffer-manager counters, rendered on the secure display next
           to the results (zero bytes, [Device_to_display] only) *)
+  | Reorg_progress of { phase : int; phases : int }
+      (** reorganization checkpoint notice ([Device_to_pc], zero bytes):
+          spy-visible but content-free — the auditor allows it, since a
+          spy learns only that the device is mid-rebuild *)
 
 val payload_summary : payload -> string
 

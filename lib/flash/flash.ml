@@ -141,6 +141,12 @@ type page_state =
   | Erased
   | Programmed of { data : bytes; len : int }
 
+(* The simulated power supply. Several Flash regions of one physical
+   device (main store, scratch, a shadow image under construction)
+   share a line: an armed power cut fires at the n-th page program
+   counted across every connected region, whichever region issues it. *)
+type power_line = { mutable cut_after : int option }
+
 type t = {
   geometry : geometry;
   mutable cost : cost;
@@ -151,7 +157,7 @@ type t = {
   mutable fault : fault_config option;
   mutable rng : Rng.t option;
   bad_blocks : (int, unit) Hashtbl.t;
-  mutable power_cut_after : int option;  (* countdown over page programs *)
+  mutable power : power_line;  (* countdown over page programs *)
   mutable fault_stats : fault_stats;
 }
 
@@ -168,7 +174,7 @@ let create ?(geometry = default_geometry) ?(cost = default_cost) ?fault () = {
   fault;
   rng = Option.map (fun f -> Rng.create f.fault_seed) fault;
   bad_blocks = Hashtbl.create 8;
-  power_cut_after = None;
+  power = { cut_after = None };
   fault_stats = zero_fault_stats;
 }
 
@@ -181,7 +187,12 @@ let set_fault t fault =
 
 let arm_power_cut t ~after_programs =
   if after_programs < 1 then invalid_arg "Flash.arm_power_cut";
-  t.power_cut_after <- Some after_programs
+  t.power.cut_after <- Some after_programs
+
+let disarm_power_cut t = t.power.cut_after <- None
+
+let power_line t = t.power
+let share_power t ~with_ = t.power <- with_.power
 
 let block_of t page = page / t.geometry.pages_per_block
 let is_bad_block t block = Hashtbl.mem t.bad_blocks block
@@ -247,11 +258,11 @@ let program_cells t page data len =
    | Erased -> ()
    | Programmed _ ->
      raise (Program_error (Printf.sprintf "page %d is not erased" page)));
-  (match t.power_cut_after with
+  (match t.power.cut_after with
    | Some n when n <= 1 ->
-     t.power_cut_after <- None;
+     t.power.cut_after <- None;
      tear t page data len
-   | Some n -> t.power_cut_after <- Some (n - 1)
+   | Some n -> t.power.cut_after <- Some (n - 1)
    | None -> ());
   t.pages.(page) <- Programmed { data = Bytes.copy data; len };
   charge_program t len

@@ -112,7 +112,29 @@ val set_fault : t -> fault_config option -> unit
 
 val arm_power_cut : t -> after_programs:int -> unit
 (** [arm_power_cut t ~after_programs:n] makes the [n]-th page program
-    from now tear mid-flight and raise {!Power_cut}. One-shot. *)
+    from now tear mid-flight and raise {!Power_cut}. One-shot. The
+    countdown lives on the region's {!power_line}: regions sharing a
+    line count programs jointly, whichever region issues them. *)
+
+val disarm_power_cut : t -> unit
+(** Cancels a pending armed power cut on the region's power line (the
+    sweep harnesses disarm once a run survives past the armed index). *)
+
+(** {2 Power supply}
+
+    One physical device has one power supply, but the simulator models
+    its Flash as several regions (main store, scratch, and — during an
+    offline reorganization — the shadow image being built). Sharing a
+    [power_line] makes an armed power cut fire at the n-th program
+    {e across} the connected regions, as it would on real hardware. *)
+
+type power_line
+
+val power_line : t -> power_line
+val share_power : t -> with_:t -> unit
+(** [share_power t ~with_] puts [t] on [with_]'s power line: a cut
+    armed on either region counts both regions' programs. A region
+    starts on its own private line. *)
 
 val append : t -> bytes -> int
 (** Programs a fresh (erased) page with the given content — at most

@@ -36,7 +36,7 @@ let analyze trace =
          match e.Trace.payload with
          | Trace.Query_text q -> Some q
          | Trace.Id_list _ | Trace.Value_stream _ | Trace.Result_tuples _ | Trace.Ack
-         | Trace.Cache_stats _ ->
+         | Trace.Cache_stats _ | Trace.Reorg_progress _ ->
            None)
       events
   in
@@ -49,7 +49,8 @@ let analyze trace =
          | Trace.Id_list { table; count } when e.Trace.link = Trace.Pc_to_device ->
            Some (table, count)
          | Trace.Id_list _ | Trace.Query_text _ | Trace.Value_stream _
-         | Trace.Result_tuples _ | Trace.Ack | Trace.Cache_stats _ ->
+         | Trace.Result_tuples _ | Trace.Ack | Trace.Cache_stats _
+         | Trace.Reorg_progress _ ->
            None)
       events
   in
@@ -61,7 +62,8 @@ let analyze trace =
            when e.Trace.link = Trace.Pc_to_device ->
            Some (table, column, count)
          | Trace.Value_stream _ | Trace.Query_text _ | Trace.Id_list _
-         | Trace.Result_tuples _ | Trace.Ack | Trace.Cache_stats _ ->
+         | Trace.Result_tuples _ | Trace.Ack | Trace.Cache_stats _
+         | Trace.Reorg_progress _ ->
            None)
       events
   in

@@ -83,9 +83,62 @@ let test_bad_images_rejected () =
   Sys.remove full;
   Sys.remove cut
 
+let contains s sub =
+  let n = String.length sub and len = String.length s in
+  let rec go i = i + n <= len && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* The loader distinguishes a short file from a checksum failure: the
+   first is what a crashed copy looks like, the second real rot. *)
+let test_error_messages_distinguish_causes () =
+  let rows = Medical.generate Medical.tiny in
+  let db = Ghost_db.of_schema (Medical.schema ()) rows in
+  let full = tmp "ghostdb_msg_full.img" in
+  Ghost_db.save_image db full;
+  let data = In_channel.with_open_bin full In_channel.input_all in
+  let expect label bytes needle =
+    let p = tmp ("ghostdb_msg_" ^ label ^ ".img") in
+    Out_channel.with_open_bin p (fun oc -> Out_channel.output_string oc bytes);
+    (match Ghost_db.load_image p with
+     | _ -> Alcotest.failf "%s: load succeeded" label
+     | exception Ghost_db.Image_error m ->
+       if not (contains m needle) then
+         Alcotest.failf "%s: %S does not mention %S" label m needle);
+    Sys.remove p
+  in
+  (* shorter than the payload it promises -> truncated *)
+  expect "short" (String.sub data 0 (String.length data - 7)) "truncated";
+  (* a flipped payload byte -> corrupted (CRC catches it) *)
+  let flipped = Bytes.of_string data in
+  let mid = String.length data / 2 in
+  Bytes.set flipped mid (Char.chr (Char.code (Bytes.get flipped mid) lxor 0x20));
+  expect "flip" (Bytes.to_string flipped) "corrupted";
+  (* alien magic -> not an image *)
+  expect "magic" ("NOT-A-DB-IMAGE!\n" ^ String.sub data 16 64) "not a GhostDB image";
+  Sys.remove full
+
+(* A failed save must leave nothing behind: no partial image at the
+   target path, no stranded [.tmp] sibling. *)
+let test_failed_save_leaves_no_partial () =
+  let rows = Medical.generate Medical.tiny in
+  let db = Ghost_db.of_schema (Medical.schema ()) rows in
+  let dir = tmp "ghostdb_no_such_dir" in
+  if Sys.file_exists dir then Sys.rmdir dir;
+  let path = Filename.concat dir "image.img" in
+  (try
+     Ghost_db.save_image db path;
+     Alcotest.fail "save into a missing directory succeeded"
+   with Ghost_db.Image_error _ | Sys_error _ -> ());
+  check Alcotest.bool "no image file" false (Sys.file_exists path);
+  check Alcotest.bool "no tmp file" false (Sys.file_exists (path ^ ".tmp"))
+
 let suite = [
   Alcotest.test_case "roundtrip: all queries agree" `Quick test_roundtrip_queries;
   Alcotest.test_case "pending delta/tombstones survive" `Quick
     test_roundtrip_preserves_pending_changes;
   Alcotest.test_case "bad images rejected" `Quick test_bad_images_rejected;
+  Alcotest.test_case "error messages distinguish truncation from rot" `Quick
+    test_error_messages_distinguish_causes;
+  Alcotest.test_case "failed save leaves no partial file" `Quick
+    test_failed_save_leaves_no_partial;
 ]

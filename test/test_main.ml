@@ -29,6 +29,7 @@ let () =
       ("shapes", Test_shapes.suite);
       ("fuzz", Test_fuzz.suite);
       ("recovery", Test_recovery.suite);
+      ("reorg", Test_reorg.suite);
       ("retail", Test_retail.suite);
       ("cache", Test_cache.suite);
     ]

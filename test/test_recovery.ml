@@ -69,7 +69,8 @@ let test_power_cut_during_insert () =
   (* 10 acknowledged + the 2 durable records of the torn batch *)
   check Alcotest.int "delta recovered" 12 r.Ghost_db.delta_recovered;
   check Alcotest.int "torn record lost" 1 r.Ghost_db.delta_lost;
-  check Alcotest.bool "torn page reported" true (r.Ghost_db.torn_pages >= 1);
+  check Alcotest.bool "torn page reported" true (r.Ghost_db.delta_torn_pages >= 1);
+  check Alcotest.int "tombstone log untouched" 0 r.Ghost_db.tombstone_torn_pages;
   check Alcotest.bool "recovered" false (Ghost_db.needs_recovery db);
   check Alcotest.int "delta count" 12 (Ghost_db.delta_count db);
   (* the device's robustness counters saw all of it *)
