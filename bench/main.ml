@@ -9,7 +9,7 @@
       the host (useful to track regressions of the simulator itself).
 
    Usage: main.exe [--full] [--scale tiny|small|medium] [--no-wallclock]
-          [--only E1,E5] [--json DIR] *)
+          [--only E1,E5] [--json DIR] [--list] *)
 
 open Bechamel
 open Toolkit
@@ -27,6 +27,7 @@ type options = {
   wallclock : bool;
   only : string list option;
   json_dir : string option;
+  list : bool;
 }
 
 let parse_args () =
@@ -35,6 +36,7 @@ let parse_args () =
   let wallclock = ref true in
   let only = ref None in
   let json_dir = ref None in
+  let list = ref false in
   let set_scale s =
     scale :=
       match s with
@@ -52,11 +54,12 @@ let parse_args () =
     ("--only", Arg.String set_only, "IDS comma-separated experiment ids (e.g. E1,E5)");
     ("--json", Arg.String (fun d -> json_dir := Some d),
      "DIR also write each selected report as DIR/BENCH_<id>.json");
+    ("--list", Arg.Set list, " print experiment ids with descriptions and exit");
   ] in
   Arg.parse (Arg.align specs) (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
     "GhostDB benchmark harness";
   { full = !full; scale = !scale; wallclock = !wallclock; only = !only;
-    json_dir = !json_dir }
+    json_dir = !json_dir; list = !list }
 
 let write_json dir report =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -66,27 +69,33 @@ let write_json dir report =
   output_char oc '\n';
   close_out oc
 
+let list_experiments opts =
+  List.iter
+    (fun (id, description, _) -> Printf.printf "%-4s %s\n" id description)
+    (Experiments.all ~scale:opts.scale ~full:opts.full ())
+
 let print_experiments opts =
   let reports = Experiments.all ~scale:opts.scale ~full:opts.full () in
   let selected =
     match opts.only with
     | None -> reports
     | Some ids ->
-      let known = List.map fst reports in
+      let known = List.map (fun (id, _, _) -> id) reports in
       (match List.filter (fun id -> not (List.mem id known)) ids with
        | [] -> ()
        | unknown ->
          Printf.eprintf
            "main.exe: unknown experiment id%s %s\nValid ids: %s\nUsage: main.exe \
-            [--full] [--scale SCALE] [--no-wallclock] [--only IDS] [--json DIR]\n"
+            [--full] [--scale SCALE] [--no-wallclock] [--only IDS] [--json DIR] \
+            [--list]\n"
            (if List.length unknown > 1 then "s" else "")
            (String.concat ", " unknown)
            (String.concat ", " known);
          exit 2);
-      List.filter (fun (id, _) -> List.mem id ids) reports
+      List.filter (fun (id, _, _) -> List.mem id ids) reports
   in
   List.iter
-    (fun (_, thunk) ->
+    (fun (_, _, thunk) ->
        let report = thunk () in
        print_string (Report.to_string report);
        Option.iter (fun dir -> write_json dir report) opts.json_dir)
@@ -179,6 +188,15 @@ let bechamel_tests () =
          let module Retail = Ghost_workload.Retail in
          let rdb = Ghost_db.of_schema (Retail.schema ()) (Retail.generate Retail.tiny) in
          ignore (Ghost_db.query rdb (List.assoc "region_volume" Retail.queries))));
+    Test.make ~name:"e18_sched_probe"
+      (Staged.stage (fun () ->
+         let module Scheduler = Ghost_sched.Scheduler in
+         let module Driver = Ghost_sched.Workload_driver in
+         ignore
+           (Driver.run ~policy:Scheduler.Round_robin ~quantum_us:500. db
+              { Driver.default_spec with
+                Driver.clients = 2; queries_per_client = 1; theta = 1.0;
+                seed = 3 })));
   ]
 
 let run_bechamel () =
@@ -203,5 +221,8 @@ let run_bechamel () =
 
 let () =
   let opts = parse_args () in
-  print_experiments opts;
-  if opts.wallclock then run_bechamel ()
+  if opts.list then list_experiments opts
+  else begin
+    print_experiments opts;
+    if opts.wallclock then run_bechamel ()
+  end

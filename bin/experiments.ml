@@ -33,18 +33,31 @@ let only_arg =
   Arg.(value & opt (some (list string)) None
        & info [ "only" ] ~docv:"IDS" ~doc:"Run only the given experiment ids (E1..E10).")
 
-let run scale full only =
+let list_arg =
+  Arg.(value & flag
+       & info [ "list" ]
+           ~doc:"Print the experiment ids with one-line descriptions and exit.")
+
+let run scale full only list =
   let reports = Experiments.all ~scale ~full () in
-  let selected =
-    match only with
-    | None -> reports
-    | Some ids -> List.filter (fun (id, _) -> List.mem id ids) reports
-  in
-  List.iter (fun (_, thunk) -> print_string (Report.to_string (thunk ()))) selected
+  if list then
+    List.iter
+      (fun (id, description, _) -> Printf.printf "%-4s %s\n" id description)
+      reports
+  else begin
+    let selected =
+      match only with
+      | None -> reports
+      | Some ids -> List.filter (fun (id, _, _) -> List.mem id ids) reports
+    in
+    List.iter
+      (fun (_, _, thunk) -> print_string (Report.to_string (thunk ())))
+      selected
+  end
 
 let cmd =
   let doc = "regenerate the GhostDB reproduction's experiment tables" in
   Cmd.v (Cmd.info "experiments" ~doc)
-    Term.(const run $ scale_arg $ full_arg $ only_arg)
+    Term.(const run $ scale_arg $ full_arg $ only_arg $ list_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -89,6 +89,14 @@ val reorg_cost : ?scale:Medical.scale -> unit -> Report.t
     forces a roll-back (Begin torn) vs one that allows a roll-forward
     (snapshot checkpoint durable, completed phases reused). *)
 
+val sched_throughput : ?scale:Medical.scale -> unit -> Report.t
+(** E18 (extension): the multi-session scheduler under a closed-loop
+    Zipf-skewed query mix — throughput and p50/p95/max latency as the
+    concurrency level (1–8 clients) and the policy (FIFO baseline,
+    round-robin, shortest-remaining-cost-first) vary. The headline is
+    the p95 column: FIFO convoys light queries behind rare heavy ones;
+    both preemptive policies dissolve the convoy. *)
+
 (** {2 Ablations of design choices} *)
 
 val ablation_exact_post : ?scale:Medical.scale -> unit -> Report.t
@@ -109,7 +117,12 @@ val ablation_deep_cross : ?scale:Medical.scale -> unit -> Report.t
 (** A5: deep Cross-filtering — borrowing a descendant's index list at
     an intermediate level before the climb. *)
 
-val all : ?scale:Medical.scale -> ?full:bool -> unit -> (string * (unit -> Report.t)) list
-(** The whole suite as (id, thunk) pairs — experiments run only when
-    forced, so id filters don't pay for the rest. E1–E17, A1–A5;
-    [full] raises E10 to the paper's one million prescriptions. *)
+val all :
+  ?scale:Medical.scale ->
+  ?full:bool ->
+  unit ->
+  (string * string * (unit -> Report.t)) list
+(** The whole suite as (id, one-line description, thunk) triples —
+    experiments run only when forced, so id filters (and [--list])
+    don't pay for the rest. E1–E18, A1–A5; [full] raises E10 to the
+    paper's one million prescriptions. *)

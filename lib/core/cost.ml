@@ -394,6 +394,13 @@ let estimate cat (plan : Plan.t) =
     breakdown = List.rev env.parts;
   }
 
+(* The scheduler's shortest-remaining-cost-first policy reorders
+   runnable sessions by this on every dispatch: the estimate minus the
+   device time the session has already been charged, floored at zero
+   (a plan may overrun its estimate without going negative, which
+   would out-rank every fresh session forever). *)
+let remaining_us e ~spent_us = Float.max 0. (e.est_time_us -. spent_us)
+
 let pp fmt e =
   Format.fprintf fmt "est %.0f us, %d candidates, %d results, %d B ram, %d B usb"
     e.est_time_us e.est_candidates e.est_results e.est_ram_bytes e.est_usb_bytes

@@ -29,4 +29,11 @@ type estimate = {
 
 val estimate : Catalog.t -> Plan.t -> estimate
 
+val remaining_us : estimate -> spent_us:float -> float
+(** [remaining_us e ~spent_us] is the estimated device time the plan
+    still needs after [spent_us] microseconds have already been charged
+    to it, floored at zero. The scheduler's
+    shortest-remaining-cost-first policy ranks runnable sessions by
+    this value on every dispatch. *)
+
 val pp : Format.formatter -> estimate -> unit

@@ -58,6 +58,7 @@ type context = {
   plan : Plan.t;
   device : Device.t;
   ram : Ram.t;
+  scratch : Flash.t;  (* spill region: shared (serial) or per-session *)
   cache : Page_cache.t option;  (* shared buffer manager, when configured *)
   resources : Resources.t;
   mutable ops_rev : op_stats list;
@@ -101,7 +102,7 @@ let column_store_exn ctx ~table ~column =
 (* ---- pre-filter sources ---- *)
 
 let union ctx sources =
-  Merge_union.union ~ram:ctx.ram ~scratch:(Device.scratch ctx.device)
+  Merge_union.union ~ram:ctx.ram ~scratch:ctx.scratch
     ~resources:ctx.resources ~cpu:(cpu ctx) sources
 
 (* The sorted id list a set of visible predicates selects, shipped into
@@ -371,7 +372,7 @@ let join_stream ctx ~label ~level ~verify ~attach_value ~value_width ~rows fetch
         in
         let input = Cursor.map encode (Cursor.of_array (Array.init (Array.length rows_arr) Fun.id)) in
         let sorted =
-          Ext_sort.sort ~ram:ctx.ram ~scratch:(Device.scratch ctx.device)
+          Ext_sort.sort ~ram:ctx.ram ~scratch:ctx.scratch
             ~resources:ctx.resources ~cpu:(cpu ctx) ~record_bytes
             ~compare:(fun a b -> Int.compare (Codec.get_u32 a 0) (Codec.get_u32 b 0))
             input
@@ -410,8 +411,16 @@ let join_stream ctx ~label ~level ~verify ~attach_value ~value_width ~rows fetch
     in
     (joined, List.length joined))
 
-let run ?(exact_post = true) ?(bloom_fpr = 0.01) catalog public plan =
+let check_bloom_fpr fpr =
+  (* [not (fpr > 0. && fpr < 1.)] also rejects NaN *)
+  if not (fpr > 0. && fpr < 1.) then
+    invalid_arg
+      (Printf.sprintf
+         "Exec: bloom_fpr must lie strictly between 0 and 1, got %g" fpr)
+
+let execute ~exact_post ~bloom_fpr ~scratch catalog public plan =
   Plan.validate plan;
+  check_bloom_fpr bloom_fpr;
   let device = catalog.Catalog.device in
   Resources.with_resources (fun resources ->
     let ctx =
@@ -421,6 +430,7 @@ let run ?(exact_post = true) ?(bloom_fpr = 0.01) catalog public plan =
         plan;
         device;
         ram = Device.ram device;
+        scratch;
         cache = Device.page_cache device;
         resources;
         ops_rev = [];
@@ -434,6 +444,11 @@ let run ?(exact_post = true) ?(bloom_fpr = 0.01) catalog public plan =
     let root = plan.Plan.root in
     let trace = Device.trace device in
     let global_scope = Ram.open_scope ctx.ram in
+    (* If execution dies mid-plan (cancellation, RAM exhaustion), the
+       scope must still be closed so the arena stops tracking it; a
+       second close on the normal path below is a no-op. *)
+    Resources.defer resources (fun () ->
+      ignore (Ram.close_scope ctx.ram global_scope));
     let run_start = Device.snapshot device in
     (* The query text itself travels to the device (spy-visible). *)
     ignore
@@ -824,9 +839,12 @@ let run ?(exact_post = true) ?(bloom_fpr = 0.01) catalog public plan =
         Device.emit_result device ~count:(List.length out) ~bytes:!emit_bytes;
         (out, List.length out))
     in
-    (* 6. Reclaim the scratch region (block erases count). *)
-    let scratch = Device.scratch device in
-    if (Flash.stats scratch).Flash.page_programs > 0 then
+    (* 6. Reclaim the scratch region (block erases count). Live bytes,
+       not cumulative programs: a pooled per-session region carries the
+       program counters of earlier sessions, but only pages spilled by
+       THIS plan are live here (the region is handed over erased). *)
+    let scratch = ctx.scratch in
+    if Flash.live_bytes scratch > 0 then
       ignore
         (measure ctx "ScratchReclaim" ~tuples_in:0 (fun () ->
            Flash.erase_live_blocks scratch;
@@ -859,6 +877,122 @@ let run ?(exact_post = true) ?(bloom_fpr = 0.01) catalog public plan =
       ram_peak;
       bloom_fp_candidates = ctx.bloom_fps;
     })
+
+let run ?(exact_post = true) ?(bloom_fpr = 0.01) catalog public plan =
+  execute ~exact_post ~bloom_fpr
+    ~scratch:(Device.scratch catalog.Catalog.device) catalog public plan
+
+(* ---- resumable execution (the scheduler's step machine) ----
+
+   The plan body above is written as one straight-line computation; to
+   time-slice it without threading explicit state through every
+   operator, it runs under an effect handler. The device's tick hook
+   (invoked after every CPU / USB charge, i.e. at tuple granularity)
+   performs [Yield] once the slice has consumed its quantum of
+   simulated microseconds; the handler captures the one-shot
+   continuation and hands control back to the scheduler. With an
+   infinite quantum no hook is installed and the computation is the
+   plain [run] — bit-identical results, trace and clock. *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+exception Cancelled
+
+type step_outcome = Yielded | Finished of result
+
+type sm_state =
+  | Sm_pending of (unit -> step_outcome)
+  | Sm_suspended of (unit, step_outcome) Effect.Deep.continuation
+  | Sm_finished of result
+  | Sm_failed
+  | Sm_cancelled
+
+type step_machine = {
+  sm_device : Device.t;
+  sm_quantum : float;
+  mutable sm_state : sm_state;
+}
+
+let start ?(exact_post = true) ?(bloom_fpr = 0.01) ?(quantum_us = infinity)
+    ?scratch catalog public plan =
+  check_bloom_fpr bloom_fpr;
+  if not (quantum_us > 0.) then
+    invalid_arg "Exec.start: quantum_us must be positive";
+  let device = catalog.Catalog.device in
+  let scratch =
+    match scratch with Some s -> s | None -> Device.scratch device
+  in
+  {
+    sm_device = device;
+    sm_quantum = quantum_us;
+    sm_state =
+      Sm_pending
+        (fun () ->
+           Finished (execute ~exact_post ~bloom_fpr ~scratch catalog public plan));
+  }
+
+let finished m =
+  match m.sm_state with Sm_finished r -> Some r | _ -> None
+
+let step m =
+  match m.sm_state with
+  | Sm_finished r -> Finished r
+  | Sm_failed -> invalid_arg "Exec.step: the execution previously failed"
+  | Sm_cancelled -> invalid_arg "Exec.step: the execution was cancelled"
+  | (Sm_pending _ | Sm_suspended _) as state ->
+    let slice_start = Device.elapsed_us m.sm_device in
+    if m.sm_quantum < infinity then
+      Device.set_on_tick m.sm_device
+        (Some
+           (fun () ->
+              if Device.elapsed_us m.sm_device -. slice_start >= m.sm_quantum
+              then Effect.perform Yield));
+    Fun.protect ~finally:(fun () -> Device.set_on_tick m.sm_device None)
+    @@ fun () ->
+    let outcome =
+      match state with
+      | Sm_pending thunk ->
+        Effect.Deep.match_with thunk ()
+          {
+            Effect.Deep.retc = Fun.id;
+            exnc =
+              (fun e ->
+                 m.sm_state <- Sm_failed;
+                 raise e);
+            effc =
+              (fun (type a) (eff : a Effect.t) ->
+                 match eff with
+                 | Yield ->
+                   Some
+                     (fun (k : (a, step_outcome) Effect.Deep.continuation) ->
+                        m.sm_state <- Sm_suspended k;
+                        Yielded)
+                 | _ -> None);
+          }
+      | Sm_suspended k ->
+        (* One-shot: consumed now; the handler installed by the first
+           slice's [match_with] re-captures on the next yield. *)
+        Effect.Deep.continue k ()
+      | Sm_finished _ | Sm_failed | Sm_cancelled -> assert false
+    in
+    (match outcome with
+     | Finished r -> m.sm_state <- Sm_finished r
+     | Yielded -> ());
+    outcome
+
+let cancel m =
+  match m.sm_state with
+  | Sm_pending _ -> m.sm_state <- Sm_cancelled
+  | Sm_suspended k ->
+    (* Raise [Cancelled] at the suspension point: the unwinding runs
+       the plan's deferred releases (RAM cells, readers, the global
+       scope), so the arena and the scratch lease come back clean. Any
+       exception out of the unwinding — normally [Cancelled] itself,
+       re-raised by the deep handler — ends the session either way. *)
+    (try ignore (Effect.Deep.discontinue k Cancelled : step_outcome)
+     with _ -> ());
+    m.sm_state <- Sm_cancelled
+  | Sm_finished _ | Sm_failed | Sm_cancelled -> ()
 
 let pp_ops fmt ops =
   Format.fprintf fmt "%-28s %10s %10s %10s %12s@." "operator" "in" "out" "ram(B)"

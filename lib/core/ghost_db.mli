@@ -138,13 +138,18 @@ val recover : t -> recovery_report
     from the checkpoints that survived. *)
 
 val query : t -> ?exact_post:bool -> ?bloom_fpr:float -> string -> Exec.result
-(** Optimize and execute. *)
+(** Optimize and execute. [bloom_fpr] is the target false-positive
+    rate for Post-filter Bloom filters; it must lie strictly between 0
+    and 1 or the call raises [Invalid_argument] before touching the
+    device. *)
 
 val plans : t -> string -> (Plan.t * Cost.estimate) list
 (** The candidate-plan panel, best first. *)
 
 val run_plan : t -> ?exact_post:bool -> ?bloom_fpr:float -> Plan.t -> Exec.result
-(** Execute a specific plan (ad-hoc plans of the demo's game phase). *)
+(** Execute a specific plan (ad-hoc plans of the demo's game phase).
+    Validates [bloom_fpr] exactly as {!query} does:
+    [Invalid_argument] unless it lies strictly between 0 and 1. *)
 
 val spy_report : t -> Spy.report
 (** What a spy has observed since the last {!clear_trace}. *)

@@ -8,11 +8,16 @@ type verdict = {
   queries_leaked : string list;
 }
 
-let audit trace =
+let audit ?session trace =
   let violations = ref [] in
   let outbound = ref 0 in
   let inbound = ref 0 in
   let queries = ref [] in
+  let audited =
+    match session with
+    | None -> Trace.events trace
+    | Some s -> Trace.session_events trace s
+  in
   List.iter
     (fun (e : Trace.event) ->
        (match e.Trace.link, e.Trace.payload with
@@ -49,7 +54,7 @@ let audit trace =
        | Trace.Result_tuples _ | Trace.Ack | Trace.Cache_stats _
        | Trace.Reorg_progress _ ->
          ())
-    (Trace.events trace);
+    audited;
   {
     ok = !violations = [];
     violations = List.rev !violations;

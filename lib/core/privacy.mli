@@ -18,5 +18,14 @@ type verdict = {
   queries_leaked : string list;  (** the (expected) query-text leak *)
 }
 
-val audit : Trace.t -> verdict
+val audit : ?session:int -> Trace.t -> verdict
+(** With [session], only the events stamped with that scheduler
+    session id are audited: under a multi-session interleaving this
+    verifies that {e each} session in isolation reveals nothing beyond
+    its query text and its visible-data accesses — the same guarantee
+    the whole-trace audit gives for serial execution. (The whole-trace
+    audit over an interleaved trace remains the stronger global check;
+    the per-session view pins a violation to the query that caused
+    it.) *)
+
 val pp : Format.formatter -> verdict -> unit

@@ -3,6 +3,16 @@ module Public_store = Ghost_public.Public_store
 
 (** Offline reorganization (the secure-setting reload).
 
+    This module deliberately remains alongside {!Reorg}: it is the
+    shared *snapshot* primitive, not a competing implementation.
+    {!Reorg} owns the journaled, crash-safe rebuild protocol
+    (checkpoints, shadow device, roll-back/roll-forward) and calls
+    {!snapshot} for its read pass; {!Ghost_db.reorganize} with durable
+    logs off uses {!snapshot} directly for the legacy one-shot rebuild,
+    which keeps that path bit-identical to the pre-journal seed and
+    free of journal Flash traffic. Collapsing the two would force the
+    non-durable path through journal machinery it must not touch.
+
     Reconstructs the database's current logical content — loaded rows,
     plus the insert delta, minus the tombstoned rows — by reading the
     hidden columns off the device (metered on the old device's clock)

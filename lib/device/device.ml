@@ -53,6 +53,12 @@ type t = {
   page_cache : Page_cache.t option;
   trace : Trace.t;
   usb_rng : Rng.t option;
+  mutable session_scratch : Flash.t list;
+      (* per-session spill regions handed out to the query scheduler;
+         their traffic counts toward the device clock like [scratch] *)
+  mutable on_tick : (unit -> unit) option;
+      (* scheduler hook, invoked after every clock charge on the CPU or
+         USB paths; [None] (the serial default) costs one branch *)
   mutable usb_bytes_in : int;
   mutable usb_bytes_out : int;
   mutable usb_us : float;
@@ -85,6 +91,8 @@ let create ?(config = default_config) ~trace () =
      else None);
   trace;
   usb_rng = Option.map (fun f -> Rng.create f.usb_seed) config.usb_fault;
+  session_scratch = [];
+  on_tick = None;
   usb_bytes_in = 0;
   usb_bytes_out = 0;
   usb_us = 0.;
@@ -105,6 +113,23 @@ let ram t = t.ram
 let page_cache t = t.page_cache
 let trace t = t.trace
 
+let new_scratch_region t =
+  let region =
+    Flash.create ~geometry:t.config.flash_geometry ~cost:t.config.flash_cost
+      ?fault:t.config.flash_fault ()
+  in
+  t.session_scratch <- region :: t.session_scratch;
+  region
+
+let set_on_tick t hook = t.on_tick <- hook
+
+let tick t =
+  match t.on_tick with
+  | None -> ()
+  | Some f -> f ()
+
+let set_session t session = Trace.set_session t.trace session
+
 let cache_stats t =
   match t.page_cache with
   | Some c -> Page_cache.stats c
@@ -112,7 +137,8 @@ let cache_stats t =
 
 let cpu t n =
   if n < 0 then invalid_arg "Device.cpu: negative";
-  t.cpu_ops <- t.cpu_ops + n
+  t.cpu_ops <- t.cpu_ops + n;
+  tick t
 
 let usb_transfer_us t bytes =
   t.config.usb_per_message_us
@@ -154,7 +180,8 @@ let transfer t dir link payload ~bytes =
       end
     end
   in
-  attempt 0
+  attempt 0;
+  tick t
 
 let receive t payload ~bytes = transfer t Inbound Trace.Pc_to_device payload ~bytes
 
@@ -180,8 +207,13 @@ let emit_reorg_progress t ~phase ~phases =
 
 let cpu_time_us t = Float.of_int t.cpu_ops /. t.config.cpu_mips
 let usb_time_us t = t.usb_us
+
+let session_scratch_time_us t =
+  List.fold_left (fun acc f -> acc +. Flash.time_us f) 0. t.session_scratch
+
 let elapsed_us t =
-  Flash.time_us t.flash +. Flash.time_us t.scratch +. t.usb_us +. cpu_time_us t
+  Flash.time_us t.flash +. Flash.time_us t.scratch
+  +. session_scratch_time_us t +. t.usb_us +. cpu_time_us t
 
 type fault_counters = {
   flash_bit_flips : int;
@@ -254,6 +286,11 @@ let fault_counters (t : t) =
   let fs =
     Flash.add_fault_stats (Flash.fault_stats t.flash) (Flash.fault_stats t.scratch)
   in
+  let fs =
+    List.fold_left
+      (fun acc f -> Flash.add_fault_stats acc (Flash.fault_stats f))
+      fs t.session_scratch
+  in
   {
     flash_bit_flips = fs.Flash.bit_flips;
     flash_ecc_corrected = fs.Flash.ecc_corrected;
@@ -282,7 +319,11 @@ type snapshot = {
 }
 
 let snapshot (t : t) = {
-  flash = Flash.add_stats (Flash.stats t.flash) (Flash.stats t.scratch);
+  flash =
+    List.fold_left
+      (fun acc f -> Flash.add_stats acc (Flash.stats f))
+      (Flash.add_stats (Flash.stats t.flash) (Flash.stats t.scratch))
+      t.session_scratch;
   usb_bytes_in = t.usb_bytes_in;
   usb_bytes_out = t.usb_bytes_out;
   usb_us = t.usb_us;

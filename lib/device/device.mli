@@ -70,6 +70,30 @@ val scratch : t -> Flash.t
     role of an FTL partition on a real device. Same cost model as
     {!flash}; its traffic counts toward the device clock. *)
 
+val new_scratch_region : t -> Flash.t
+(** A fresh spill region for one scheduler session, with the same
+    geometry, cost and fault model as {!scratch}. Partitioning spills
+    per session lets a session's scratch be erased wholesale on
+    completion or cancellation without tearing another session's
+    in-flight sort runs. The region stays registered with the device
+    for its lifetime: its traffic counts toward {!elapsed_us},
+    {!snapshot} and {!fault_counters} exactly like {!scratch}'s, so a
+    single session on a private region is clock-identical to one on
+    the shared region. The scheduler pools and reuses regions. *)
+
+val set_on_tick : t -> (unit -> unit) option -> unit
+(** Installs (or removes) the scheduler's preemption hook, invoked
+    after every CPU or USB clock charge. The executor's inner loops
+    charge the CPU per tuple, so the hook observes the device clock at
+    tuple granularity; it is where a time-sliced execution performs
+    its yield. [None] (the default) reduces to a single branch — the
+    serial path is unaffected. *)
+
+val set_session : t -> int option -> unit
+(** Brackets trace attribution: forwards to {!Trace.set_session} on
+    the device's trace, so every message recorded while a scheduler
+    slice runs carries its session id. *)
+
 val ram : t -> Ram.t
 
 val page_cache : t -> Page_cache.t option
@@ -154,7 +178,7 @@ val fault_counters : t -> fault_counters
     totals. *)
 
 type snapshot = {
-  flash : Flash.stats;  (** main + scratch regions combined *)
+  flash : Flash.stats;  (** main + scratch + per-session regions combined *)
   usb_bytes_in : int;
   usb_bytes_out : int;
   usb_us : float;

@@ -48,30 +48,46 @@ type event = {
   link : link;
   payload : payload;
   bytes : int;
+  session : int option;
 }
 
 type t = {
   mutable rev_events : event list;
   mutable next_seq : int;
+  mutable current_session : int option;
 }
 
-let create () = { rev_events = []; next_seq = 0 }
+let create () = { rev_events = []; next_seq = 0; current_session = None }
+
+let set_session t session = t.current_session <- session
+let current_session t = t.current_session
 
 let record t link payload ~bytes =
-  let e = { seq = t.next_seq; link; payload; bytes } in
+  let e =
+    { seq = t.next_seq; link; payload; bytes; session = t.current_session }
+  in
   t.next_seq <- t.next_seq + 1;
   t.rev_events <- e :: t.rev_events
 
 let events t = List.rev t.rev_events
 let spy_events t = List.filter (fun e -> spy_visible e.link) (events t)
 
+let session_events t session =
+  List.filter (fun e -> e.session = Some session) (events t)
+
+let sessions t =
+  List.filter_map (fun e -> e.session) (events t) |> List.sort_uniq compare
+
 let clear t =
   t.rev_events <- [];
   t.next_seq <- 0
 
 let pp_event fmt e =
-  Format.fprintf fmt "#%03d %-16s %8d B  %s" e.seq (link_name e.link) e.bytes
+  Format.fprintf fmt "#%03d %-16s %8d B  %s%s" e.seq (link_name e.link) e.bytes
     (payload_summary e.payload)
+    (match e.session with
+     | None -> ""
+     | Some s -> Printf.sprintf "  [s%d]" s)
 
 let pp fmt t =
   List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) (events t)

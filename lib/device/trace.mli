@@ -40,17 +40,36 @@ type event = {
   link : link;
   payload : payload;
   bytes : int;
+  session : int option;
+      (** the scheduler session the message belongs to, when one was
+          active; [None] for serial (unscheduled) execution *)
 }
 
 type t
 
 val create : unit -> t
 val record : t -> link -> payload -> bytes:int -> unit
+(** Stamps the event with the {!current_session}. *)
+
+val set_session : t -> int option -> unit
+(** Sets the session id stamped on subsequently recorded events. The
+    query scheduler brackets every execution slice with this, so
+    arbitrary interleavings remain attributable per session; serial
+    execution never sets it and events stay unstamped. *)
+
+val current_session : t -> int option
+
 val events : t -> event list
 (** In emission order. *)
 
 val spy_events : t -> event list
 (** Only the events a spy can observe. *)
+
+val session_events : t -> int -> event list
+(** Events stamped with that session id, in emission order. *)
+
+val sessions : t -> int list
+(** Distinct session ids appearing in the trace, ascending. *)
 
 val clear : t -> unit
 

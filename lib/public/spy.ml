@@ -14,8 +14,13 @@ type report = {
   device_outbound_payload_bytes : int;
 }
 
-let analyze trace =
+let analyze ?session trace =
   let events = Trace.spy_events trace in
+  let events =
+    match session with
+    | None -> events
+    | Some s -> List.filter (fun e -> e.Trace.session = Some s) events
+  in
   let links =
     [ Trace.Server_to_pc; Trace.Pc_to_server; Trace.Pc_to_device; Trace.Device_to_pc ]
   in

@@ -25,6 +25,14 @@ type report = {
           excluded — the number the paper promises is 0 *)
 }
 
-val analyze : Trace.t -> report
+val analyze : ?session:int -> Trace.t -> report
+(** With [session], only the events stamped with that scheduler
+    session id are summarized: the spy's view of one query among an
+    arbitrary interleaving. Because each session's messages appear on
+    the links in its own program order regardless of how slices
+    interleave, a session's report equals the report of the same query
+    run serially — interleaving adds nothing to what the spy learns
+    about any one session. *)
+
 val pp : Format.formatter -> report -> unit
 val to_string : report -> string

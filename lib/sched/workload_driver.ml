@@ -1,0 +1,141 @@
+module Rng = Ghost_kernel.Rng
+module Zipf = Ghost_kernel.Zipf
+module Device = Ghost_device.Device
+module Queries = Ghost_workload.Queries
+module Cost = Ghostdb.Cost
+module Ghost_db = Ghostdb.Ghost_db
+
+type spec = {
+  clients : int;
+  queries_per_client : int;
+  theta : float;
+  seed : int;
+  mix : (string * string) list;
+}
+
+let default_spec =
+  { clients = 4; queries_per_client = 8; theta = 1.1; seed = 42; mix = Queries.all }
+
+type summary = {
+  policy : Scheduler.policy;
+  quantum_us : float;
+  clients : int;
+  completed : int;
+  cancelled : int;
+  failed : int;
+  makespan_us : float;
+  throughput_qps : float;
+  latency_p50_us : float;
+  latency_p95_us : float;
+  latency_mean_us : float;
+  latency_max_us : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else
+    let i = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) i))
+
+(* The mix ranked cheapest-first by the optimizer's best estimate on
+   this database, so Zipf rank 1 is the lightest query. *)
+let cost_ranked_mix db mix =
+  mix
+  |> List.map (fun (name, sql) ->
+       match Ghost_db.plans db sql with
+       | (plan, est) :: _ -> (name, plan, est.Cost.est_time_us)
+       | [] -> failwith ("Workload_driver: no plan for query " ^ name))
+  |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b)
+  |> List.map (fun (name, plan, _) -> (name, plan))
+  |> Array.of_list
+
+let run ?(policy = Scheduler.Fifo) ?(quantum_us = infinity) db (spec : spec) =
+  if spec.clients <= 0 then invalid_arg "Workload_driver.run: clients <= 0";
+  if spec.queries_per_client <= 0 then
+    invalid_arg "Workload_driver.run: queries_per_client <= 0";
+  let device = Ghost_db.device db in
+  let sched =
+    Scheduler.create ~policy ~quantum_us (Ghost_db.catalog db) (Ghost_db.public db)
+  in
+  if spec.mix = [] then invalid_arg "Workload_driver.run: empty mix";
+  let mix = cost_ranked_mix db spec.mix in
+  let zipf = Zipf.create ~n:(Array.length mix) ~theta:spec.theta in
+  let rng = Rng.create spec.seed in
+  let remaining = Array.make spec.clients (spec.queries_per_client - 1) in
+  let owner = Hashtbl.create 64 in
+  (* Fair-share memory reservation: give every session budget/clients
+     of working RAM so all clients admit concurrently. Left to the
+     scheduler's estimate-driven default, a heavy query reserves up to
+     a quarter of the arena and admission control (strictly FIFO) would
+     queue the sessions behind it — a convoy no dispatch policy can
+     break, which would contaminate the policy comparison this driver
+     exists to measure. *)
+  let working_ram =
+    let budget = Ghost_device.Ram.budget (Device.ram device) in
+    max 4096 (budget / spec.clients)
+  in
+  let submit_next client =
+    let rank = Zipf.sample zipf rng in
+    let name, plan = mix.(rank - 1) in
+    let id = Scheduler.submit sched ~label:name ~working_ram plan in
+    Hashtbl.replace owner id client
+  in
+  let start_us = Device.elapsed_us device in
+  let completed = ref 0 in
+  let cancelled = ref 0 in
+  let failed = ref 0 in
+  let latencies = ref [] in
+  for client = 0 to spec.clients - 1 do
+    submit_next client
+  done;
+  let drain () =
+    List.iter
+      (fun (f : Scheduler.finished) ->
+         (match f.Scheduler.f_outcome with
+          | Scheduler.Completed _ ->
+            incr completed;
+            latencies := (f.Scheduler.f_finished_us -. f.Scheduler.f_submitted_us) :: !latencies
+          | Scheduler.Cancelled _ -> incr cancelled
+          | Scheduler.Failed _ -> incr failed);
+         let client = Hashtbl.find owner f.Scheduler.f_id in
+         if remaining.(client) > 0 then begin
+           remaining.(client) <- remaining.(client) - 1;
+           submit_next client
+         end)
+      (Scheduler.poll_finished sched)
+  in
+  while Scheduler.step sched do
+    drain ()
+  done;
+  drain ();
+  let lat = Array.of_list !latencies in
+  Array.sort Float.compare lat;
+  let makespan_us = Device.elapsed_us device -. start_us in
+  let n = Array.length lat in
+  {
+    policy;
+    quantum_us;
+    clients = spec.clients;
+    completed = !completed;
+    cancelled = !cancelled;
+    failed = !failed;
+    makespan_us;
+    throughput_qps =
+      (if makespan_us > 0. then float_of_int !completed /. makespan_us *. 1e6
+       else 0.);
+    latency_p50_us = percentile lat 0.50;
+    latency_p95_us = percentile lat 0.95;
+    latency_mean_us =
+      (if n = 0 then nan else Array.fold_left ( +. ) 0. lat /. float_of_int n);
+    latency_max_us = (if n = 0 then nan else lat.(n - 1));
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "%s q=%s clients=%d: %d ok %d cancelled %d failed, makespan %.0f us, %.1f \
+     q/s, latency p50 %.0f us p95 %.0f us mean %.0f us max %.0f us"
+    (Scheduler.policy_name s.policy)
+    (if s.quantum_us = infinity then "inf" else Printf.sprintf "%.0fus" s.quantum_us)
+    s.clients s.completed s.cancelled s.failed s.makespan_us s.throughput_qps
+    s.latency_p50_us s.latency_p95_us s.latency_mean_us s.latency_max_us

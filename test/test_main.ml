@@ -32,4 +32,5 @@ let () =
       ("reorg", Test_reorg.suite);
       ("retail", Test_retail.suite);
       ("cache", Test_cache.suite);
+      ("sched", Test_sched.suite);
     ]
