@@ -1,0 +1,300 @@
+(* CI perf-regression gate.
+
+   Compares a fresh benchmark run's artifacts against the committed
+   baselines in bench/baselines/:
+
+     METRICS_<id>.json   the metrics registry export (counters, gauges,
+                         simulated-time histograms) — the gate proper
+     BENCH_<id>.json     the experiment table — checked for shape
+                         (id/header/row count), since a silent schema
+                         change would make the metric diff meaningless
+
+   Everything compared is deterministic simulated device time, never
+   host wall-clock, so the gate is stable across runners and compiler
+   versions. Counters must match exactly; time-valued metrics (gauge or
+   histogram stat named *.us, *_us) get a small relative tolerance and
+   fail only in the slow direction — a faster run passes (and is
+   reported as an improvement worth re-baselining).
+
+   Usage:
+     check_regression.exe --baseline DIR --current DIR
+                          [--tolerance FRAC] [--summary FILE]
+
+   --summary appends a markdown delta table (for $GITHUB_STEP_SUMMARY).
+   Exit status: 0 all within tolerance, 1 regression, 2 usage/IO. *)
+
+module Json = Ghost_metrics.Json
+
+type options = {
+  baseline : string;
+  current : string;
+  tolerance : float;
+  summary : string option;
+}
+
+let parse_args () =
+  let baseline = ref "" in
+  let current = ref "" in
+  let tolerance = ref 0.02 in
+  let summary = ref None in
+  let specs =
+    [
+      ("--baseline", Arg.Set_string baseline, "DIR committed baseline artifacts");
+      ("--current", Arg.Set_string current, "DIR artifacts of the fresh run");
+      ("--tolerance", Arg.Set_float tolerance,
+       "FRAC relative slack for time-valued metrics (default 0.02)");
+      ("--summary", Arg.String (fun f -> summary := Some f),
+       "FILE append a markdown delta table (e.g. $GITHUB_STEP_SUMMARY)");
+    ]
+  in
+  Arg.parse (Arg.align specs)
+    (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
+    "GhostDB perf-regression gate";
+  if !baseline = "" || !current = "" then begin
+    prerr_endline "check_regression: --baseline and --current are required";
+    exit 2
+  end;
+  { baseline = !baseline; current = !current; tolerance = !tolerance;
+    summary = !summary }
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    Some (really_input_string ic (in_channel_length ic))
+  with Sys_error _ -> None
+
+let load_json path =
+  match read_file path with
+  | None -> Error (path ^ ": cannot read")
+  | Some s ->
+    (match Json.parse s with
+     | Ok v -> Ok v
+     | Error e -> Error (path ^ ": " ^ e))
+
+(* ---- flattening a metrics.json into comparable scalars ---- *)
+
+type kind = Counter | Time | Gauge
+
+(* A metric whose name carries a microsecond unit is simulated time:
+   tolerated within [tolerance], and only the slow direction fails. *)
+let is_time_name name =
+  let ends_with suffix =
+    let ls = String.length suffix and ln = String.length name in
+    ln >= ls && String.sub name (ln - ls) ls = suffix
+  in
+  ends_with ".us" || ends_with "_us"
+
+let obj_fields = function Json.Obj fields -> fields | _ -> []
+
+let flatten_metrics json =
+  let scalars = ref [] in
+  let add kind name v =
+    match Json.to_num v with
+    | Some f -> scalars := (name, kind, f) :: !scalars
+    | None -> ()
+  in
+  List.iter
+    (fun (name, v) -> add Counter ("counters." ^ name) v)
+    (obj_fields (Option.value ~default:Json.Null (Json.member "counters" json)));
+  List.iter
+    (fun (name, v) ->
+       add (if is_time_name name then Time else Gauge) ("gauges." ^ name) v)
+    (obj_fields (Option.value ~default:Json.Null (Json.member "gauges" json)));
+  List.iter
+    (fun (name, stats) ->
+       let time = is_time_name name in
+       List.iter
+         (fun (stat, v) ->
+            let kind =
+              if stat = "count" then Counter
+              else if time then Time
+              else Gauge
+            in
+            add kind (Printf.sprintf "histograms.%s.%s" name stat) v)
+         (obj_fields stats))
+    (obj_fields
+       (Option.value ~default:Json.Null (Json.member "histograms" json)));
+  (match Json.member "spans_recorded" json with
+   | Some v -> add Counter "spans_recorded" v
+   | None -> ());
+  List.rev !scalars
+
+(* ---- verdicts ---- *)
+
+type status = Ok_same | Improved | Regressed | Drifted | Missing
+
+type delta = {
+  file : string;
+  metric : string;
+  base : float;
+  cur : float;
+  status : status;
+}
+
+let status_name = function
+  | Ok_same -> "ok"
+  | Improved -> "improved"
+  | Regressed -> "REGRESSED"
+  | Drifted -> "DRIFT"
+  | Missing -> "MISSING"
+
+let failing = function Regressed | Drifted | Missing -> true | Ok_same | Improved -> false
+
+let compare_scalar ~tolerance kind ~base ~cur =
+  match kind with
+  | Counter | Gauge ->
+    (* Deterministic simulation: anything but equality is a drift —
+       either a workload change (re-baseline) or lost determinism. *)
+    if base = cur then Ok_same else Drifted
+  | Time ->
+    if cur > base *. (1. +. tolerance) then Regressed
+    else if cur < base *. (1. -. tolerance) then Improved
+    else Ok_same
+
+let diff_metrics ~tolerance ~file base_json cur_json =
+  let base = flatten_metrics base_json in
+  let cur = flatten_metrics cur_json in
+  let cur_tbl = Hashtbl.create 64 in
+  List.iter (fun (n, _, v) -> Hashtbl.replace cur_tbl n v) cur;
+  List.map
+    (fun (metric, kind, b) ->
+       match Hashtbl.find_opt cur_tbl metric with
+       | None -> { file; metric; base = b; cur = nan; status = Missing }
+       | Some c ->
+         { file; metric; base = b; cur = c;
+           status = compare_scalar ~tolerance kind ~base:b ~cur:c })
+    base
+
+(* ---- BENCH table shape ---- *)
+
+let str_list v =
+  match v with
+  | Json.Arr l -> List.filter_map Json.to_str l
+  | _ -> []
+
+let diff_bench ~file base_json cur_json =
+  let get name j = Option.value ~default:Json.Null (Json.member name j) in
+  let shape j =
+    ( Option.bind (Json.member "id" j) Json.to_str,
+      str_list (get "header" j),
+      match get "rows" j with Json.Arr l -> List.length l | _ -> -1 )
+  in
+  let bid, bheader, brows = shape base_json in
+  let cid, cheader, crows = shape cur_json in
+  let mk metric base cur status = { file; metric; base; cur; status } in
+  List.concat
+    [
+      (if bid <> cid then [ mk "table id" 0. 0. Drifted ] else []);
+      (if bheader <> cheader then [ mk "table header" 0. 0. Drifted ] else []);
+      (if brows <> crows then
+         [ mk "row count" (Float.of_int brows) (Float.of_int crows) Drifted ]
+       else []);
+    ]
+
+(* ---- reporting ---- *)
+
+let pct_delta d =
+  if d.base = 0. then (if d.cur = 0. then 0. else infinity)
+  else (d.cur -. d.base) /. d.base *. 100.
+
+let fmt_num v =
+  if Float.is_nan v then "-"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.2f" v
+
+let fmt_delta d =
+  let p = pct_delta d in
+  if Float.is_nan d.cur then "-"
+  else if p = infinity then "new"
+  else Printf.sprintf "%+.2f%%" p
+
+let markdown_table deltas =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "## Perf regression gate\n\n";
+  let flagged = List.filter (fun d -> d.status <> Ok_same) deltas in
+  let checked = List.length deltas in
+  let failures = List.filter (fun d -> failing d.status) deltas in
+  if failures = [] then
+    Buffer.add_string buf
+      (Printf.sprintf "**PASS** — %d metrics within tolerance.\n\n" checked)
+  else
+    Buffer.add_string buf
+      (Printf.sprintf "**FAIL** — %d of %d metrics out of tolerance.\n\n"
+         (List.length failures) checked);
+  if flagged <> [] then begin
+    Buffer.add_string buf "| file | metric | baseline | current | delta | status |\n";
+    Buffer.add_string buf "|---|---|---:|---:|---:|---|\n";
+    List.iter
+      (fun d ->
+         Buffer.add_string buf
+           (Printf.sprintf "| %s | %s | %s | %s | %s | %s |\n" d.file d.metric
+              (fmt_num d.base) (fmt_num d.cur) (fmt_delta d)
+              (status_name d.status)))
+      flagged;
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.contents buf
+
+let append_summary path text =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+  output_string oc text
+
+let () =
+  let opts = parse_args () in
+  let baseline_files =
+    Sys.readdir opts.baseline |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  if baseline_files = [] then begin
+    Printf.eprintf "check_regression: no baselines in %s\n" opts.baseline;
+    exit 2
+  end;
+  let deltas = ref [] in
+  let errors = ref [] in
+  List.iter
+    (fun file ->
+       let bpath = Filename.concat opts.baseline file in
+       let cpath = Filename.concat opts.current file in
+       match load_json bpath, load_json cpath with
+       | Error e, _ | Ok _, Error e -> errors := e :: !errors
+       | Ok b, Ok c ->
+         let is_metrics =
+           String.length file >= 8 && String.sub file 0 8 = "METRICS_"
+         in
+         let d =
+           if is_metrics then
+             diff_metrics ~tolerance:opts.tolerance ~file b c
+           else diff_bench ~file b c
+         in
+         deltas := !deltas @ d)
+    baseline_files;
+  List.iter (fun e -> Printf.eprintf "check_regression: %s\n" e) !errors;
+  let deltas = !deltas in
+  let failures = List.filter (fun d -> failing d.status) deltas in
+  let improved = List.filter (fun d -> d.status = Improved) deltas in
+  Printf.printf "checked %d metrics across %d baseline files (tolerance %.0f%%)\n"
+    (List.length deltas) (List.length baseline_files)
+    (opts.tolerance *. 100.);
+  List.iter
+    (fun d ->
+       Printf.printf "  %-10s %s %s: %s -> %s (%s)\n" (status_name d.status)
+         d.file d.metric (fmt_num d.base) (fmt_num d.cur) (fmt_delta d))
+    (List.filter (fun d -> d.status <> Ok_same) deltas);
+  Option.iter
+    (fun path -> append_summary path (markdown_table deltas))
+    opts.summary;
+  if !errors <> [] then exit 2;
+  if failures <> [] then begin
+    Printf.printf "FAIL: %d metric(s) regressed or drifted\n"
+      (List.length failures);
+    exit 1
+  end;
+  Printf.printf "PASS%s\n"
+    (if improved <> [] then
+       Printf.sprintf " (%d improvement(s) — consider re-baselining)"
+         (List.length improved)
+     else "")

@@ -9,7 +9,7 @@
       the host (useful to track regressions of the simulator itself).
 
    Usage: main.exe [--full] [--scale tiny|small|medium] [--no-wallclock]
-          [--only E1,E5] [--json DIR] [--list] *)
+          [--only E1,E5] [--json DIR] [--metrics DIR] [--force] [--list] *)
 
 open Bechamel
 open Toolkit
@@ -20,6 +20,7 @@ module Queries = Ghost_workload.Queries
 module Ghost_db = Ghostdb.Ghost_db
 module Planner = Ghostdb.Planner
 module Baseline = Ghost_baseline.Baseline
+module Metrics = Ghost_metrics.Metrics
 
 type options = {
   full : bool;
@@ -27,6 +28,8 @@ type options = {
   wallclock : bool;
   only : string list option;
   json_dir : string option;
+  metrics_dir : string option;
+  force : bool;
   list : bool;
 }
 
@@ -36,6 +39,8 @@ let parse_args () =
   let wallclock = ref true in
   let only = ref None in
   let json_dir = ref None in
+  let metrics_dir = ref None in
+  let force = ref false in
   let list = ref false in
   let set_scale s =
     scale :=
@@ -54,20 +59,41 @@ let parse_args () =
     ("--only", Arg.String set_only, "IDS comma-separated experiment ids (e.g. E1,E5)");
     ("--json", Arg.String (fun d -> json_dir := Some d),
      "DIR also write each selected report as DIR/BENCH_<id>.json");
+    ("--metrics", Arg.String (fun d -> metrics_dir := Some d),
+     "DIR for the instrumented experiments (E16-E18), also write \
+      DIR/METRICS_<id>.json, DIR/TRACE_<id>.json (Chrome trace) and \
+      DIR/CALIBRATION_<id>.txt");
+    ("--force", Arg.Set force, " overwrite existing output files");
     ("--list", Arg.Set list, " print experiment ids with descriptions and exit");
   ] in
   Arg.parse (Arg.align specs) (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
     "GhostDB benchmark harness";
   { full = !full; scale = !scale; wallclock = !wallclock; only = !only;
-    json_dir = !json_dir; list = !list }
+    json_dir = !json_dir; metrics_dir = !metrics_dir; force = !force;
+    list = !list }
 
-let write_json dir report =
+(* Benchmark outputs are results: never clobber a previous run's file
+   unless the user asked for it. *)
+let refuse_overwrite path =
+  Printf.eprintf "main.exe: refusing to overwrite %s (pass --force)\n" path;
+  exit 3
+
+let write_json ~force dir report =
+  try ignore (Report.write_file ~dir ~force report)
+  with Report.Would_overwrite path -> refuse_overwrite path
+
+let write_metrics ~force dir id m =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" report.Report.id) in
-  let oc = open_out path in
-  output_string oc (Report.to_json report);
-  output_char oc '\n';
-  close_out oc
+  let write name contents =
+    let path = Filename.concat dir name in
+    try Report.write_string ~path ~force contents
+    with Report.Would_overwrite p -> refuse_overwrite p
+  in
+  write (Printf.sprintf "METRICS_%s.json" id) (Metrics.to_json m);
+  write (Printf.sprintf "TRACE_%s.json" id) (Metrics.to_chrome_trace m);
+  write
+    (Printf.sprintf "CALIBRATION_%s.txt" id)
+    (Format.asprintf "%a" Metrics.pp_calibration (Metrics.calibration_report m))
 
 let list_experiments opts =
   List.iter
@@ -75,7 +101,21 @@ let list_experiments opts =
     (Experiments.all ~scale:opts.scale ~full:opts.full ())
 
 let print_experiments opts =
-  let reports = Experiments.all ~scale:opts.scale ~full:opts.full () in
+  (* One registry per instrumented experiment, created lazily when the
+     experiment asks for it (only E16-E18 do). *)
+  let registries : (string, Metrics.t) Hashtbl.t = Hashtbl.create 4 in
+  let metrics id =
+    match opts.metrics_dir with
+    | None -> None
+    | Some _ ->
+      (match Hashtbl.find_opt registries id with
+       | Some m -> Some m
+       | None ->
+         let m = Metrics.create () in
+         Hashtbl.add registries id m;
+         Some m)
+  in
+  let reports = Experiments.all ~scale:opts.scale ~full:opts.full ~metrics () in
   let selected =
     match opts.only with
     | None -> reports
@@ -87,7 +127,7 @@ let print_experiments opts =
          Printf.eprintf
            "main.exe: unknown experiment id%s %s\nValid ids: %s\nUsage: main.exe \
             [--full] [--scale SCALE] [--no-wallclock] [--only IDS] [--json DIR] \
-            [--list]\n"
+            [--metrics DIR] [--force] [--list]\n"
            (if List.length unknown > 1 then "s" else "")
            (String.concat ", " unknown)
            (String.concat ", " known);
@@ -95,10 +135,17 @@ let print_experiments opts =
       List.filter (fun (id, _, _) -> List.mem id ids) reports
   in
   List.iter
-    (fun (_, _, thunk) ->
+    (fun (id, _, thunk) ->
        let report = thunk () in
        print_string (Report.to_string report);
-       Option.iter (fun dir -> write_json dir report) opts.json_dir)
+       Option.iter (fun dir -> write_json ~force:opts.force dir report)
+         opts.json_dir;
+       Option.iter
+         (fun dir ->
+            Option.iter
+              (fun m -> write_metrics ~force:opts.force dir id m)
+              (Hashtbl.find_opt registries id))
+         opts.metrics_dir)
     selected
 
 (* ---- Bechamel wall-clock pass ---- *)

@@ -5,6 +5,7 @@
 module Experiments = Ghost_bench.Experiments
 module Report = Ghost_bench.Report
 module Medical = Ghost_workload.Medical
+module Metrics = Ghost_metrics.Metrics
 open Cmdliner
 
 let scale_conv =
@@ -38,8 +39,47 @@ let list_arg =
        & info [ "list" ]
            ~doc:"Print the experiment ids with one-line descriptions and exit.")
 
-let run scale full only list =
-  let reports = Experiments.all ~scale ~full () in
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"DIR"
+           ~doc:"For the instrumented experiments (E16-E18), also write \
+                 METRICS_<id>.json, TRACE_<id>.json (Chrome about:tracing \
+                 format) and CALIBRATION_<id>.txt into $(docv).")
+
+let force_arg =
+  Arg.(value & flag
+       & info [ "force" ]
+           ~doc:"Overwrite existing metrics output files instead of refusing.")
+
+let write_metrics ~force dir id m =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write name contents =
+    let path = Filename.concat dir name in
+    try Report.write_string ~path ~force contents
+    with Report.Would_overwrite p ->
+      Printf.eprintf "experiments: refusing to overwrite %s (pass --force)\n" p;
+      exit 3
+  in
+  write (Printf.sprintf "METRICS_%s.json" id) (Metrics.to_json m);
+  write (Printf.sprintf "TRACE_%s.json" id) (Metrics.to_chrome_trace m);
+  write
+    (Printf.sprintf "CALIBRATION_%s.txt" id)
+    (Format.asprintf "%a" Metrics.pp_calibration (Metrics.calibration_report m))
+
+let run scale full only list metrics_dir force =
+  let registries : (string, Metrics.t) Hashtbl.t = Hashtbl.create 4 in
+  let metrics id =
+    match metrics_dir with
+    | None -> None
+    | Some _ ->
+      (match Hashtbl.find_opt registries id with
+       | Some m -> Some m
+       | None ->
+         let m = Metrics.create () in
+         Hashtbl.add registries id m;
+         Some m)
+  in
+  let reports = Experiments.all ~scale ~full ~metrics () in
   if list then
     List.iter
       (fun (id, description, _) -> Printf.printf "%-4s %s\n" id description)
@@ -51,13 +91,21 @@ let run scale full only list =
       | Some ids -> List.filter (fun (id, _, _) -> List.mem id ids) reports
     in
     List.iter
-      (fun (_, _, thunk) -> print_string (Report.to_string (thunk ())))
+      (fun (id, _, thunk) ->
+         print_string (Report.to_string (thunk ()));
+         Option.iter
+           (fun dir ->
+              Option.iter
+                (fun m -> write_metrics ~force dir id m)
+                (Hashtbl.find_opt registries id))
+           metrics_dir)
       selected
   end
 
 let cmd =
   let doc = "regenerate the GhostDB reproduction's experiment tables" in
   Cmd.v (Cmd.info "experiments" ~doc)
-    Term.(const run $ scale_arg $ full_arg $ only_arg $ list_arg)
+    Term.(const run $ scale_arg $ full_arg $ only_arg $ list_arg $ metrics_arg
+          $ force_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -533,8 +533,11 @@ let robustness ?(scale = default_scale) () =
 
 (* ---- E16 shared page cache: frame-count sweep ---- *)
 
-let page_cache_sweep ?(scale = default_scale) () =
+let page_cache_sweep ?metrics ?(scale = default_scale) () =
   let module Page_cache = Ghost_device.Page_cache in
+  let attach db =
+    Option.iter (fun m -> Ghost_db.set_metrics db (Some m)) metrics
+  in
   let page = Device.default_config.Device.flash_geometry.Flash.page_size in
   (* Hidden-predicate COUNT queries: nearly all their time is
      device-side Flash traffic — climbing-index directory probes,
@@ -565,6 +568,7 @@ let page_cache_sweep ?(scale = default_scale) () =
                Device.default_config.Device.ram_budget + (frames * page) }
          in
          let db = make_db ~device_config:config scale in
+         attach db;
          let device = Ghost_db.device db in
          let run_round () =
            List.iter (fun sql -> ignore (Ghost_db.query db sql)) queries
@@ -578,6 +582,7 @@ let page_cache_sweep ?(scale = default_scale) () =
          let u =
            Device.usage_between device ~before ~after:(Device.snapshot device)
          in
+         Ghost_db.flush_metrics db;
          let c = u.Device.cache in
          (match !baseline with
           | None -> baseline := Some u.Device.total_us
@@ -624,10 +629,13 @@ let page_cache_sweep ?(scale = default_scale) () =
 
 (* ---- E17 journaled reorganization: rebuild cost + recovery time ---- *)
 
-let reorg_cost ?(scale = default_scale) () =
+let reorg_cost ?metrics ?(scale = default_scale) () =
   let module Value = Ghost_kernel.Value in
   let module Rng = Ghost_kernel.Rng in
   let durable = { Device.default_config with Device.durable_logs = true } in
+  let attach db =
+    Option.iter (fun m -> Ghost_db.set_metrics db (Some m)) metrics
+  in
   (* A database carrying [pending] inserted rows plus pending/10
      deletes, deterministic per log size. *)
   let build pending =
@@ -658,32 +666,41 @@ let reorg_cost ?(scale = default_scale) () =
          (* 1. uninterrupted journaled rebuild; cost lands on the old
             device's clock (snapshot reads + journal appends) *)
          let db, tombs = build pending in
+         attach db;
          let device = Ghost_db.device db in
          let t0 = Device.elapsed_us device in
-         ignore (Ghost_db.reorganize db);
+         let rebuilt = Ghost_db.reorganize db in
          let reorg_us = Device.elapsed_us device -. t0 in
+         Ghost_db.flush_metrics db;
+         Ghost_db.flush_metrics rebuilt;
          let ckpts = (Device.fault_counters device).Device.reorg_checkpoints in
          (* 2. a cut tearing the Begin record: recovery rolls back *)
          let db, _ = build pending in
+         attach db;
          let device = Ghost_db.device db in
          Flash.arm_power_cut (Device.flash device) ~after_programs:1;
          (try ignore (Ghost_db.reorganize db) with Flash.Power_cut _ -> ());
          let t0 = Device.elapsed_us device in
          ignore (Ghost_db.recover db);
          let rollback_us = Device.elapsed_us device -. t0 in
+         Ghost_db.flush_metrics db;
          (* 3. a cut after the snapshot checkpoint: recovery rolls
             forward, reusing the journaled snapshot phase *)
          let db, _ = build pending in
+         attach db;
          let device = Ghost_db.device db in
          Flash.arm_power_cut (Device.flash device) ~after_programs:3;
          (try ignore (Ghost_db.reorganize db) with Flash.Power_cut _ -> ());
          let t0 = Device.elapsed_us device in
          let r = Ghost_db.recover db in
          let rollfwd_us = Device.elapsed_us device -. t0 in
+         Ghost_db.flush_metrics db;
          let reused, redone =
            match r.Ghost_db.reorg with
-           | Some (Ghost_db.Reorg_completed { phases_reused; phases_redone; _ })
+           | Some
+               (Ghost_db.Reorg_completed { db = db'; phases_reused; phases_redone })
              ->
+             Ghost_db.flush_metrics db';
              (phases_reused, phases_redone)
            | _ -> (0, 0)
          in
@@ -907,7 +924,7 @@ let retail_workload () =
 
 (* ---- E18 multi-session scheduler: throughput + tail latency ---- *)
 
-let sched_throughput ?(scale = default_scale) () =
+let sched_throughput ?metrics ?(scale = default_scale) () =
   let module Scheduler = Ghost_sched.Scheduler in
   let module Driver = Ghost_sched.Workload_driver in
   (* An interactive-plus-analyst mix: three sub-10ms point/join queries
@@ -937,10 +954,13 @@ let sched_throughput ?(scale = default_scale) () =
      the lightest query, so light queries overtake heavy ones. *)
   let run_cell clients policy =
     let db = make_db scale in
+    Option.iter (fun m -> Ghost_db.set_metrics db (Some m)) metrics;
     let quantum_us =
       match policy with Scheduler.Fifo -> infinity | _ -> 500.
     in
-    Driver.run ~policy ~quantum_us db (spec clients)
+    let s = Driver.run ~policy ~quantum_us db (spec clients) in
+    Ghost_db.flush_metrics db;
+    s
   in
   let rows =
     List.concat_map
@@ -1146,7 +1166,8 @@ let ablation_skew ?(scale = default_scale) () =
       [ "skew moves predicate selectivities, which moves the Pre/Post choice" ]
     rows
 
-let all ?(scale = default_scale) ?(full = false) () =
+let all ?(scale = default_scale) ?(full = false)
+    ?(metrics = fun (_ : string) -> None) () =
   let cardinalities =
     if full then [ 1_000; 10_000; 100_000; 1_000_000 ]
     else [ 1_000; 10_000; 50_000; 100_000 ]
@@ -1187,11 +1208,11 @@ let all ?(scale = default_scale) ?(full = false) () =
     ("E15", "robustness machinery overhead under fault injection",
      fun () -> robustness ~scale ());
     ("E16", "shared page cache: device time vs frame-pool size",
-     fun () -> page_cache_sweep ~scale ());
+     fun () -> page_cache_sweep ?metrics:(metrics "E16") ~scale ());
     ("E17", "journaled reorganization cost and recovery time vs log size",
-     fun () -> reorg_cost ~scale ());
+     fun () -> reorg_cost ?metrics:(metrics "E17") ~scale ());
     ("E18", "multi-session scheduler: throughput and tail latency vs policy",
-     fun () -> sched_throughput ~scale ());
+     fun () -> sched_throughput ?metrics:(metrics "E18") ~scale ());
     ("A1", "ablation: exact verification joins vs pure Bloom post-filtering",
      fun () -> ablation_exact_post ~scale ());
     ("A2", "ablation: Bloom target false-positive rate vs RAM",

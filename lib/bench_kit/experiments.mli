@@ -74,14 +74,23 @@ val robustness : ?scale:Medical.scale -> unit -> Report.t
     retry-with-backoff — on an insert + query workload, per fault
     profile. Deterministic (seeded fault injection). *)
 
-val page_cache_sweep : ?scale:Medical.scale -> unit -> Report.t
+val page_cache_sweep :
+  ?metrics:Ghost_metrics.Metrics.t -> ?scale:Medical.scale -> unit -> Report.t
 (** E16 (extension): device time of a hidden-predicate COUNT workload
     as the shared page cache's frame pool sweeps 0 (off), 4, 16 and
     64 frames, with hit/miss/eviction counters and the hit ratio per
     row. The frames=0 row is bit-identical to the cache-free
-    simulator. *)
+    simulator.
 
-val reorg_cost : ?scale:Medical.scale -> unit -> Report.t
+    [metrics] (here and on E17/E18 below) attaches an observability
+    registry to every instance the experiment builds and flushes the
+    device totals into it before each measurement ends, so the caller
+    can export [metrics.json], a Chrome trace and the cost-model
+    calibration report alongside the table. The numbers in the table
+    are unchanged by it. *)
+
+val reorg_cost :
+  ?metrics:Ghost_metrics.Metrics.t -> ?scale:Medical.scale -> unit -> Report.t
 (** E17 (extension): cost of the journaled (crash-safe) reorganization
     and of recovering from a power cut, as the pending delta/tombstone
     logs grow. Per log size: journal pages written, the uninterrupted
@@ -89,7 +98,8 @@ val reorg_cost : ?scale:Medical.scale -> unit -> Report.t
     forces a roll-back (Begin torn) vs one that allows a roll-forward
     (snapshot checkpoint durable, completed phases reused). *)
 
-val sched_throughput : ?scale:Medical.scale -> unit -> Report.t
+val sched_throughput :
+  ?metrics:Ghost_metrics.Metrics.t -> ?scale:Medical.scale -> unit -> Report.t
 (** E18 (extension): the multi-session scheduler under a closed-loop
     Zipf-skewed query mix — throughput and p50/p95/max latency as the
     concurrency level (1–8 clients) and the policy (FIFO baseline,
@@ -120,9 +130,14 @@ val ablation_deep_cross : ?scale:Medical.scale -> unit -> Report.t
 val all :
   ?scale:Medical.scale ->
   ?full:bool ->
+  ?metrics:(string -> Ghost_metrics.Metrics.t option) ->
   unit ->
   (string * string * (unit -> Report.t)) list
 (** The whole suite as (id, one-line description, thunk) triples —
     experiments run only when forced, so id filters (and [--list])
     don't pay for the rest. E1–E18, A1–A5; [full] raises E10 to the
-    paper's one million prescriptions. *)
+    paper's one million prescriptions.
+
+    [metrics] supplies, per experiment id, an optional registry for
+    the instrumented experiments (E16–E18) to record into; defaults to
+    none for all. *)

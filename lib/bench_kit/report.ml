@@ -69,6 +69,16 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+exception Would_overwrite of string
+
+let write_string ~path ?(force = false) contents =
+  if (not force) && Sys.file_exists path then raise (Would_overwrite path);
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+  output_string oc contents;
+  if contents = "" || contents.[String.length contents - 1] <> '\n' then
+    output_char oc '\n'
+
 let to_json t =
   let str s = "\"" ^ json_escape s ^ "\"" in
   let arr l = "[" ^ String.concat "," l ^ "]" in
@@ -77,3 +87,9 @@ let to_json t =
     (arr (List.map str t.header))
     (arr (List.map (fun row -> arr (List.map str row)) t.rows))
     (arr (List.map str t.notes))
+
+let write_file ~dir ?force t =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" t.id) in
+  write_string ~path ?force (to_json t);
+  path

@@ -21,6 +21,22 @@ val to_json : t -> string
     strings), for machine consumption of benchmark runs — e.g. the CI
     artifact. No external JSON dependency. *)
 
+exception Would_overwrite of string
+(** Raised (with the offending path) by the writers below when the
+    target file already exists and [force] was not passed: benchmark
+    outputs are results, and clobbering a previous run silently is how
+    baselines get corrupted. *)
+
+val write_string : path:string -> ?force:bool -> string -> unit
+(** Writes [contents] to [path] (ensuring a trailing newline).
+    Refuses to replace an existing file — raises {!Would_overwrite} —
+    unless [force] is set. *)
+
+val write_file : dir:string -> ?force:bool -> t -> string
+(** Writes the report as [dir/BENCH_<id>.json] (creating [dir] if
+    missing) and returns the path. Same overwrite policy as
+    {!write_string}. *)
+
 val us : float -> string
 (** Microseconds rendered with unit scaling ("1.23 s", "45 ms"). *)
 

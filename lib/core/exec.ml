@@ -19,6 +19,7 @@ module Climbing_index = Ghost_store.Climbing_index
 module Merge_union = Ghost_store.Merge_union
 module Ext_sort = Ghost_store.Ext_sort
 module Public_store = Ghost_public.Public_store
+module Metrics = Ghost_metrics.Metrics
 
 type op_stats = {
   op_label : string;
@@ -69,15 +70,54 @@ type context = {
       (* visible Pre-filter id lists, kept for the delta scan *)
 }
 
+(* Operator class: the label prefix before the table/column argument —
+   "Project+Join(T.c)" profiles as "Project+Join". *)
+let op_class label =
+  match String.index_opt label '(' with
+  | Some i -> String.sub label 0 i
+  | None -> label
+
 let measure ctx label ~tuples_in f =
   let scope = Ram.open_scope ctx.ram in
   let before = Device.snapshot ctx.device in
+  let m = Device.metrics ctx.device in
+  (* Operator profiles are stamped on the session's virtual clock, so a
+     preempted operator is not charged for the slices other sessions
+     ran in the middle of it. *)
+  let vstart =
+    match m with None -> 0. | Some _ -> Device.session_us ctx.device
+  in
   let value, tuples_out = f () in
   let usage =
     Device.usage_between ctx.device ~before ~after:(Device.snapshot ctx.device)
   in
   let ram_peak = Ram.close_scope ctx.ram scope in
   ctx.ops_rev <- { op_label = label; tuples_in; tuples_out; ram_peak; usage } :: ctx.ops_rev;
+  (match m with
+   | None -> ()
+   | Some reg ->
+     let dur = Device.session_us ctx.device -. vstart in
+     let cls = op_class label in
+     Metrics.incr reg ("exec.op." ^ cls ^ ".count");
+     Metrics.observe reg ("exec.op." ^ cls ^ ".us") dur;
+     let tid =
+       match Trace.current_session (Device.trace ctx.device) with
+       | Some s -> s
+       | None -> 0
+     in
+     Metrics.span reg ~name:label ~cat:"exec" ~pid:2 ~tid
+       ~args:
+         [
+           ("tuples_in", Float.of_int tuples_in);
+           ("tuples_out", Float.of_int tuples_out);
+           ("ram_peak", Float.of_int ram_peak);
+           ("flash_reads", Float.of_int usage.Device.flash_page_reads);
+           ("flash_programs", Float.of_int usage.Device.flash_page_programs);
+           ("usb_bytes_in", Float.of_int usage.Device.used_usb_bytes_in);
+           ("cache_hits", Float.of_int usage.Device.cache.Page_cache.hits);
+           ("cache_misses", Float.of_int usage.Device.cache.Page_cache.misses);
+         ]
+       ~ts:vstart ~dur ());
   value
 
 let cpu ctx n = Device.cpu ctx.device n

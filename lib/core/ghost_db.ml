@@ -35,6 +35,19 @@ let public t = t.public
 let device t = t.catalog.Catalog.device
 let trace t = t.trace
 
+let set_metrics t m = Device.set_metrics (device t) m
+let metrics t = Device.metrics (device t)
+let flush_metrics t = Device.flush_metrics (device t)
+
+(* A rebuilt instance keeps reporting into the same registry: attaching
+   rebases the registry past the old card's timeline, so profiles from
+   before and after a reorganization stack on one trace. *)
+let adopt_metrics ~from db =
+  (match Device.metrics (device from) with
+   | Some m -> Device.set_metrics (device db) (Some m)
+   | None -> ());
+  db
+
 let bind t sql = Bind.bind (schema t) sql
 
 let check_no_reorg t op =
@@ -98,7 +111,7 @@ let reorganize t =
     match Reorg.advance p with
     | catalog, public, trace ->
       t.reorg <- None;
-      { catalog; public; trace; reorg = None }
+      adopt_metrics ~from:t { catalog; public; trace; reorg = None }
     | exception (Flash.Power_cut _ as e) ->
       Reorg.note_crash p;
       raise e
@@ -110,9 +123,10 @@ let reorganize t =
        keeps using the old handle. The new device builds its own cache. *)
     Option.iter Ghost_device.Page_cache.clear
       (Device.page_cache t.catalog.Catalog.device);
-    of_schema
-      ~device_config:(Device.config t.catalog.Catalog.device)
-      t.catalog.Catalog.schema rows
+    adopt_metrics ~from:t
+      (of_schema
+         ~device_config:(Device.config t.catalog.Catalog.device)
+         t.catalog.Catalog.schema rows)
   end
 
 let recover_reorg (t : t) =
@@ -129,7 +143,7 @@ let recover_reorg (t : t) =
         Some
           (Reorg_completed
              {
-               db = { catalog; public; trace; reorg = None };
+               db = adopt_metrics ~from:t { catalog; public; trace; reorg = None };
                phases_reused = Reorg.phases_reused p;
                phases_redone = Reorg.phases_redone p;
              })
@@ -183,8 +197,16 @@ let plans t sql = Planner.with_estimates t.catalog (bind t sql)
 
 let query t ?exact_post ?bloom_fpr sql =
   let q = bind t sql in
-  let plan, _ = Planner.best t.catalog q in
-  Exec.run ?exact_post ?bloom_fpr t.catalog t.public plan
+  let plan, est = Planner.best t.catalog q in
+  let r = Exec.run ?exact_post ?bloom_fpr t.catalog t.public plan in
+  (* Serial queries are calibration ground truth too: the planner's
+     estimate for the chosen plan against the measured device time. *)
+  (match Device.metrics (device t) with
+   | None -> ()
+   | Some reg ->
+     Ghost_metrics.Metrics.calibrate reg ~cls:plan.Plan.label
+       ~predicted_us:est.Cost.est_time_us ~measured_us:r.Exec.elapsed_us);
+  r
 
 let run_plan t ?exact_post ?bloom_fpr plan =
   Exec.run ?exact_post ?bloom_fpr t.catalog t.public plan

@@ -48,6 +48,22 @@ val public : t -> Public_store.t
 val device : t -> Device.t
 val trace : t -> Trace.t
 
+val set_metrics : t -> Ghost_metrics.Metrics.t option -> unit
+(** Attaches (or detaches) an observability registry on the instance's
+    device (see {!Device.set_metrics}): operator spans, scheduler
+    slices, cache and trace counters, and cost-model calibration
+    samples are recorded into it. Detached by default — recording never
+    charges the simulated clock, and all outputs stay bit-identical to
+    an instance without one. A rebuilt instance returned by
+    {!reorganize} / {!recover} adopts the registry automatically. *)
+
+val metrics : t -> Ghost_metrics.Metrics.t option
+
+val flush_metrics : t -> unit
+(** Publishes the device-global totals accumulated since the last flush
+    into the registry ({!Device.flush_metrics}); call before exporting
+    [metrics.json]. No-op without a registry. *)
+
 val bind : t -> string -> Bind.query
 (** Parse + resolve a SELECT against the schema. *)
 

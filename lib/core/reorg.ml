@@ -5,6 +5,7 @@ module Flash = Ghost_flash.Flash
 module Device = Ghost_device.Device
 module Trace = Ghost_device.Trace
 module Public_store = Ghost_public.Public_store
+module Metrics = Ghost_metrics.Metrics
 
 (* Journal record, one Flash page each:
 
@@ -198,26 +199,41 @@ let ensure_prep p =
 let run_phase p i =
   if i < p.prev_started then p.redone <- p.redone + 1;
   p.started <- max p.started (i + 1);
-  match p.phases.(i) with
-  | Snapshot ->
-    (* Redoing the snapshot invalidates everything derived from an
-       older one. *)
-    p.prep <- None;
-    p.new_trace <- None;
-    p.skts <- [];
-    p.entries <- [];
-    let rows = Reorganize.snapshot p.old_catalog p.old_public in
-    p.snapshot_rows <- Some rows;
-    checkpoint p i ~digest:(digest_rows rows)
-  | Skts ->
-    p.skts <- Loader.build_skts (ensure_prep p);
-    checkpoint p i ~digest:0
-  | Table name ->
-    let entry = Loader.build_entry (ensure_prep p) name in
-    (* Replace a stale copy left by a torn checkpoint of this very
-       phase, keeping phase order. *)
-    p.entries <- List.filter (fun (n, _) -> n <> name) p.entries @ [ entry ];
-    checkpoint p i ~digest:0
+  let m = Device.metrics (old_device p) in
+  let ts =
+    match m with None -> 0. | Some _ -> Device.elapsed_us (old_device p)
+  in
+  (match p.phases.(i) with
+   | Snapshot ->
+     (* Redoing the snapshot invalidates everything derived from an
+        older one. *)
+     p.prep <- None;
+     p.new_trace <- None;
+     p.skts <- [];
+     p.entries <- [];
+     let rows = Reorganize.snapshot p.old_catalog p.old_public in
+     p.snapshot_rows <- Some rows;
+     checkpoint p i ~digest:(digest_rows rows)
+   | Skts ->
+     p.skts <- Loader.build_skts (ensure_prep p);
+     checkpoint p i ~digest:0
+   | Table name ->
+     let entry = Loader.build_entry (ensure_prep p) name in
+     (* Replace a stale copy left by a torn checkpoint of this very
+        phase, keeping phase order. *)
+     p.entries <- List.filter (fun (n, _) -> n <> name) p.entries @ [ entry ];
+     checkpoint p i ~digest:0);
+  match m with
+  | None -> ()
+  | Some reg ->
+    (* Phase spans run on the old card's global clock: the shadow
+       build's programs share its power line and its timeline. *)
+    let dur = Device.elapsed_us (old_device p) -. ts in
+    Metrics.incr reg "reorg.phases";
+    Metrics.observe reg "reorg.phase.us" dur;
+    Metrics.span reg
+      ~name:("reorg:" ^ phase_name p.phases.(i))
+      ~cat:"reorg" ~pid:1 ~tid:0 ~ts ~dur ()
 
 let advance p =
   if p.aborted then invalid_arg "Reorg.advance: aborted reorganization";

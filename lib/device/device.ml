@@ -45,6 +45,33 @@ let default_config = {
 
 let high_speed_usb config = { config with usb_mbit_per_s = 480.0 }
 
+type fault_counters = {
+  flash_bit_flips : int;
+  flash_ecc_corrected : int;
+  flash_program_failures : int;
+  flash_pages_remapped : int;
+  flash_bad_blocks : int;
+  flash_power_cuts : int;
+  usb_corruptions : int;
+  usb_retries : int;
+  records_recovered : int;
+  records_lost : int;
+  reorg_checkpoints : int;
+  reorg_rollbacks : int;
+  reorg_rollforwards : int;
+}
+
+type snapshot = {
+  flash : Flash.stats;
+  usb_bytes_in : int;
+  usb_bytes_out : int;
+  usb_us : float;
+  cpu_ops : int;
+  elapsed : float;
+  faults : fault_counters;
+  cache : Page_cache.stats;
+}
+
 type t = {
   config : config;
   flash : Flash.t;
@@ -70,6 +97,18 @@ type t = {
   mutable reorg_rollbacks : int;
   mutable reorg_rollforwards : int;
   mutable cpu_ops : int;
+  mutable metrics : Ghost_metrics.Metrics.t option;
+      (* observability registry; [None] (the default) costs one branch
+         on the paths that would report into it *)
+  mutable published : snapshot option;
+      (* device-global totals already flushed into [metrics], so
+         [flush_metrics] publishes windows, not lifetime sums *)
+  session_spent : (int, float) Hashtbl.t;
+      (* per-session virtual clock: device time charged while each
+         scheduler session's bracket was open *)
+  mutable vclock_session : int option;
+  mutable vclock_open_at : float;  (* global clock at bracket open *)
+  mutable vclock_offset : float;  (* session_us = elapsed_us + offset *)
 }
 
 let create ?(config = default_config) ~trace () =
@@ -104,7 +143,18 @@ let create ?(config = default_config) ~trace () =
   reorg_rollbacks = 0;
   reorg_rollforwards = 0;
   cpu_ops = 0;
+  metrics = None;
+  published = None;
+  session_spent = Hashtbl.create 16;
+  vclock_session = None;
+  vclock_open_at = 0.;
+  vclock_offset = 0.;
 }
+
+let metric t ?by name =
+  match t.metrics with
+  | None -> ()
+  | Some m -> Ghost_metrics.Metrics.incr m ?by name
 
 let config t = t.config
 let flash t = t.flash
@@ -127,8 +177,6 @@ let tick t =
   match t.on_tick with
   | None -> ()
   | Some f -> f ()
-
-let set_session t session = Trace.set_session t.trace session
 
 let cache_stats t =
   match t.page_cache with
@@ -168,6 +216,7 @@ let transfer t dir link payload ~bytes =
     in
     if corrupted then begin
       t.usb_corruptions <- t.usb_corruptions + 1;
+      metric t "usb.corruptions";
       let f = Option.get t.config.usb_fault in
       if k >= f.max_retries then
         raise (Usb_error
@@ -175,6 +224,7 @@ let transfer t dir link payload ~bytes =
                     bytes (k + 1)))
       else begin
         t.usb_retries <- t.usb_retries + 1;
+        metric t "usb.retries";
         t.usb_us <- t.usb_us +. (f.backoff_us *. Float.of_int (1 lsl k));
         attempt (k + 1)
       end
@@ -193,13 +243,23 @@ let emit_ack t = transfer t Outbound Trace.Device_to_pc Trace.Ack ~bytes:1
 
 let note_recovery t ~recovered ~lost =
   t.records_recovered <- t.records_recovered + recovered;
-  t.records_lost <- t.records_lost + lost
+  t.records_lost <- t.records_lost + lost;
+  metric t ~by:recovered "recovery.records_recovered";
+  metric t ~by:lost "recovery.records_lost"
 
-let note_reorg_checkpoint t = t.reorg_checkpoints <- t.reorg_checkpoints + 1
+let note_reorg_checkpoint t =
+  t.reorg_checkpoints <- t.reorg_checkpoints + 1;
+  metric t "reorg.checkpoints"
 
 let note_reorg_outcome t ~rolled_forward =
-  if rolled_forward then t.reorg_rollforwards <- t.reorg_rollforwards + 1
-  else t.reorg_rollbacks <- t.reorg_rollbacks + 1
+  if rolled_forward then begin
+    t.reorg_rollforwards <- t.reorg_rollforwards + 1;
+    metric t "reorg.rollforwards"
+  end
+  else begin
+    t.reorg_rollbacks <- t.reorg_rollbacks + 1;
+    metric t "reorg.rollbacks"
+  end
 
 let emit_reorg_progress t ~phase ~phases =
   transfer t Outbound Trace.Device_to_pc
@@ -215,21 +275,30 @@ let elapsed_us t =
   Flash.time_us t.flash +. Flash.time_us t.scratch
   +. session_scratch_time_us t +. t.usb_us +. cpu_time_us t
 
-type fault_counters = {
-  flash_bit_flips : int;
-  flash_ecc_corrected : int;
-  flash_program_failures : int;
-  flash_pages_remapped : int;
-  flash_bad_blocks : int;
-  flash_power_cuts : int;
-  usb_corruptions : int;
-  usb_retries : int;
-  records_recovered : int;
-  records_lost : int;
-  reorg_checkpoints : int;
-  reorg_rollbacks : int;
-  reorg_rollforwards : int;
-}
+let spent_us t sid =
+  match Hashtbl.find_opt t.session_spent sid with Some v -> v | None -> 0.
+
+(* The per-session virtual clock. While a session's bracket is open,
+   its virtual time advances with the global clock; while other
+   sessions run, it stands still. Operator spans stamped with
+   [session_us] therefore measure a session's own device time
+   regardless of how the scheduler interleaved it — in serial execution
+   (no session set) the offset is 0 and virtual time IS the global
+   clock. *)
+let set_session t session =
+  let now = elapsed_us t in
+  (match t.vclock_session with
+   | Some sid ->
+     Hashtbl.replace t.session_spent sid
+       (spent_us t sid +. (now -. t.vclock_open_at))
+   | None -> ());
+  t.vclock_session <- session;
+  t.vclock_open_at <- now;
+  t.vclock_offset <-
+    (match session with None -> 0. | Some sid -> spent_us t sid -. now);
+  Trace.set_session t.trace session
+
+let session_us t = elapsed_us t +. t.vclock_offset
 
 let zero_faults = {
   flash_bit_flips = 0;
@@ -307,18 +376,7 @@ let fault_counters (t : t) =
     reorg_rollforwards = t.reorg_rollforwards;
   }
 
-type snapshot = {
-  flash : Flash.stats;
-  usb_bytes_in : int;
-  usb_bytes_out : int;
-  usb_us : float;
-  cpu_ops : int;
-  elapsed : float;
-  faults : fault_counters;
-  cache : Page_cache.stats;
-}
-
-let snapshot (t : t) = {
+let snapshot (t : t) : snapshot = {
   flash =
     List.fold_left
       (fun acc f -> Flash.add_stats acc (Flash.stats f))
@@ -346,7 +404,7 @@ type usage = {
   cache : Page_cache.stats;
 }
 
-let usage_between t ~before ~after =
+let usage_between t ~(before : snapshot) ~(after : snapshot) =
   let f = Flash.diff_stats ~after:after.flash ~before:before.flash in
   let cpu_ops = after.cpu_ops - before.cpu_ops in
   {
@@ -361,6 +419,44 @@ let usage_between t ~before ~after =
     faults = diff_faults ~after:after.faults ~before:before.faults;
     cache = Page_cache.diff_stats ~after:after.cache ~before:before.cache;
   }
+
+let set_metrics t m =
+  t.metrics <- m;
+  Trace.set_metrics t.trace m;
+  Option.iter (fun c -> Page_cache.set_metrics c m) t.page_cache;
+  (match m with
+   | None -> t.published <- None
+   | Some reg ->
+     (* A registry can outlive a device (reorganization builds a fresh
+        card): shift its time origin so this device's spans land after
+        everything already recorded. *)
+     Ghost_metrics.Metrics.rebase reg ~clock_now:(elapsed_us t);
+     t.published <- Some (snapshot t))
+
+let metrics t = t.metrics
+
+(* Device-global totals are published as window diffs against the last
+   flush: Flash reads/programs, USB traffic and CPU ops land as
+   counters, component times as gauges. Diffing [snapshot]s keeps the
+   totals exact however the scheduler interleaved the work. *)
+let flush_metrics t =
+  match t.metrics, t.published with
+  | Some m, Some before ->
+    let after = snapshot t in
+    let u = usage_between t ~before ~after in
+    let module M = Ghost_metrics.Metrics in
+    M.incr m ~by:u.flash_page_reads "device.flash.page_reads";
+    M.incr m ~by:u.flash_page_programs "device.flash.page_programs";
+    M.add_gauge m "device.flash.us" u.flash_us;
+    M.incr m ~by:u.used_usb_bytes_in "device.usb.bytes_in";
+    M.incr m ~by:(after.usb_bytes_out - before.usb_bytes_out)
+      "device.usb.bytes_out";
+    M.add_gauge m "device.usb.us" u.used_usb_us;
+    M.incr m ~by:u.used_cpu_ops "device.cpu.ops";
+    M.add_gauge m "device.cpu.us" u.cpu_us;
+    M.add_gauge m "device.elapsed_us" u.total_us;
+    t.published <- Some after
+  | _ -> ()
 
 let zero_usage = {
   flash_page_reads = 0;

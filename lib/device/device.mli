@@ -92,7 +92,16 @@ val set_on_tick : t -> (unit -> unit) option -> unit
 val set_session : t -> int option -> unit
 (** Brackets trace attribution: forwards to {!Trace.set_session} on
     the device's trace, so every message recorded while a scheduler
-    slice runs carries its session id. *)
+    slice runs carries its session id — and advances the per-session
+    virtual clock behind {!session_us}. *)
+
+val session_us : t -> float
+(** The current session's {e virtual} clock, in simulated microseconds:
+    it advances with {!elapsed_us} while that session's bracket is open
+    and stands still while other sessions run. Outside any bracket
+    (serial execution) it equals {!elapsed_us}. Operator profile spans
+    are stamped with this, so a session's measured operator times are
+    independent of how the scheduler interleaved it. *)
 
 val ram : t -> Ram.t
 
@@ -143,6 +152,29 @@ val emit_reorg_progress : t -> phase:int -> phases:int -> unit
     (spy-visible, auditor-allowed): the device signals it is alive
     mid-rebuild without revealing anything about the data. Same retry
     discipline as {!receive}. *)
+
+(** {2 Observability}
+
+    The metrics registry ({!Ghost_metrics.Metrics}) is detached by
+    default: every reporting site is a single [None] branch, recording
+    never charges the simulated clock, and all outputs stay
+    bit-identical to a device without one. *)
+
+val set_metrics : t -> Ghost_metrics.Metrics.t option -> unit
+(** Attaches (or detaches) an observability registry, propagating it to
+    the device's {!Trace} and {!Page_cache}. Attaching rebases the
+    registry's time origin past everything it already holds (see
+    {!Ghost_metrics.Metrics.rebase}), so one registry can profile a
+    succession of devices — e.g. across a reorganization — on one
+    timeline, and arms {!flush_metrics} with a baseline snapshot. *)
+
+val metrics : t -> Ghost_metrics.Metrics.t option
+
+val flush_metrics : t -> unit
+(** Publishes the device-global totals accumulated since the last flush
+    (or since {!set_metrics}) into the registry: [device.flash.*],
+    [device.usb.*], [device.cpu.*] counters and [device.*.us] time
+    gauges. No-op without a registry. *)
 
 (** {2 Accounting} *)
 

@@ -40,6 +40,7 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable invalidations : int;
+  mutable metrics : Ghost_metrics.Metrics.t option;
 }
 
 let create ~ram flash ~frames =
@@ -61,7 +62,15 @@ let create ~ram flash ~frames =
     misses = 0;
     evictions = 0;
     invalidations = 0;
+    metrics = None;
   }
+
+let set_metrics t m = t.metrics <- m
+
+let metric t ?by name =
+  match t.metrics with
+  | None -> ()
+  | Some m -> Ghost_metrics.Metrics.incr m ?by name
 
 let flash t = t.flash
 let frames t = t.n_frames
@@ -99,14 +108,17 @@ let frame_for t page =
   match Hashtbl.find_opt t.frame_of page with
   | Some f ->
     t.hits <- t.hits + 1;
+    metric t "cache.hits";
     t.referenced.(f) <- true;
     f
   | None ->
     t.misses <- t.misses + 1;
+    metric t "cache.misses";
     let image = Flash.read_page t.flash page in
     let f = victim t in
     if t.page_of.(f) >= 0 then begin
       t.evictions <- t.evictions + 1;
+      metric t "cache.evictions";
       Hashtbl.remove t.frame_of t.page_of.(f)
     end;
     Bytes.blit image 0 t.data.(f) 0 t.page_size;
@@ -129,10 +141,12 @@ let invalidate t ~page =
     Hashtbl.remove t.frame_of page;
     t.page_of.(f) <- -1;
     t.referenced.(f) <- false;
-    t.invalidations <- t.invalidations + 1
+    t.invalidations <- t.invalidations + 1;
+    metric t "cache.invalidations"
 
 let clear t =
   t.invalidations <- t.invalidations + Hashtbl.length t.frame_of;
+  metric t ~by:(Hashtbl.length t.frame_of) "cache.invalidations";
   Hashtbl.reset t.frame_of;
   Array.fill t.page_of 0 t.n_frames (-1);
   Array.fill t.referenced 0 t.n_frames false;

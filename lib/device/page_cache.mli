@@ -68,5 +68,11 @@ val clear : t -> unit
 
 val stats : t -> stats
 
+val set_metrics : t -> Ghost_metrics.Metrics.t option -> unit
+(** Attaches (or detaches) an observability registry: hits, misses,
+    evictions and invalidations are additionally counted there as
+    [cache.*] counters. [None] (the default) keeps the hot path at one
+    branch per event. *)
+
 val close : t -> unit
 (** Releases the frame pool's RAM. Idempotent; reads after close raise. *)

@@ -55,19 +55,28 @@ type t = {
   mutable rev_events : event list;
   mutable next_seq : int;
   mutable current_session : int option;
+  mutable metrics : Ghost_metrics.Metrics.t option;
 }
 
-let create () = { rev_events = []; next_seq = 0; current_session = None }
+let create () =
+  { rev_events = []; next_seq = 0; current_session = None; metrics = None }
 
 let set_session t session = t.current_session <- session
 let current_session t = t.current_session
+let set_metrics t m = t.metrics <- m
 
 let record t link payload ~bytes =
   let e =
     { seq = t.next_seq; link; payload; bytes; session = t.current_session }
   in
   t.next_seq <- t.next_seq + 1;
-  t.rev_events <- e :: t.rev_events
+  t.rev_events <- e :: t.rev_events;
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+    let l = link_name link in
+    Ghost_metrics.Metrics.incr m ("trace." ^ l ^ ".messages");
+    Ghost_metrics.Metrics.incr m ~by:bytes ("trace." ^ l ^ ".bytes")
 
 let events t = List.rev t.rev_events
 let spy_events t = List.filter (fun e -> spy_visible e.link) (events t)

@@ -59,6 +59,12 @@ val set_session : t -> int option -> unit
 
 val current_session : t -> int option
 
+val set_metrics : t -> Ghost_metrics.Metrics.t option -> unit
+(** Attaches (or detaches) an observability registry: every recorded
+    event additionally bumps the per-link [trace.<link>.messages] /
+    [trace.<link>.bytes] counters there. [None] (the default) keeps
+    {!record} at one extra branch. *)
+
 val events : t -> event list
 (** In emission order. *)
 

@@ -1,0 +1,33 @@
+(** A minimal JSON value, printer and parser.
+
+    The simulator takes no external dependencies, yet the metrics layer
+    must both {e emit} machine-readable artifacts ([metrics.json],
+    Chrome [trace_event] files) and {e read them back} — the CI
+    perf-regression gate parses a committed baseline and a fresh run
+    and diffs them. This module covers exactly that round trip: the
+    grammar of RFC 8259 restricted to what the exporters produce
+    (finite numbers, ASCII-escaped strings). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering. Numbers that hold an integral value within
+    [2^53] print without a decimal point, so counters survive the
+    round trip textually unchanged; other floats print with enough
+    digits ([%.17g]) to reparse to the same IEEE value. *)
+
+val parse : string -> (t, string) result
+(** Parses one JSON document (trailing whitespace allowed). Errors
+    carry a character offset. Object member order is preserved. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on anything else. *)
+
+val to_num : t -> float option
+val to_str : t -> string option

@@ -7,6 +7,7 @@ module Cost = Ghostdb.Cost
 module Plan = Ghostdb.Plan
 module Catalog = Ghostdb.Catalog
 module Public_store = Ghost_public.Public_store
+module Metrics = Ghost_metrics.Metrics
 
 type policy = Fifo | Round_robin | Cost_based
 
@@ -251,7 +252,10 @@ let cancel_session t s reason =
     retire t s (Cancelled reason);
     Device.set_session t.device None;
     let after = Device.snapshot t.device in
-    s.usage <- Device.add_usage s.usage (Device.usage_between t.device ~before ~after)
+    s.usage <- Device.add_usage s.usage (Device.usage_between t.device ~before ~after);
+    match Device.metrics t.device with
+    | None -> ()
+    | Some reg -> Metrics.incr reg "sched.cancelled"
 
 let cancel t ?(reason = "cancelled") id =
   match List.assoc_opt id t.sessions with
@@ -298,7 +302,31 @@ let run_slice t s =
   Device.set_session t.device None;
   let after = Device.snapshot t.device in
   s.usage <- Device.add_usage s.usage (Device.usage_between t.device ~before ~after);
-  s.slices <- s.slices + 1
+  s.slices <- s.slices + 1;
+  match Device.metrics t.device with
+  | None -> ()
+  | Some reg ->
+    let slice_us = after.Device.elapsed -. before.Device.elapsed in
+    Metrics.incr reg "sched.slices";
+    Metrics.observe reg "sched.slice.us" slice_us;
+    Metrics.span reg
+      ~name:(Printf.sprintf "s%d %s" s.id s.label)
+      ~cat:"sched.slice" ~pid:1 ~tid:s.id
+      ~args:[ ("slice", Float.of_int s.slices) ]
+      ~ts:before.Device.elapsed ~dur:slice_us ();
+    (* A completed session is the cost model's ground truth: the
+       planner's whole-plan estimate against the device time actually
+       attributed to the session across all its slices. *)
+    (match step_result with
+     | Ok (Exec.Finished _) ->
+       Metrics.incr reg "sched.completed";
+       Metrics.observe reg "sched.session.us" s.usage.Device.total_us;
+       Metrics.observe reg "sched.latency.us" (s.finished_us -. s.submitted_us);
+       Metrics.calibrate reg ~cls:s.plan.Plan.label
+         ~predicted_us:s.est.Cost.est_time_us
+         ~measured_us:s.usage.Device.total_us
+     | Error _ -> Metrics.incr reg "sched.failed"
+     | Ok Exec.Yielded -> ())
 
 let pick t =
   match t.ready with

@@ -33,4 +33,5 @@ let () =
       ("retail", Test_retail.suite);
       ("cache", Test_cache.suite);
       ("sched", Test_sched.suite);
+      ("metrics", Test_metrics.suite);
     ]

@@ -1,0 +1,251 @@
+(* The metrics/profiling layer: histogram quantiles against a
+   brute-force oracle, JSON round-tripping, registry determinism under
+   the scheduler (same workload => same metrics whatever the policy and
+   quantum), bit-identity of instrumented vs uninstrumented runs, and
+   the bench writers' refuse-to-overwrite contract. *)
+
+module Rng = Ghost_kernel.Rng
+module Device = Ghost_device.Device
+module Trace = Ghost_device.Trace
+module Medical = Ghost_workload.Medical
+module Queries = Ghost_workload.Queries
+module Ghost_db = Ghostdb.Ghost_db
+module Scheduler = Ghost_sched.Scheduler
+module Workload_driver = Ghost_sched.Workload_driver
+module Metrics = Ghost_metrics.Metrics
+module Json = Ghost_metrics.Json
+module Report = Ghost_bench.Report
+
+let tiny_db ?device_config () =
+  Ghost_db.of_schema ?device_config (Medical.schema ())
+    (Medical.generate Medical.tiny)
+
+(* ---- histograms ---- *)
+
+(* Log-scale buckets promise a quantile within a factor sqrt(gamma) of
+   the value the brute-force nearest-rank oracle returns (clamping to
+   the observed min/max can only tighten that). *)
+let test_histogram_oracle () =
+  let rng = Rng.create 11 in
+  let m = Metrics.create () in
+  let n = 800 in
+  let values =
+    (* heavy right tail, like latencies: cube of a uniform draw *)
+    List.init n (fun _ ->
+      let u = Rng.float rng 1.0 in
+      1.0 +. (u *. u *. u *. 9_999.0))
+  in
+  List.iter (fun v -> Metrics.observe m "h" v) values;
+  let sorted = Array.of_list (List.sort compare values) in
+  let oracle q =
+    let r = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(max 1 (min n r) - 1)
+  in
+  let slack = sqrt Metrics.gamma +. 1e-9 in
+  List.iter
+    (fun q ->
+       let est = Option.get (Metrics.quantile m "h" q) in
+       let exact = oracle q in
+       let ratio = est /. exact in
+       if ratio > slack || ratio < 1. /. slack then
+         Alcotest.failf "q=%.2f: estimate %.2f vs oracle %.2f (ratio %.3f)" q
+           est exact ratio)
+    [ 0.0; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 1.0 ];
+  let stats = Option.get (Metrics.histogram m "h") in
+  Alcotest.(check int) "count" n stats.Metrics.count;
+  Alcotest.(check (float 1e-9)) "min exact" sorted.(0) stats.Metrics.min;
+  Alcotest.(check (float 1e-9)) "max exact" sorted.(n - 1) stats.Metrics.max;
+  Alcotest.(check (float 1e-6))
+    "sum" (List.fold_left ( +. ) 0. values) stats.Metrics.sum;
+  (* p100 must clamp to the exact maximum, p0 near the minimum *)
+  Alcotest.(check (float 1e-9)) "p1.0 = max" sorted.(n - 1)
+    (Option.get (Metrics.quantile m "h" 1.0))
+
+let test_histogram_edges () =
+  let m = Metrics.create () in
+  Alcotest.(check (option reject)) "unknown histogram" None
+    (Metrics.quantile m "nope" 0.5);
+  Metrics.observe m "h" 0.0;
+  Metrics.observe m "h" 0.5;
+  (* values below 1.0 share the first bucket: the estimate is clamped
+     into the observed range, so its error is bounded by that bucket *)
+  let p0 = Option.get (Metrics.quantile m "h" 0.0) in
+  Alcotest.(check bool) "sub-1.0 estimate stays in observed range" true
+    (p0 >= 0.0 && p0 <= 0.5);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Metrics.observe: negative or NaN value")
+    (fun () -> Metrics.observe m "h" (-1.0));
+  Alcotest.check_raises "q outside [0,1]"
+    (Invalid_argument "Metrics.quantile: q outside [0, 1]")
+    (fun () -> ignore (Metrics.quantile m "h" 1.5))
+
+(* ---- exporters round-trip ---- *)
+
+let test_json_roundtrip () =
+  let m = Metrics.create () in
+  Metrics.incr m ~by:3 "a.count";
+  Metrics.add_gauge m "a.us" 12.5;
+  Metrics.observe m "lat.us" 42.0;
+  Metrics.calibrate m ~cls:"scan" ~predicted_us:10. ~measured_us:12.;
+  Metrics.span m ~name:"op(x)" ~cat:"exec" ~ts:0. ~dur:5. ();
+  (match Json.parse (Metrics.to_json m) with
+   | Error e -> Alcotest.fail ("metrics.json does not reparse: " ^ e)
+   | Ok j ->
+     let counters = Option.get (Json.member "counters" j) in
+     Alcotest.(check (option (float 0.))) "counter survives" (Some 3.)
+       (Option.bind (Json.member "a.count" counters) Json.to_num));
+  match Json.parse (Metrics.to_chrome_trace m) with
+  | Error e -> Alcotest.fail ("chrome trace does not reparse: " ^ e)
+  | Ok j ->
+    (match Json.member "traceEvents" j with
+     | Some (Json.Arr events) ->
+       Alcotest.(check bool) "has events" true (List.length events >= 1)
+     | _ -> Alcotest.fail "traceEvents missing")
+
+(* ---- determinism under the scheduler ---- *)
+
+(* Flattens a parsed metrics.json into (path, value) pairs, skipping
+   everything scheduler-shaped: slice counts, slice/latency histograms
+   and the span tally are all legitimate functions of the interleaving.
+   What remains — operator counts and durations (virtual per-session
+   clock), trace/link counters, device totals, calibration sums — must
+   not depend on policy or quantum. *)
+let flatten_without_sched json =
+  let skip path =
+    let has_sub sub =
+      let ls = String.length sub and lp = String.length path in
+      let rec probe i = i + ls <= lp && (String.sub path i ls = sub || probe (i + 1)) in
+      probe 0
+    in
+    has_sub "sched." || has_sub "spans_recorded"
+  in
+  let rec go path v acc =
+    match v with
+    | Json.Num f -> if skip path then acc else (path, f) :: acc
+    | Json.Obj fields ->
+      List.fold_left (fun acc (k, v) -> go (path ^ "." ^ k) v acc) acc fields
+    | Json.Arr l ->
+      snd
+        (List.fold_left
+           (fun (i, acc) v -> (i + 1, go (Printf.sprintf "%s[%d]" path i) v acc))
+           (0, acc) l)
+    | Json.Str _ | Json.Bool _ | Json.Null -> acc
+  in
+  List.sort compare (go "" json [])
+
+let run_workload_metrics ~policy ~quantum_us =
+  (* Shared-cache hit patterns depend on the interleaving, so the
+     determinism claim is stated for the cache-off configuration. *)
+  let config = { Device.default_config with Device.page_cache_frames = 0 } in
+  let db = tiny_db ~device_config:config () in
+  let m = Metrics.create () in
+  Ghost_db.set_metrics db (Some m);
+  let spec =
+    { Workload_driver.default_spec with
+      Workload_driver.clients = 3; queries_per_client = 4; theta = 1.1;
+      seed = 7 }
+  in
+  let summary = Workload_driver.run ~policy ~quantum_us db spec in
+  Alcotest.(check int) "all queries completed" 12
+    summary.Workload_driver.completed;
+  Ghost_db.flush_metrics db;
+  match Json.parse (Metrics.to_json m) with
+  | Ok j -> flatten_without_sched j
+  | Error e -> Alcotest.fail ("metrics.json does not reparse: " ^ e)
+
+let test_scheduler_determinism () =
+  let reference = run_workload_metrics ~policy:Scheduler.Fifo ~quantum_us:infinity in
+  Alcotest.(check bool) "reference run records metrics" true
+    (List.length reference > 20);
+  List.iter
+    (fun (policy, quantum_us, label) ->
+       let got = run_workload_metrics ~policy ~quantum_us in
+       Alcotest.(check int) (label ^ ": same metric set")
+         (List.length reference) (List.length got);
+       List.iter2
+         (fun (k1, v1) (k2, v2) ->
+            Alcotest.(check string) (label ^ ": metric name") k1 k2;
+            let tol = 1e-6 *. Float.max 1.0 (Float.abs v1) in
+            if Float.abs (v1 -. v2) > tol then
+              Alcotest.failf "%s: %s: %.17g <> %.17g" label k1 v1 v2)
+         reference got)
+    [
+      (Scheduler.Round_robin, 500., "round-robin q=500");
+      (Scheduler.Round_robin, 125., "round-robin q=125");
+      (Scheduler.Cost_based, 500., "cost-based q=500");
+    ]
+
+(* ---- the disabled handle is free ---- *)
+
+let test_disabled_bit_identity () =
+  let db_plain = tiny_db () in
+  let db_metered = tiny_db () in
+  Ghost_db.set_metrics db_metered (Some (Metrics.create ()));
+  List.iter
+    (fun (name, sql) ->
+       let a = Ghost_db.query db_plain sql in
+       let b = Ghost_db.query db_metered sql in
+       Alcotest.(check bool) (name ^ ": rows") true
+         (a.Ghostdb.Exec.rows = b.Ghostdb.Exec.rows);
+       Alcotest.(check (float 0.)) (name ^ ": elapsed")
+         a.Ghostdb.Exec.elapsed_us b.Ghostdb.Exec.elapsed_us;
+       Alcotest.(check bool) (name ^ ": op stats") true
+         (a.Ghostdb.Exec.ops = b.Ghostdb.Exec.ops))
+    Queries.all;
+  Alcotest.(check (float 0.)) "device clocks agree"
+    (Device.elapsed_us (Ghost_db.device db_plain))
+    (Device.elapsed_us (Ghost_db.device db_metered));
+  Alcotest.(check bool) "traces identical" true
+    (Trace.events (Ghost_db.trace db_plain)
+     = Trace.events (Ghost_db.trace db_metered));
+  (* and the registry actually saw the workload *)
+  let m = Option.get (Ghost_db.metrics db_metered) in
+  Alcotest.(check bool) "operators were recorded" true
+    (Metrics.span_count m > 0)
+
+(* ---- bench writers refuse to overwrite ---- *)
+
+let test_write_refuses_overwrite () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "ghostdb_test_bench_out"
+  in
+  (* a previous crashed run may have left the file behind *)
+  let stale = Filename.concat dir "BENCH_T1.json" in
+  if Sys.file_exists stale then Sys.remove stale;
+  let report = Report.make ~id:"T1" ~title:"writer test" ~header:[ "col" ] [ [ "1" ] ] in
+  let path = Report.write_file ~dir report in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path with Sys_error _ -> ());
+      try Sys.rmdir dir with Sys_error _ -> ())
+  @@ fun () ->
+  Alcotest.(check bool) "first write lands" true (Sys.file_exists path);
+  let first = In_channel.with_open_bin path In_channel.input_all in
+  (match Report.write_file ~dir report with
+   | _ -> Alcotest.fail "second write must refuse without force"
+   | exception Report.Would_overwrite p ->
+     Alcotest.(check string) "refusal names the file" path p);
+  Alcotest.(check string) "refusal left the file untouched" first
+    (In_channel.with_open_bin path In_channel.input_all);
+  let forced =
+    Report.write_file ~dir ~force:true
+      (Report.make ~id:"T1" ~title:"forced" ~header:[ "col" ] [ [ "2" ] ])
+  in
+  Alcotest.(check string) "force writes the same path" path forced;
+  Alcotest.(check bool) "force replaced the contents" true
+    (first <> In_channel.with_open_bin path In_channel.input_all)
+
+let suite =
+  [
+    Alcotest.test_case "histogram quantiles vs brute-force oracle" `Quick
+      test_histogram_oracle;
+    Alcotest.test_case "histogram edge cases" `Quick test_histogram_edges;
+    Alcotest.test_case "exports reparse (metrics.json, Chrome trace)" `Quick
+      test_json_roundtrip;
+    Alcotest.test_case "same workload, same metrics under any policy" `Slow
+      test_scheduler_determinism;
+    Alcotest.test_case "no registry attached: outputs bit-identical" `Quick
+      test_disabled_bit_identity;
+    Alcotest.test_case "bench writers refuse to overwrite without force" `Quick
+      test_write_refuses_overwrite;
+  ]
