@@ -122,7 +122,7 @@ let flatten_metrics json =
 
 (* ---- verdicts ---- *)
 
-type status = Ok_same | Improved | Regressed | Drifted | Missing
+type status = Ok_same | Improved | Regressed | Drifted | Missing | New
 
 type delta = {
   file : string;
@@ -138,8 +138,14 @@ let status_name = function
   | Regressed -> "REGRESSED"
   | Drifted -> "DRIFT"
   | Missing -> "MISSING"
+  | New -> "new"
 
-let failing = function Regressed | Drifted | Missing -> true | Ok_same | Improved -> false
+(* A metric (or file) present only in the fresh run cannot regress
+   anything: it is reported as a notice, never a failure, so adding an
+   experiment doesn't break CI before its baseline lands. *)
+let failing = function
+  | Regressed | Drifted | Missing -> true
+  | Ok_same | Improved | New -> false
 
 let compare_scalar ~tolerance kind ~base ~cur =
   match kind with
@@ -157,6 +163,8 @@ let diff_metrics ~tolerance ~file base_json cur_json =
   let cur = flatten_metrics cur_json in
   let cur_tbl = Hashtbl.create 64 in
   List.iter (fun (n, _, v) -> Hashtbl.replace cur_tbl n v) cur;
+  let base_tbl = Hashtbl.create 64 in
+  List.iter (fun (n, _, v) -> Hashtbl.replace base_tbl n v) base;
   List.map
     (fun (metric, kind, b) ->
        match Hashtbl.find_opt cur_tbl metric with
@@ -165,6 +173,11 @@ let diff_metrics ~tolerance ~file base_json cur_json =
          { file; metric; base = b; cur = c;
            status = compare_scalar ~tolerance kind ~base:b ~cur:c })
     base
+  @ List.filter_map
+      (fun (metric, _, c) ->
+         if Hashtbl.mem base_tbl metric then None
+         else Some { file; metric; base = nan; cur = c; status = New })
+      cur
 
 (* ---- BENCH table shape ---- *)
 
@@ -205,10 +218,10 @@ let fmt_num v =
   else Printf.sprintf "%.2f" v
 
 let fmt_delta d =
-  let p = pct_delta d in
-  if Float.is_nan d.cur then "-"
-  else if p = infinity then "new"
-  else Printf.sprintf "%+.2f%%" p
+  if Float.is_nan d.cur || Float.is_nan d.base then "-"
+  else
+    let p = pct_delta d in
+    if p = infinity then "new" else Printf.sprintf "%+.2f%%" p
 
 let markdown_table deltas =
   let buf = Buffer.create 1024 in
@@ -253,6 +266,14 @@ let () =
     Printf.eprintf "check_regression: no baselines in %s\n" opts.baseline;
     exit 2
   end;
+  let current_files =
+    match Sys.readdir opts.current with
+    | files ->
+      Array.to_list files
+      |> List.filter (fun f -> Filename.check_suffix f ".json")
+      |> List.sort compare
+    | exception Sys_error _ -> []
+  in
   let deltas = ref [] in
   let errors = ref [] in
   List.iter
@@ -272,6 +293,29 @@ let () =
          in
          deltas := !deltas @ d)
     baseline_files;
+  (* A fresh run can carry artifacts no baseline gates yet (a new
+     experiment landed before its baseline was committed): surface
+     them loudly as notices, never as failures. Only the two kinds
+     the gate diffs count — Chrome traces and calibration reports are
+     upload-only artifacts, not baselines. *)
+  let gated f =
+    let has_prefix p =
+      String.length f >= String.length p && String.sub f 0 (String.length p) = p
+    in
+    has_prefix "METRICS_" || has_prefix "BENCH_"
+  in
+  let new_files =
+    List.filter
+      (fun f -> gated f && not (List.mem f baseline_files))
+      current_files
+  in
+  List.iter
+    (fun file ->
+       deltas :=
+         !deltas
+         @ [ { file; metric = "(no baseline file)"; base = nan; cur = nan;
+               status = New } ])
+    new_files;
   List.iter (fun e -> Printf.eprintf "check_regression: %s\n" e) !errors;
   let deltas = !deltas in
   let failures = List.filter (fun d -> failing d.status) deltas in
@@ -279,6 +323,12 @@ let () =
   Printf.printf "checked %d metrics across %d baseline files (tolerance %.0f%%)\n"
     (List.length deltas) (List.length baseline_files)
     (opts.tolerance *. 100.);
+  List.iter
+    (fun file ->
+       Printf.printf
+         "  new metric file, no baseline: %s — commit %s to gate it\n" file
+         (Filename.concat opts.baseline file))
+    new_files;
   List.iter
     (fun d ->
        Printf.printf "  %-10s %s %s: %s -> %s (%s)\n" (status_name d.status)
@@ -293,8 +343,13 @@ let () =
       (List.length failures);
     exit 1
   end;
-  Printf.printf "PASS%s\n"
+  let fresh = List.filter (fun d -> d.status = New) deltas in
+  Printf.printf "PASS%s%s\n"
     (if improved <> [] then
        Printf.sprintf " (%d improvement(s) — consider re-baselining)"
          (List.length improved)
+     else "")
+    (if fresh <> [] then
+       Printf.sprintf " (%d new metric(s) with no baseline — commit one)"
+         (List.length fresh)
      else "")

@@ -60,7 +60,7 @@ let parse_args () =
     ("--json", Arg.String (fun d -> json_dir := Some d),
      "DIR also write each selected report as DIR/BENCH_<id>.json");
     ("--metrics", Arg.String (fun d -> metrics_dir := Some d),
-     "DIR for the instrumented experiments (E16-E18), also write \
+     "DIR for the instrumented experiments (E16-E19), also write \
       DIR/METRICS_<id>.json, DIR/TRACE_<id>.json (Chrome trace) and \
       DIR/CALIBRATION_<id>.txt");
     ("--force", Arg.Set force, " overwrite existing output files");
@@ -102,7 +102,7 @@ let list_experiments opts =
 
 let print_experiments opts =
   (* One registry per instrumented experiment, created lazily when the
-     experiment asks for it (only E16-E18 do). *)
+     experiment asks for it (only E16-E19 do). *)
   let registries : (string, Metrics.t) Hashtbl.t = Hashtbl.create 4 in
   let metrics id =
     match opts.metrics_dir with
@@ -241,6 +241,21 @@ let bechamel_tests () =
          let module Driver = Ghost_sched.Workload_driver in
          ignore
            (Driver.run ~policy:Scheduler.Round_robin ~quantum_us:500. db
+              { Driver.default_spec with
+                Driver.clients = 2; queries_per_client = 1; theta = 1.0;
+                seed = 3 })));
+    Test.make ~name:"e19_fleet_probe"
+      (Staged.stage (fun () ->
+         let module Fleet = Ghost_fleet.Fleet in
+         let module Driver = Ghost_fleet.Fleet_driver in
+         let fleet =
+           Fleet.create
+             ~topology:
+               { Fleet.shards = 2; replicas = 1; partitioning = Fleet.Range }
+             (Medical.schema ()) (Medical.generate Medical.tiny)
+         in
+         ignore
+           (Driver.run fleet
               { Driver.default_spec with
                 Driver.clients = 2; queries_per_client = 1; theta = 1.0;
                 seed = 3 })));

@@ -1011,6 +1011,115 @@ let sched_throughput ?metrics ?(scale = default_scale) () =
       ]
     rows
 
+(* ---- E19 fault-tolerant device fleet: scaling + availability ---- *)
+
+let fleet_scaling ?metrics ?(scale = default_scale)
+    ?(shard_counts = [ 1; 2; 4; 8 ]) () =
+  let module Metrics = Ghost_metrics.Metrics in
+  let module Fleet = Ghost_fleet.Fleet in
+  let module Driver = Ghost_fleet.Fleet_driver in
+  (* The E18 interactive-plus-analyst mix, so the single-shard row is
+     directly comparable to the single-device scheduler numbers. Two
+     of the five queries touch dimension tables only and route to one
+     shard; the rest scatter to every shard and merge. *)
+  let mix =
+    List.filter
+      (fun (name, _) ->
+         List.mem name
+           [ "single_table_visible"; "demo"; "doctor_patient";
+             "range_hidden"; "visible_only" ])
+      Ghost_workload.Queries.all
+  in
+  let schema = Medical.schema () in
+  let data = Medical.generate scale in
+  let spec clients =
+    { Driver.default_spec with Driver.clients; queries_per_client = 3;
+      theta = 1.1; mix }
+  in
+  (* Unplug shard 0's first replica early in the run, while every
+     client still has queries in flight. *)
+  let kill_spec =
+    { Driver.kill_at_us = 2_000.; kill_shard = 0; kill_replica = 0 }
+  in
+  let fault_shards =
+    List.nth shard_counts (min 2 (List.length shard_counts - 1))
+  in
+  let cells =
+    List.map (fun n -> (n, 1, false)) shard_counts
+    @ [ (fault_shards, 2, false); (fault_shards, 2, true);
+        (fault_shards, 1, true) ]
+  in
+  let run_cell (n, r, kill) =
+    let fleet =
+      Fleet.create
+        ~topology:
+          { Fleet.shards = n; replicas = r; partitioning = Fleet.Range }
+        schema data
+    in
+    Option.iter (fun m -> Fleet.set_metrics fleet (Some m)) metrics;
+    let kills = if kill then [ kill_spec ] else [] in
+    let clients = 8 * n in
+    let s = Driver.run ~kills fleet (spec clients) in
+    Fleet.flush_metrics fleet;
+    let verdict = Fleet.audit fleet in
+    Option.iter
+      (fun m ->
+         let tag =
+           Printf.sprintf "fleet.s%d.r%d%s" n r (if kill then ".kill" else "")
+         in
+         Metrics.incr m (tag ^ ".completed") ~by:s.Driver.completed;
+         Metrics.incr m (tag ^ ".partial") ~by:s.Driver.partial;
+         Metrics.incr m (tag ^ ".failovers") ~by:s.Driver.failovers;
+         Metrics.incr m (tag ^ ".hedges") ~by:s.Driver.hedges;
+         Metrics.add_gauge m (tag ^ ".makespan_us") s.Driver.makespan_us;
+         Metrics.add_gauge m (tag ^ ".latency_p95_us") s.Driver.latency_p95_us)
+      metrics;
+    [
+      string_of_int n;
+      string_of_int r;
+      string_of_int clients;
+      (if kill then
+         Printf.sprintf "kill (%d,%d)" kill_spec.Driver.kill_shard
+           kill_spec.Driver.kill_replica
+       else "none");
+      string_of_int s.Driver.completed;
+      string_of_int s.Driver.partial;
+      string_of_int s.Driver.failovers;
+      string_of_int s.Driver.hedges;
+      Report.us s.Driver.makespan_us;
+      Printf.sprintf "%.1f" s.Driver.throughput_qps;
+      Report.us s.Driver.latency_p95_us;
+      Printf.sprintf "%.3f" s.Driver.availability;
+      (if verdict.Privacy.ok then "ok" else "VIOLATION");
+    ]
+  in
+  let rows = List.map run_cell cells in
+  Report.make ~id:"E19"
+    ~title:"Fault-tolerant device fleet: scaling and availability under failure"
+    ~header:
+      [ "shards"; "R"; "clients"; "fault"; "done"; "partial"; "failover";
+        "hedge"; "makespan"; "q/s"; "p95"; "avail"; "audit" ]
+    ~notes:
+      [
+        "closed loop at 8 clients per shard: the root (Prescription) table is \
+         range-partitioned across the shards, dimension tables replicated \
+         everywhere; scatter sub-queries run through one scheduler per \
+         device and the untrusted terminal merges the sorted outputs";
+        "the scaling rows (fault = none, R = 1) chart throughput as devices \
+         are added; the makespan column is the global simulated clock, so \
+         near-flat makespan under 8x the offered load is the win";
+        "kill rows unplug a device mid-run: with R = 2 every affected \
+         sub-query fails over to the surviving replica and zero queries are \
+         lost; with R = 1 the affected queries degrade to partials tagged \
+         with the dead shard (the partial and avail columns)";
+        "hedges count sub-queries cancelled past their deadline-derived \
+         straggler budget and re-issued on a replica";
+        "audit runs the single-device privacy auditor over every device's \
+         boundary trace; the merge layer only handles data the spy model \
+         already concedes (visible columns and root-id lists)";
+      ]
+    rows
+
 (* ---- Ablations ---- *)
 
 let ablation_exact_post ?(scale = default_scale) () =
@@ -1213,6 +1322,10 @@ let all ?(scale = default_scale) ?(full = false)
      fun () -> reorg_cost ?metrics:(metrics "E17") ~scale ());
     ("E18", "multi-session scheduler: throughput and tail latency vs policy",
      fun () -> sched_throughput ?metrics:(metrics "E18") ~scale ());
+    ("E19", "fault-tolerant device fleet: scaling and availability under failure",
+     fun () ->
+       let shard_counts = if full then [ 4; 8; 16; 32 ] else [ 1; 2; 4; 8 ] in
+       fleet_scaling ?metrics:(metrics "E19") ~scale ~shard_counts ());
     ("A1", "ablation: exact verification joins vs pure Bloom post-filtering",
      fun () -> ablation_exact_post ~scale ());
     ("A2", "ablation: Bloom target false-positive rate vs RAM",

@@ -82,7 +82,7 @@ val page_cache_sweep :
     row. The frames=0 row is bit-identical to the cache-free
     simulator.
 
-    [metrics] (here and on E17/E18 below) attaches an observability
+    [metrics] (here and on E17/E18/E19 below) attaches an observability
     registry to every instance the experiment builds and flushes the
     device totals into it before each measurement ends, so the caller
     can export [metrics.json], a Chrome trace and the cost-model
@@ -106,6 +106,22 @@ val sched_throughput :
     round-robin, shortest-remaining-cost-first) vary. The headline is
     the p95 column: FIFO convoys light queries behind rare heavy ones;
     both preemptive policies dissolve the convoy. *)
+
+val fleet_scaling :
+  ?metrics:Ghost_metrics.Metrics.t ->
+  ?scale:Medical.scale ->
+  ?shard_counts:int list ->
+  unit ->
+  Report.t
+(** E19 (extension): the fault-tolerant device fleet under the
+    closed-loop driver — 8 clients per shard over the E18 query mix as
+    the shard count sweeps [shard_counts] (default 1–8; [all ~full]
+    raises it to 4–32, i.e. up to 256 clients), plus fault rows that
+    unplug a device mid-run: at R = 2 every affected sub-query fails
+    over and zero queries are lost; at R = 1 affected queries degrade
+    to partials tagged with the dead shard. Every cell runs the fleet
+    privacy audit. Deterministic (seeded faults, one global simulated
+    clock across devices). *)
 
 (** {2 Ablations of design choices} *)
 
@@ -135,9 +151,9 @@ val all :
   (string * string * (unit -> Report.t)) list
 (** The whole suite as (id, one-line description, thunk) triples —
     experiments run only when forced, so id filters (and [--list])
-    don't pay for the rest. E1–E18, A1–A5; [full] raises E10 to the
-    paper's one million prescriptions.
+    don't pay for the rest. E1–E19, A1–A5; [full] raises E10 to the
+    paper's one million prescriptions and E19 to 32 devices.
 
     [metrics] supplies, per experiment id, an optional registry for
-    the instrumented experiments (E16–E18) to record into; defaults to
+    the instrumented experiments (E16–E19) to record into; defaults to
     none for all. *)

@@ -165,6 +165,46 @@ let test_usb_retry_budget_bounded () =
   check Alcotest.int "all 4 attempts on the wire" (4 * 40)
     (Device.snapshot d).Device.usb_bytes_in
 
+(* Seeded backoff jitter: off by default (and bit-identical to the
+   seed path when off, because the rng draw happens only when
+   enabled); on, it perturbs only the backoff time — same retries,
+   same corruptions, same bytes — and stays deterministic per seed. *)
+let test_usb_backoff_jitter () =
+  let run jitter seed =
+    let cfg =
+      { Device.default_config with
+        Device.usb_fault =
+          Some { Device.default_usb_fault with
+                 Device.usb_seed = seed; corrupt_prob = 0.5;
+                 max_retries = 16; backoff_jitter = jitter } }
+    in
+    let d = Device.create ~config:cfg ~trace:(Trace.create ()) () in
+    for i = 1 to 20 do
+      Device.receive d (Trace.Id_list { table = "T"; count = i }) ~bytes:100
+    done;
+    d
+  in
+  let base = run 0.0 99 and base' = run 0.0 99 in
+  check (Alcotest.float 0.) "no jitter is deterministic"
+    (Device.usb_time_us base) (Device.usb_time_us base');
+  let jit = run 0.5 99 and jit' = run 0.5 99 in
+  check (Alcotest.float 0.) "jitter is deterministic per seed"
+    (Device.usb_time_us jit) (Device.usb_time_us jit');
+  (* the jitter draw rides the same seeded stream AFTER each corruption
+     draw, so the fault schedule itself is untouched *)
+  let fb = (Device.snapshot base).Device.faults in
+  let fj = (Device.snapshot jit).Device.faults in
+  check Alcotest.int "same corruptions" fb.Device.usb_corruptions
+    fj.Device.usb_corruptions;
+  check Alcotest.int "same retries" fb.Device.usb_retries fj.Device.usb_retries;
+  check Alcotest.int "same bytes on the wire"
+    (Device.snapshot base).Device.usb_bytes_in
+    (Device.snapshot jit).Device.usb_bytes_in;
+  check Alcotest.bool "jitter moved the backoff clock" true
+    (Device.usb_time_us jit <> Device.usb_time_us base);
+  check Alcotest.bool "different seeds decorrelate" true
+    (Device.usb_time_us (run 0.5 7) <> Device.usb_time_us jit)
+
 let test_note_recovery_counted () =
   let trace = Trace.create () in
   let d = Device.create ~trace () in
@@ -186,5 +226,6 @@ let suite = [
   Alcotest.test_case "default config has zero fault counters" `Quick test_default_has_zero_faults;
   Alcotest.test_case "usb retries metered and traced" `Quick test_usb_retry_metered_and_traced;
   Alcotest.test_case "usb retry budget bounded" `Quick test_usb_retry_budget_bounded;
+  Alcotest.test_case "usb backoff jitter seeded and bounded" `Quick test_usb_backoff_jitter;
   Alcotest.test_case "recovery outcome counted" `Quick test_note_recovery_counted;
 ]

@@ -34,4 +34,5 @@ let () =
       ("cache", Test_cache.suite);
       ("sched", Test_sched.suite);
       ("metrics", Test_metrics.suite);
+      ("fleet", Test_fleet.suite);
     ]

@@ -312,9 +312,102 @@ let test_image_crc_corruption_detected () =
      check Alcotest.bool "reported as corrupted" true (contains msg "corrupted"));
   Sys.remove path
 
+(* {2 Recovery idempotence (property)}
+
+   One {!Ghost_db.recover} fully settles the instance after ANY
+   injected crash: a second recover on whichever image was kept (the
+   rebuilt db on a roll-forward, the original on a roll-back) must be
+   a pure no-op — zero counts, no reorg outcome, and the saved-image
+   digest and device fault counters exactly as the first recover left
+   them. *)
+
+let image_digest db =
+  let path = tmp "ghostdb_idem.img" in
+  Ghost_db.save_image db path;
+  let d = Digest.file path in
+  Sys.remove path;
+  d
+
+let assert_second_recover_noop label db =
+  let d1 = image_digest db in
+  let f1 = Device.fault_counters (Ghost_db.device db) in
+  let r2 = Ghost_db.recover db in
+  check Alcotest.int (label ^ ": delta recovered") 0 r2.Ghost_db.delta_recovered;
+  check Alcotest.int (label ^ ": delta lost") 0 r2.Ghost_db.delta_lost;
+  check Alcotest.int (label ^ ": tombstones recovered") 0
+    r2.Ghost_db.tombstones_recovered;
+  check Alcotest.int (label ^ ": tombstones lost") 0 r2.Ghost_db.tombstones_lost;
+  check Alcotest.int (label ^ ": delta torn pages") 0 r2.Ghost_db.delta_torn_pages;
+  check Alcotest.int (label ^ ": tombstone torn pages") 0
+    r2.Ghost_db.tombstone_torn_pages;
+  (match r2.Ghost_db.reorg with
+   | None -> ()
+   | Some _ -> Alcotest.failf "%s: second recover reported a reorg outcome" label);
+  check Alcotest.string (label ^ ": image digest unchanged")
+    (Digest.to_hex d1)
+    (Digest.to_hex (image_digest db));
+  check Alcotest.bool (label ^ ": fault counters unchanged") true
+    (f1 = Device.fault_counters (Ghost_db.device db))
+
+let test_recover_idempotent_sweep () =
+  let exercised = ref 0 in
+  let k = ref 1 and finished = ref false in
+  while not !finished do
+    if !k > 10_000 then Alcotest.fail "sweep did not terminate";
+    let db = setup () in
+    Flash.arm_power_cut (Device.flash (Ghost_db.device db)) ~after_programs:!k;
+    (match Ghost_db.reorganize db with
+     | db2 ->
+       Flash.disarm_power_cut (Device.flash (Ghost_db.device db2));
+       finished := true
+     | exception Flash.Power_cut _ ->
+       let r = Ghost_db.recover db in
+       let kept =
+         match r.Ghost_db.reorg with
+         | Some (Ghost_db.Reorg_completed { db = db2; _ }) -> db2
+         | Some (Ghost_db.Reorg_rolled_back _) -> db
+         | None -> Alcotest.fail "recover reported no reorg outcome"
+       in
+       check Alcotest.bool "settled after one recover" false
+         (Ghost_db.needs_recovery kept);
+       let label = Printf.sprintf "reorg crash @%d" !k in
+       assert_second_recover_noop label kept;
+       verify (label ^ " after double recover") kept;
+       incr exercised);
+    incr k
+  done;
+  check Alcotest.bool "crash points exercised" true (!exercised >= 2)
+
+let test_recover_idempotent_after_insert_crash () =
+  let db = setup () in
+  Flash.arm_power_cut (Device.flash (Ghost_db.device db)) ~after_programs:1;
+  let extra =
+    let rng = Rng.create 44 in
+    List.init 3 (fun i ->
+      visit rng (base_visits + inserted_visits + i + 1))
+  in
+  (try
+     Ghost_db.insert db extra;
+     Alcotest.fail "expected Power_cut"
+   with Flash.Power_cut _ -> ());
+  check Alcotest.bool "needs recovery" true (Ghost_db.needs_recovery db);
+  let r = Ghost_db.recover db in
+  (* the torn batch was never acknowledged: recovery drops it whole *)
+  (match r.Ghost_db.reorg with
+   | None -> ()
+   | Some _ -> Alcotest.fail "no reorg was pending");
+  check Alcotest.bool "settled after one recover" false
+    (Ghost_db.needs_recovery db);
+  assert_second_recover_noop "insert crash" db;
+  verify "insert crash after double recover" db
+
 let suite =
   [
     Alcotest.test_case "crash-point sweep is atomic" `Quick test_crash_point_sweep;
+    Alcotest.test_case "recover is idempotent at every crash point" `Quick
+      test_recover_idempotent_sweep;
+    Alcotest.test_case "recover is idempotent after an insert crash" `Quick
+      test_recover_idempotent_after_insert_crash;
     Alcotest.test_case "roll-back keeps the old image live" `Quick
       test_rollback_keeps_old_image_live;
     Alcotest.test_case "roll-forward resumes from checkpoints" `Quick
