@@ -80,9 +80,7 @@ let filter_ids ctx table =
            end
            else begin
              let ids = Public_store.select_ids ctx.public ~trace:(Device.trace ctx.device) p in
-             Device.receive ctx.device
-               (Trace.Id_list { table; count = Array.length ids })
-               ~bytes:(4 * Array.length ids);
+             Device.receive_id_list ctx.device ~table ids;
              ids
            end)
         preds
@@ -263,6 +261,9 @@ let attach_edge ctx records ~parent ~child =
         Public_store.stream_column ctx.public ~trace:(Device.trace ctx.device)
           ~table:parent ~column:fk_col ~preds:[]
       in
+      (* Legacy ad-hoc sizing (4-byte id + 4-byte fk per pair) kept for
+         seed bit-identity: the typed value-stream framing would charge
+         the full 8-byte integer width. *)
       Device.receive ctx.device
         (Trace.Value_stream { table = parent; column = fk_col; count = Array.length stream })
         ~bytes:(8 * Array.length stream);
@@ -335,10 +336,9 @@ let project ctx records =
              Public_store.stream_column ctx.public ~trace:(Device.trace ctx.device)
                ~table ~column ~preds
            in
-           let width = Value.ty_width (Schema.find_column tbl column).Column.ty in
-           Device.receive ctx.device
-             (Trace.Value_stream { table; column; count = Array.length stream })
-             ~bytes:((4 + width) * Array.length stream);
+           let ty = (Schema.find_column tbl column).Column.ty in
+           let width = Value.ty_width ty in
+           Device.receive_value_stream ctx.device ~table ~column ~ty stream;
            let needed = Hashtbl.create (max 16 (List.length records.data)) in
            List.iter (fun row -> Hashtbl.replace needed row.(slot) ()) records.data;
            let cell =
@@ -386,7 +386,7 @@ let run algo cat public (q : Bind.query) =
     let ctx = { algo; cat; public; device; ram; resources; q } in
     let scope = Ram.open_scope ram in
     let before = Device.snapshot device in
-    Device.receive device (Trace.Query_text q.Bind.text) ~bytes:(String.length q.Bind.text);
+    Device.receive_query device q.Bind.text;
     let root = Schema.subtree_root cat.Catalog.schema q.Bind.tables in
     if Catalog.delta_count cat root > 0 || Catalog.tombstone_count cat root > 0 then
       fail

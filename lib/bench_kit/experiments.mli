@@ -123,6 +123,15 @@ val fleet_scaling :
     privacy audit. Deterministic (seeded faults, one global simulated
     clock across devices). *)
 
+val wire_formats :
+  ?metrics:Ghost_metrics.Metrics.t -> ?scale:Medical.scale -> unit -> Report.t
+(** E20 (extension): the compact wire protocol against the seed's
+    verbose framing — USB bytes moved, the cost model's per-encoding
+    byte prediction and device latency for the demo workload's Pre,
+    Post and Cross plans at 12 and 480 Mbit/s. The compact rows carry
+    byte-cut and speedup ratios against the verbose baseline measured
+    in the same run. *)
+
 (** {2 Ablations of design choices} *)
 
 val ablation_exact_post : ?scale:Medical.scale -> unit -> Report.t
@@ -151,9 +160,9 @@ val all :
   (string * string * (unit -> Report.t)) list
 (** The whole suite as (id, one-line description, thunk) triples —
     experiments run only when forced, so id filters (and [--list])
-    don't pay for the rest. E1–E19, A1–A5; [full] raises E10 to the
+    don't pay for the rest. E1–E20, A1–A5; [full] raises E10 to the
     paper's one million prescriptions and E19 to 32 devices.
 
     [metrics] supplies, per experiment id, an optional registry for
-    the instrumented experiments (E16–E19) to record into; defaults to
+    the instrumented experiments (E16–E20) to record into; defaults to
     none for all. *)

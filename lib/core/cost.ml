@@ -5,6 +5,7 @@ module Predicate = Ghost_relation.Predicate
 module Bind = Ghost_sql.Bind
 module Flash = Ghost_flash.Flash
 module Device = Ghost_device.Device
+module Wire = Ghost_device.Device.Wire
 module Bloom = Ghost_bloom.Bloom
 
 type estimate = {
@@ -73,6 +74,19 @@ let usb_us env bytes =
   +. (bytes *. 8. /. env.cfg.Device.usb_mbit_per_s)
 
 let cpu_us env ops = ops /. env.cfg.Device.cpu_mips
+
+(* Per-encoding USB byte predictions: the formulas live next to the
+   wire-format definition, the [population] (table cardinality the
+   shipped subset was drawn from) fixes the expected varint-delta
+   width. Under the default [Verbose] these are exactly the seed's
+   fixed-width sizes. *)
+let ship_bytes env ~n_t m =
+  Wire.est_id_list_bytes env.cfg.Device.wire_format
+    ~population:(Float.of_int n_t) m
+
+let stream_bytes env ~n_t ~tys n =
+  Wire.est_value_stream_bytes env.cfg.Device.wire_format
+    ~population:(Float.of_int n_t) ~tys n
 
 let sel env (p : Predicate.t) =
   Col_stats.selectivity
@@ -248,7 +262,7 @@ let estimate cat (plan : Plan.t) =
           if indexed <> [] then pre_sel := !pre_sel *. hidden_index_sel
         | preds, (Plan.V_pre | Plan.V_cross_pre) ->
           let m_vis = vis_sel *. Float.of_int n_t in
-          spend (Printf.sprintf "ship(%s)" t) (usb_us env (4. *. m_vis));
+          spend (Printf.sprintf "ship(%s)" t) (usb_us env (ship_bytes env ~n_t m_vis));
           let m_climbed =
             if cross_pre then m_vis *. hidden_index_sel *. borrowed_sel else m_vis
           in
@@ -257,7 +271,7 @@ let estimate cat (plan : Plan.t) =
           pre_sel := !pre_sel *. vis_sel *. hidden_index_sel
         | _, (Plan.V_post | Plan.V_cross_post) ->
           let m_vis = vis_sel *. Float.of_int n_t in
-          spend (Printf.sprintf "ship(%s)" t) (usb_us env (4. *. m_vis));
+          spend (Printf.sprintf "ship(%s)" t) (usb_us env (ship_bytes env ~n_t m_vis));
           let m_bloom =
             if strategy = Plan.V_cross_post && indexed <> [] then begin
               (* reading the hidden T-level lists for the cross *)
@@ -315,7 +329,7 @@ let estimate cat (plan : Plan.t) =
          else begin
            let col = Schema.find_column tbl column in
            if Column.is_hidden col then None
-           else Some (table, column, Value.ty_width col.Column.ty)
+           else Some (table, column, col.Column.ty)
          end)
       plan.Plan.query.Bind.projections
     |> List.sort_uniq compare
@@ -347,15 +361,12 @@ let estimate cat (plan : Plan.t) =
            plan.Plan.query.Bind.selections
        in
        let cols = List.filter (fun (t, _, _) -> t = table) projected_visible in
-       let width =
-         match cols with
-         | [] -> 0
-         | l -> List.fold_left (fun acc (_, _, w) -> acc + w) 0 l
-       in
+       let tys = List.map (fun (_, _, ty) -> ty) cols in
+       let width = List.fold_left (fun acc ty -> acc + Value.ty_width ty) 0 tys in
        let n_stream = visible_sel env preds *. Float.of_int (count env table) in
        spend
          (Printf.sprintf "stream(%s)" table)
-         (usb_us env (Float.of_int (4 + width) *. n_stream));
+         (usb_us env (stream_bytes env ~n_t:(count env table) ~tys n_stream));
        let hash_bytes = n_stream *. Float.of_int (8 + width) in
        if hash_bytes <= Float.of_int cfg.Device.ram_budget /. 2. then
          spend (Printf.sprintf "join-hash(%s)" table) (cpu_us env ((n_stream +. survivors) *. 4.))

@@ -149,16 +149,17 @@ let union ctx sources =
    the device. *)
 let ship_visible_ids ctx ~table preds =
   measure ctx (Printf.sprintf "ShipIds(%s)" table) ~tuples_in:0 (fun () ->
+    (* The per-predicate lists ship as one coalesced frame under the
+       compact wire format (a no-op batch under the verbose default). *)
     let lists =
-      List.map
-        (fun p ->
-           let ids = Public_store.select_ids ctx.public ~trace:(Device.trace ctx.device) p in
-           Device.receive ctx.device
-             (Trace.Id_list { table; count = Array.length ids })
-             ~bytes:(4 * Array.length ids);
-           cpu ctx (Array.length ids);
-           ids)
-        preds
+      Device.with_usb_batch ctx.device (fun () ->
+        List.map
+          (fun p ->
+             let ids = Public_store.select_ids ctx.public ~trace:(Device.trace ctx.device) p in
+             Device.receive_id_list ctx.device ~table ids;
+             cpu ctx (Array.length ids);
+             ids)
+          preds)
     in
     let ids =
       match lists with
@@ -308,14 +309,13 @@ let build_bloom ctx ~level_of (g : Plan.group) =
   let table = g.Plan.g_table in
   measure ctx (Printf.sprintf "BloomBuild(%s)" table) ~tuples_in:0 (fun () ->
     let lists =
-      List.map
-        (fun p ->
-           let ids = Public_store.select_ids ctx.public ~trace:(Device.trace ctx.device) p in
-           Device.receive ctx.device
-             (Trace.Id_list { table; count = Array.length ids })
-             ~bytes:(4 * Array.length ids);
-           ids)
-        g.Plan.g_visible
+      Device.with_usb_batch ctx.device (fun () ->
+        List.map
+          (fun p ->
+             let ids = Public_store.select_ids ctx.public ~trace:(Device.trace ctx.device) p in
+             Device.receive_id_list ctx.device ~table ids;
+             ids)
+          g.Plan.g_visible)
     in
     let t_ids = Sorted_ids.intersect_many lists in
     (* Cross-post: shrink the insertion set with the hidden predicates'
@@ -493,8 +493,7 @@ let execute ~exact_post ~bloom_fpr ~scratch catalog public plan =
     (* The query text itself travels to the device (spy-visible). *)
     ignore
       (measure ctx "ReceiveQuery" ~tuples_in:0 (fun () ->
-         Device.receive device (Trace.Query_text plan.Plan.query.Bind.text)
-           ~bytes:(String.length plan.Plan.query.Bind.text);
+         Device.receive_query device plan.Plan.query.Bind.text;
          ((), 0)));
     (* SKT layout for the plan root. *)
     let skt_opt = Catalog.skt catalog root in
@@ -733,7 +732,7 @@ let execute ~exact_post ~bloom_fpr ~scratch catalog public plan =
            else begin
              let col = Schema.find_column tbl column in
              if Column.is_hidden col then None
-             else Some (table, column, Value.ty_width col.Column.ty)
+             else Some (table, column, col.Column.ty)
            end)
         plan.Plan.query.Bind.projections
       |> List.sort_uniq compare
@@ -757,15 +756,14 @@ let execute ~exact_post ~bloom_fpr ~scratch catalog public plan =
     in
     let rows = ref surviving in
     List.iter
-      (fun (table, column, width) ->
+      (fun (table, column, ty) ->
+         let width = Value.ty_width ty in
          let fetch () =
            let stream =
              Public_store.stream_column ctx.public ~trace ~table ~column
                ~preds:(visible_preds_on table)
            in
-           Device.receive device
-             (Trace.Value_stream { table; column; count = Array.length stream })
-             ~bytes:((4 + width) * Array.length stream);
+           Device.receive_value_stream device ~table ~column ~ty stream;
            stream
          in
          let verify = exact_post && List.mem table post_tables in

@@ -219,9 +219,10 @@ let storage t = Catalog.storage t.catalog
 exception Image_error of string
 
 (* Bumped to 4 when the image gained its length header and CRC-32
-   trailer (and the instance its reorg field): older marshalled images
-   are incompatible. *)
-let image_magic = "GHOSTDB-IMAGE-4\n"
+   trailer (and the instance its reorg field); to 5 when the device
+   config gained its wire-format field and the device its wire
+   encoder: older marshalled images are incompatible. *)
+let image_magic = "GHOSTDB-IMAGE-5\n"
 
 (* Image layout: magic | u64 payload length | payload (marshalled
    instance) | u32 CRC-32 of the payload. Written to [<path>.tmp] and

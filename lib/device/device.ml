@@ -1,5 +1,6 @@
 module Flash = Ghost_flash.Flash
 module Rng = Ghost_kernel.Rng
+module Wire = Ghost_wire.Wire
 
 type usb_fault = {
   usb_seed : int;
@@ -30,6 +31,7 @@ type config = {
   usb_fault : usb_fault option;
   durable_logs : bool;
   page_cache_frames : int;
+  wire_format : Wire.format;
 }
 
 let default_config = {
@@ -43,6 +45,7 @@ let default_config = {
   usb_fault = None;
   durable_logs = false;
   page_cache_frames = 0;
+  wire_format = Wire.Verbose;
 }
 
 let high_speed_usb config = { config with usb_mbit_per_s = 480.0 }
@@ -114,6 +117,13 @@ type t = {
   mutable vclock_session : int option;
   mutable vclock_open_at : float;  (* global clock at bracket open *)
   mutable vclock_offset : float;  (* session_us = elapsed_us + offset *)
+  enc : Wire.encoder;
+      (* the link's reused encode buffer + label-interning dictionary;
+         both wire formats encode through it, so metered byte counts
+         are real frame sizes *)
+  mutable batch : (Trace.payload * int) list ref option;
+      (* open coalescing bracket ([with_usb_batch], Compact only):
+         messages encoded into the pending frame, newest first *)
 }
 
 let create ?(config = default_config) ~trace () =
@@ -156,6 +166,8 @@ let create ?(config = default_config) ~trace () =
   vclock_session = None;
   vclock_open_at = 0.;
   vclock_offset = 0.;
+  enc = Wire.encoder ();
+  batch = None;
 }
 
 let metric t ?by name =
@@ -201,20 +213,22 @@ let usb_transfer_us t bytes =
 
 type direction = Inbound | Outbound
 
-(* One logical USB transfer. Each attempt — the original and every
-   retransmission — is charged to the clock, counted against the byte
-   totals and recorded in the trace: a spy on the bus sees the
-   retransmitted bytes exactly like the first copy. An injected
-   corruption triggers bounded retry with exponential backoff (the
-   device waits out the error-recovery interval on the simulated
-   clock); when the retry budget is exhausted the transfer fails. *)
-let transfer t dir link payload ~bytes =
+(* One logical USB frame — a list of messages sharing one transfer.
+   Each attempt — the original and every retransmission — is charged
+   to the clock, counted against the byte totals and recorded in the
+   trace: a spy on the bus sees the retransmitted bytes exactly like
+   the first copy. Corruption, retry and backoff operate on the whole
+   frame (the receiver rejects a frame on its CRC, so a partial
+   delivery is a full retransmission). When the retry budget is
+   exhausted the transfer fails. *)
+let transfer_frame t dir link msgs ~total =
   let rec attempt k =
     (match dir with
-     | Inbound -> t.usb_bytes_in <- t.usb_bytes_in + bytes
-     | Outbound -> t.usb_bytes_out <- t.usb_bytes_out + bytes);
-    t.usb_us <- t.usb_us +. usb_transfer_us t bytes;
-    Trace.record t.trace link payload ~bytes;
+     | Inbound -> t.usb_bytes_in <- t.usb_bytes_in + total
+     | Outbound -> t.usb_bytes_out <- t.usb_bytes_out + total);
+    t.usb_us <- t.usb_us +. usb_transfer_us t total;
+    List.iter (fun (payload, bytes) -> Trace.record t.trace link payload ~bytes)
+      msgs;
     let corrupted =
       match t.config.usb_fault, t.usb_rng with
       | Some f, Some rng when f.corrupt_prob > 0. ->
@@ -228,7 +242,7 @@ let transfer t dir link payload ~bytes =
       if k >= f.max_retries then
         raise (Usb_error
                  (Printf.sprintf "transfer of %d bytes failed after %d attempts"
-                    bytes (k + 1)))
+                    total (k + 1)))
       else begin
         t.usb_retries <- t.usb_retries + 1;
         metric t "usb.retries";
@@ -252,7 +266,81 @@ let transfer t dir link payload ~bytes =
   attempt 0;
   tick t
 
+let transfer t dir link payload ~bytes =
+  transfer_frame t dir link [ (payload, bytes) ] ~total:bytes
+
 let receive t payload ~bytes = transfer t Inbound Trace.Pc_to_device payload ~bytes
+
+(* Typed inbound transfers: the message is really encoded (into the
+   reused wire buffer), and the metered byte count is the encoded
+   frame's exact size. Under [Verbose] the sizes are the seed's by
+   construction; under [Compact] a message outside a batch travels as
+   its own single-message frame, envelope included. *)
+let receive_message t msg payload =
+  match t.config.wire_format with
+  | Wire.Verbose ->
+    let bytes = Wire.encode_verbose t.enc msg in
+    transfer t Inbound Trace.Pc_to_device payload ~bytes
+  | Wire.Compact ->
+    (match t.batch with
+     | Some acc ->
+       let n = Wire.add_message t.enc msg in
+       acc := (payload, n) :: !acc
+     | None ->
+       Wire.begin_frame t.enc;
+       ignore (Wire.add_message t.enc msg : int);
+       let total = Wire.end_frame t.enc in
+       transfer t Inbound Trace.Pc_to_device payload ~bytes:total)
+
+let receive_query t text = receive_message t (Wire.Query text) (Trace.Query_text text)
+
+let receive_id_list t ~table ids =
+  receive_message t
+    (Wire.Id_list { table; ids })
+    (Trace.Id_list { table; count = Array.length ids })
+
+let receive_value_stream t ~table ~column ~ty pairs =
+  receive_message t
+    (Wire.Value_stream { table; column; ty; pairs })
+    (Trace.Value_stream { table; column; count = Array.length pairs })
+
+(* Coalescing bracket: under [Compact] every typed receive inside [f]
+   lands in one vectored frame, sent on exit — one per-transfer
+   latency, one corruption draw, one retry unit for the burst. The
+   frame envelope's bytes are attributed to the first message's trace
+   event, so per-event byte sums stay equal to the device byte
+   counters. The scheduler's preemption hook is suspended while the
+   bracket is open (a vectored submission is one unit of work); the
+   frame transfer itself ticks as usual. Under [Verbose], or nested
+   inside another bracket, this is just [f ()]. *)
+let with_usb_batch t f =
+  match t.config.wire_format, t.batch with
+  | Wire.Verbose, _ | _, Some _ -> f ()
+  | Wire.Compact, None ->
+    Wire.begin_frame t.enc;
+    let acc = ref [] in
+    t.batch <- Some acc;
+    let hook = t.on_tick in
+    t.on_tick <- None;
+    let finish () =
+      t.batch <- None;
+      t.on_tick <- hook
+    in
+    (match f () with
+     | r ->
+       finish ();
+       (match List.rev !acc with
+        | [] -> ()
+        | (p0, n0) :: rest ->
+          let total = Wire.end_frame t.enc in
+          let body = List.fold_left (fun a (_, n) -> a + n) n0 rest in
+          transfer_frame t Inbound Trace.Pc_to_device
+            ((p0, n0 + (total - body)) :: rest)
+            ~total);
+       r
+     | exception e ->
+       finish ();
+       raise e)
 
 let emit_result t ~count ~bytes =
   transfer t Outbound Trace.Device_to_display

@@ -1,4 +1,5 @@
 module Flash = Ghost_flash.Flash
+module Wire = Ghost_wire.Wire
 
 (** The smart USB device (Figure 2 of the paper): a secure chip
     (32-bit RISC CPU + tens-of-KB RAM) driving a large external NAND
@@ -57,6 +58,13 @@ type config = {
           region, each one page and charged to the RAM budget for the
           device's lifetime (default 0: no cache, every code path and
           cost bit-identical to the cache-free simulator) *)
+  wire_format : Wire.format;
+      (** framing of the [Pc_to_device] data messages (default
+          {!Wire.Verbose}: the seed's fixed-width per-message framing,
+          bit-identical byte counts and clock). {!Wire.Compact} opts
+          into interned opcodes, varint-delta id lists and coalesced
+          CRC-framed transfers — same spy-visible information, fewer
+          bytes on the bottleneck link (DESIGN.md section 13). *)
 }
 
 val default_config : config
@@ -131,12 +139,49 @@ val cpu : t -> int -> unit
 
 val receive : t -> Trace.payload -> bytes:int -> unit
 (** Meters an inbound USB transfer (visible data entering the device)
-    and records it on the [Pc_to_device] link. Under an active
-    {!usb_fault} model a corrupted transfer is retransmitted with
-    exponential backoff — every attempt is charged to the clock,
-    counted in the byte totals and recorded in the trace (a spy sees
-    retransmitted bytes like any others) — until it succeeds or
-    {!Usb_error} is raised. *)
+    with a caller-supplied byte count and records it on the
+    [Pc_to_device] link. Under an active {!usb_fault} model a
+    corrupted transfer is retransmitted with exponential backoff —
+    every attempt is charged to the clock, counted in the byte totals
+    and recorded in the trace (a spy sees retransmitted bytes like any
+    others) — until it succeeds or {!Usb_error} is raised.
+
+    This is the raw, format-oblivious entry point (tests, ad-hoc
+    traffic). Data-bearing executor traffic goes through the typed
+    receives below, which derive the byte count from the actual
+    encoded frame under the configured {!Wire.format}. *)
+
+(** {2 Typed inbound transfers}
+
+    Each call really encodes its message through the device's reused
+    wire buffer and meters the encoded size: under [Verbose] exactly
+    the seed's fixed-width sizes; under [Compact] the interned
+    varint-delta framing, envelope included. Same retry discipline as
+    {!receive}, operating on whole frames. *)
+
+val receive_query : t -> string -> unit
+(** The SQL text entering the device. *)
+
+val receive_id_list : t -> table:string -> int array -> unit
+(** A shipped visible-selection id list (strictly increasing;
+    [Invalid_argument] otherwise). *)
+
+val receive_value_stream :
+  t -> table:string -> column:string -> ty:Ghost_kernel.Value.ty ->
+  (int * Ghost_kernel.Value.t) array -> unit
+(** An id-sorted stream of one visible column's [(id, value)] pairs. *)
+
+val with_usb_batch : t -> (unit -> 'a) -> 'a
+(** [with_usb_batch t f] coalesces every typed receive inside [f] into
+    one vectored USB frame, sent when [f] returns: the burst pays one
+    [usb_per_message_us], draws one corruption lottery and retries as
+    a unit, and the frame envelope's bytes are attributed to the first
+    message's trace event (so per-event byte sums still equal the
+    device byte counters). The preemption hook is suspended for the
+    bracket — a vectored submission is one unit of work; the transfer
+    itself ticks normally. Under [Verbose] (and when nested) this is
+    exactly [f ()]: no framing, no behavior change. An empty bracket
+    sends nothing. *)
 
 val emit_result : t -> count:int -> bytes:int -> unit
 (** Sends result tuples to the secure display ([Device_to_display]

@@ -30,6 +30,32 @@ let get_varint b off =
   in
   loop off 0 0
 
+let put_varint_into b off v =
+  if v < 0 then invalid_arg "Codec.put_varint_into: negative";
+  let rec loop off v =
+    if v < 0x80 then begin
+      Bytes.unsafe_set b off (Char.unsafe_chr v);
+      off + 1
+    end
+    else begin
+      Bytes.unsafe_set b off (Char.unsafe_chr (0x80 lor (v land 0x7F)));
+      loop (off + 1) (v lsr 7)
+    end
+  in
+  loop off v
+
+let get_varint_bounded b off ~stop =
+  let stop = min stop (Bytes.length b) in
+  let rec loop off shift acc =
+    if off >= stop || shift > 56 then None
+    else begin
+      let c = Bytes.get_uint8 b off in
+      let acc = acc lor ((c land 0x7F) lsl shift) in
+      if c < 0x80 then Some (acc, off + 1) else loop (off + 1) (shift + 7) acc
+    end
+  in
+  if off < 0 then None else loop off 0 0
+
 (* Like put_varint but accepts any 63-bit pattern, treated unsigned
    (logical shifts), so zigzag covers the full int range. *)
 let put_varint_bits buf v =

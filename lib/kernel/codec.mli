@@ -21,6 +21,19 @@ val put_varint : Buffer.t -> int -> unit
 val get_varint : bytes -> int -> int * int
 (** [get_varint b off] is [(value, next_off)]. *)
 
+val put_varint_into : bytes -> int -> int -> int
+(** [put_varint_into b off v] writes a non-negative varint directly at
+    [off] and returns the offset past it — the zero-allocation
+    counterpart of {!put_varint} for encoders that own a reusable
+    buffer. The caller guarantees [varint_size v] bytes of room.
+    Raises [Invalid_argument] on negative input. *)
+
+val get_varint_bounded : bytes -> int -> stop:int -> (int * int) option
+(** Bounds- and overflow-checked {!get_varint} for untrusted input:
+    reads only within [off, stop), rejects encodings wider than 63
+    value bits, and returns [None] instead of reading past the limit
+    on a truncated or overlong varint. *)
+
 val put_zigzag : Buffer.t -> int -> unit
 (** Signed varint via zigzag mapping. *)
 

@@ -105,3 +105,29 @@ let member a x =
   i < Array.length a && a.(i) = x
 
 let rank a x = gallop a 0 x
+
+(* The gap convention shared by every delta consumer (Id_list payloads,
+   the wire codec): delta_i = id_i - id_{i-1} - 1 with id_{-1} = -1, so
+   a dense run of ids encodes as a run of zeros. *)
+
+let bad_delta () =
+  invalid_arg "Sorted_ids: not strictly increasing non-negative"
+
+let iter_deltas f a =
+  let prev = ref (-1) in
+  Array.iter
+    (fun id ->
+       if id <= !prev || id < 0 then bad_delta ();
+       f (id - !prev - 1);
+       prev := id)
+    a
+
+let fold_deltas f init a =
+  let prev = ref (-1) and acc = ref init in
+  Array.iter
+    (fun id ->
+       if id <= !prev || id < 0 then bad_delta ();
+       acc := f !acc (id - !prev - 1);
+       prev := id)
+    a;
+  !acc

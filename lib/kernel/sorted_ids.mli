@@ -28,3 +28,15 @@ val member : int array -> int -> bool
 
 val rank : int array -> int -> int
 (** Number of elements strictly below the probe. *)
+
+val iter_deltas : (int -> unit) -> int array -> unit
+(** Iterates the gap sequence of a strictly increasing non-negative
+    list under the shared delta convention
+    [delta_i = id_i - id_{i-1} - 1] (with [id_{-1} = -1]) — the payload
+    layout of {e Id_list} climbing-index entries and of the compact
+    wire protocol, so encoders never re-derive gaps ad hoc. Raises
+    [Invalid_argument] on an out-of-order or negative id. *)
+
+val fold_deltas : ('a -> int -> 'a) -> 'a -> int array -> 'a
+(** [fold_deltas f init ids] folds [f] over the same gap sequence as
+    {!iter_deltas}, with the same validation. *)

@@ -1,26 +1,16 @@
 module Codec = Ghost_kernel.Codec
 module Cursor = Ghost_kernel.Cursor
+module Sorted_ids = Ghost_kernel.Sorted_ids
 
 let encode ids =
   let buf = Buffer.create (Array.length ids * 2) in
-  let prev = ref (-1) in
-  Array.iter
-    (fun id ->
-       if id <= !prev || id < 0 then
-         invalid_arg "Id_list.encode: not strictly increasing non-negative";
-       Codec.put_varint buf (id - !prev - 1);
-       prev := id)
-    ids;
+  (try Sorted_ids.iter_deltas (fun d -> Codec.put_varint buf d) ids
+   with Invalid_argument _ ->
+     invalid_arg "Id_list.encode: not strictly increasing non-negative");
   Buffer.contents buf
 
 let encoded_size ids =
-  let total = ref 0 and prev = ref (-1) in
-  Array.iter
-    (fun id ->
-       total := !total + Codec.varint_size (id - !prev - 1);
-       prev := id)
-    ids;
-  !total
+  Sorted_ids.fold_deltas (fun total d -> total + Codec.varint_size d) 0 ids
 
 let cursor reader ~off ~len =
   let pos = ref off in

@@ -228,6 +228,37 @@ let test_intersect_many () =
   Alcotest.check_raises "empty input" (Invalid_argument "Sorted_ids.intersect_many: no lists")
     (fun () -> ignore (Sorted_ids.intersect_many []))
 
+let test_deltas () =
+  let ids = [| 0; 1; 4; 9 |] in
+  let got = ref [] in
+  Sorted_ids.iter_deltas (fun d -> got := d :: !got) ids;
+  check Alcotest.(list int) "gap sequence" [ 0; 0; 2; 4 ] (List.rev !got);
+  (* Folding id_{-1} = -1 through acc + delta + 1 must restore the last id. *)
+  check Alcotest.int "fold restores last id" 9
+    (Sorted_ids.fold_deltas (fun acc d -> acc + d + 1) (-1) ids);
+  Sorted_ids.iter_deltas (fun _ -> Alcotest.fail "empty list emits no delta") [||];
+  let bad = Invalid_argument "Sorted_ids: not strictly increasing non-negative" in
+  Alcotest.check_raises "duplicate rejected" bad (fun () ->
+      Sorted_ids.iter_deltas ignore [| 1; 1 |]);
+  Alcotest.check_raises "descending rejected" bad (fun () ->
+      ignore (Sorted_ids.fold_deltas (fun n _ -> n + 1) 0 [| 3; 2 |]));
+  Alcotest.check_raises "negative rejected" bad (fun () ->
+      Sorted_ids.iter_deltas ignore [| -1; 2 |])
+
+(* The deltas are the exact payload of Id_list climbing-index entries:
+   re-encoding them as varints must reproduce Id_list.encode. *)
+let prop_deltas_match_id_list =
+  QCheck.Test.make ~name:"iter_deltas matches Id_list.encode" ~count:300
+    arb_sorted (fun ids ->
+      let buf = Buffer.create 64 in
+      Sorted_ids.iter_deltas (fun d -> Codec.put_varint buf d) ids;
+      let via_deltas = Buffer.contents buf in
+      via_deltas = Ghost_store.Id_list.encode ids
+      && String.length via_deltas
+         = Sorted_ids.fold_deltas
+             (fun total d -> total + Codec.varint_size d)
+             0 ids)
+
 (* ---- Cursor ---- *)
 
 let test_cursor_basics () =
@@ -335,6 +366,8 @@ let suite = [
   qtest prop_difference;
   qtest prop_member;
   Alcotest.test_case "intersect_many" `Quick test_intersect_many;
+  Alcotest.test_case "delta iteration" `Quick test_deltas;
+  qtest prop_deltas_match_id_list;
   Alcotest.test_case "cursor basics" `Quick test_cursor_basics;
   qtest prop_cursor_intersect;
   qtest prop_cursor_union;
