@@ -1,0 +1,29 @@
+module Wire = Ghost_wire.Wire
+module Codec = Ghost_kernel.Codec
+
+let () =
+  (* hand-build a compact frame: magic, op_id_list, inline label "t",
+     count=2, delta0 = 5, delta1 = a 9-byte varint decoding negative *)
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf '\xC7';
+  Buffer.add_char buf '\x02';            (* op_id_list *)
+  Buffer.add_char buf '\x00';            (* label tag 0: inline def *)
+  Buffer.add_char buf '\x01';            (* name len 1 *)
+  Buffer.add_char buf 't';
+  Buffer.add_char buf '\x02';            (* count = 2 *)
+  Buffer.add_char buf '\x05';            (* delta0 = 5 -> id 5 *)
+  (* delta1: 9-byte varint with top byte 0x40 -> bit62 set -> negative *)
+  for _ = 1 to 8 do Buffer.add_char buf '\x80' done;
+  Buffer.add_char buf '\x40';
+  let body = Buffer.contents buf in
+  let crc = Codec.crc32 (Bytes.of_string body) ~pos:0 ~len:(String.length body) in
+  let frame = Bytes.create (String.length body + 4) in
+  Bytes.blit_string body 0 frame 0 (String.length body);
+  Codec.put_u32 frame (String.length body) crc;
+  let d = Wire.decoder () in
+  match Wire.decode_frame d frame ~pos:0 ~len:(Bytes.length frame) with
+  | Error e -> Printf.printf "rejected: %s\n" e
+  | Ok [ Wire.Id_list { ids; _ } ] ->
+    Printf.printf "ACCEPTED ids = [%s]\n"
+      (String.concat ";" (Array.to_list (Array.map string_of_int ids)))
+  | Ok _ -> print_endline "other"
