@@ -74,6 +74,10 @@ let load_json path =
 
 (* ---- flattening a metrics.json into comparable scalars ---- *)
 
+(* Integrity machinery metrics ("integrity.*", "scrub.*", "repair.*"
+   and the E21 cell counters) are registry counters, so they land in
+   the exact-match kind below: a changed detection, refresh or repair
+   count fails the gate outright, no tolerance. *)
 type kind = Counter | Time | Gauge
 
 (* A metric whose name carries a microsecond unit is simulated time:

@@ -510,6 +510,7 @@ let robustness ?(scale = default_scale) () =
            Report.us q;
            Printf.sprintf "x%.2f" (total /. Option.get !baseline);
            string_of_int f.Device.flash_ecc_corrected;
+           string_of_int f.Device.flash_ecc_uncorrected;
            string_of_int f.Device.flash_pages_remapped;
            string_of_int f.Device.flash_bad_blocks;
            string_of_int f.Device.usb_retries;
@@ -519,7 +520,7 @@ let robustness ?(scale = default_scale) () =
   Report.make ~id:"E15" ~title:"Robustness: fault injection and recovery overhead"
     ~header:
       [ "profile"; "insert 300"; "demo query"; "vs plain"; "ecc fixed";
-        "remapped"; "bad blk"; "usb retries" ]
+        "ecc uncorr"; "remapped"; "bad blk"; "usb retries" ]
     ~notes:
       [
         "fault injection is deterministic (seeded); the 'plain (seed)' row is \
@@ -1366,6 +1367,210 @@ let wire_formats ?metrics ?(scale = default_scale) () =
       ]
     rows
 
+(* ---- E21 end-to-end integrity: detection, scrubbing, fleet repair ---- *)
+
+let integrity_sweep ?metrics ?(scale = default_scale) () =
+  let module Metrics = Ghost_metrics.Metrics in
+  let module Fleet = Ghost_fleet.Fleet in
+  let module Scrub = Ghost_scrub.Scrub in
+  let module Rng = Ghost_kernel.Rng in
+  let queries =
+    [
+      "SELECT COUNT(*) FROM Prescription Pre WHERE Pre.Quantity BETWEEN 8 AND 10";
+      "SELECT COUNT(*) FROM Prescription Pre, Visit Vis WHERE Vis.Purpose = \
+       'Sclerosis' AND Vis.VisID = Pre.VisID";
+    ]
+  in
+  let page = Device.default_config.Device.flash_geometry.Flash.page_size in
+  (* CRC verification overhead, priced on the E16 hot-cache workload:
+     same queries, warm cache, verify_pages off vs on. The frames = 0
+     variant prices the worst case — every structure read misses, so
+     every one pays the full-page verified read. *)
+  let hot_cache_us ~frames verify =
+    let config =
+      { Device.default_config with
+        Device.verify_pages = verify;
+        page_cache_frames = frames;
+        ram_budget = Device.default_config.Device.ram_budget + (frames * page) }
+    in
+    let db = make_db ~device_config:config scale in
+    Option.iter (fun m -> Ghost_db.set_metrics db (Some m)) metrics;
+    let device = Ghost_db.device db in
+    let round () = List.iter (fun sql -> ignore (Ghost_db.query db sql)) queries in
+    round ();
+    let t0 = Device.elapsed_us device in
+    round ();
+    round ();
+    Ghost_db.flush_metrics db;
+    Device.elapsed_us device -. t0
+  in
+  let plain_us = hot_cache_us ~frames:16 false in
+  let verified_us = hot_cache_us ~frames:16 true in
+  let plain_cold_us = hot_cache_us ~frames:0 false in
+  let verified_cold_us = hot_cache_us ~frames:0 true in
+  let reference =
+    let db = make_db scale in
+    List.map (fun sql -> (Ghost_db.query db sql).Exec.rows) queries
+  in
+  let schema = Medical.schema () in
+  let data = Medical.generate scale in
+  let shards = 2 in
+  let config = { Device.default_config with Device.verify_pages = true } in
+  let run_cell (rate, scrub, replicas) =
+    let fleet =
+      Fleet.create ~device_config:config
+        ~topology:{ Fleet.shards; replicas; partitioning = Fleet.Range }
+        schema data
+    in
+    Option.iter (fun m -> Fleet.set_metrics fleet (Some m)) metrics;
+    (* Latent corruption on shard 0's first replica: a seeded sample of
+       its structure pages, alternating one-bit decays (ECC-correctable
+       — the scrubber's refresh target) and two-bit corruptions (past
+       single-bit ECC: only the CRC trailer catches them). *)
+    let victim = Fleet.db fleet ~shard:0 ~replica:0 in
+    let flash = Device.flash (Ghost_db.device victim) in
+    let s_pages =
+      Array.of_list (Catalog.structure_pages (Ghost_db.catalog victim))
+    in
+    let n = Array.length s_pages in
+    let hit = min n (max 1 (int_of_float (Float.round (rate *. float_of_int n)))) in
+    let rng = Rng.create 97 in
+    let sampled = Hashtbl.create hit in
+    while Hashtbl.length sampled < hit do
+      Hashtbl.replace sampled s_pages.(Rng.int rng n) ()
+    done;
+    let chosen =
+      List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) sampled [])
+    in
+    let bits = page * 8 in
+    let decayed = ref 0 and corrupted = ref 0 in
+    List.iteri
+      (fun i p ->
+         let b = Rng.int rng bits in
+         Flash.corrupt_stored flash ~page:p ~bit:b;
+         if i mod 2 = 0 then incr decayed
+         else begin
+           Flash.corrupt_stored flash ~page:p ~bit:((b + 7) mod bits);
+           incr corrupted
+         end)
+      chosen;
+    let refreshed = ref 0 and scrub_corrupt = ref 0 in
+    if scrub then
+      for s = 0 to shards - 1 do
+        for r = 0 to replicas - 1 do
+          let db = Fleet.db fleet ~shard:s ~replica:r in
+          let sc =
+            Scrub.create (Ghost_db.device db)
+              ~pages:(Catalog.structure_pages (Ghost_db.catalog db))
+          in
+          Scrub.run_pending sc;
+          let p = Scrub.progress sc in
+          refreshed := !refreshed + p.Scrub.refreshed;
+          scrub_corrupt := !scrub_corrupt + List.length p.Scrub.corrupt
+        done
+      done;
+    let run_queries () =
+      List.map2
+        (fun sql expected ->
+           let r = Fleet.query fleet sql in
+           if not r.Fleet.complete then `Failed
+           else if r.Fleet.rows <> expected then `Wrong
+           else `Ok)
+        queries reference
+    in
+    let count tag l = List.length (List.filter (fun x -> x = tag) l) in
+    let first = run_queries () in
+    let detected =
+      let total = ref !scrub_corrupt in
+      for s = 0 to shards - 1 do
+        for r = 0 to replicas - 1 do
+          let d = Ghost_db.device (Fleet.db fleet ~shard:s ~replica:r) in
+          total := !total + (Device.fault_counters d).Device.integrity_errors
+        done
+      done;
+      !total
+    in
+    let repairs = Fleet.anti_entropy fleet in
+    let repaired =
+      List.length (List.filter (fun r -> r.Fleet.rr_repaired) repairs)
+    in
+    let repair_us =
+      List.fold_left (fun a r -> a +. r.Fleet.rr_repair_us) 0. repairs
+    in
+    let after = run_queries () in
+    Fleet.flush_metrics fleet;
+    Option.iter
+      (fun m ->
+         let tag =
+           Printf.sprintf "e21.r%d.hit%d%s" replicas hit
+             (if scrub then ".scrub" else "")
+         in
+         Metrics.incr m (tag ^ ".wrong") ~by:(count `Wrong first);
+         Metrics.incr m (tag ^ ".failed") ~by:(count `Failed first);
+         Metrics.incr m (tag ^ ".detected") ~by:detected;
+         Metrics.incr m (tag ^ ".repaired") ~by:repaired;
+         Metrics.incr m (tag ^ ".bad_after")
+           ~by:(count `Failed after + count `Wrong after))
+      metrics;
+    [
+      Printf.sprintf "%.0f%%" (100. *. rate);
+      string_of_int replicas;
+      (if scrub then "on" else "off");
+      Printf.sprintf "%d+%d" !decayed !corrupted;
+      string_of_int (count `Wrong first);
+      string_of_int (count `Failed first);
+      string_of_int detected;
+      string_of_int !refreshed;
+      string_of_int repaired;
+      (if repaired = 0 then "-" else Report.us repair_us);
+      string_of_int (count `Failed after + count `Wrong after);
+    ]
+  in
+  let cells =
+    List.concat_map
+      (fun rate ->
+         List.concat_map
+           (fun replicas ->
+              List.map (fun scrub -> (rate, scrub, replicas)) [ false; true ])
+           [ 1; 2 ])
+      [ 0.05; 0.2 ]
+  in
+  let rows = List.map run_cell cells in
+  Report.make ~id:"E21"
+    ~title:"End-to-end integrity: detection, scrubbing, fleet repair"
+    ~header:
+      [ "flip rate"; "R"; "scrub"; "pages hit"; "wrong rows"; "failed q";
+        "detected"; "refreshed"; "repaired"; "repair time"; "bad after" ]
+    ~notes:
+      [
+        Printf.sprintf
+          "CRC trailer verification adds %.1f%% device time to the E16 \
+           hot-cache workload (%s off, %s on): cache hits are never \
+           re-verified, so a warm pool pays nothing"
+          (100. *. (verified_us -. plain_us) /. plain_us)
+          (Report.us plain_us) (Report.us verified_us);
+        Printf.sprintf
+          "with the cache off every structure read pays the verified \
+           full-page read: %.1f%% over the seed's partial reads (%s off, \
+           %s on)"
+          (100. *. (verified_cold_us -. plain_cold_us) /. plain_cold_us)
+          (Report.us plain_cold_us) (Report.us verified_cold_us);
+        "pages hit = one-bit decays + two-bit corruptions injected into \
+         shard 0 replica 0's structure pages (seeded sample, alternating); \
+         single flips are ECC-corrected on read, double flips are served \
+         only through the CRC trailer check";
+        "'wrong rows' counts queries whose answer was silently wrong: the \
+         authenticated pages keep it at zero — damage is detected and \
+         failed over, never served";
+        "with R=2 anti-entropy rebuilds the corrupt replica from its \
+         healthy peer through the phased loader ('bad after' = 0); with \
+         R=1 the damaged shard degrades to partial results tagged with the \
+         shard id";
+        "the scrubber refreshes ECC-correctable decays in place during \
+         idle slices, before a second flip pushes them past correction";
+      ]
+    rows
+
 let all ?(scale = default_scale) ?(full = false)
     ?(metrics = fun (_ : string) -> None) () =
   let cardinalities =
@@ -1419,6 +1624,8 @@ let all ?(scale = default_scale) ?(full = false)
        fleet_scaling ?metrics:(metrics "E19") ~scale ~shard_counts ());
     ("E20", "wire formats: verbose vs compact USB framing",
      fun () -> wire_formats ?metrics:(metrics "E20") ~scale ());
+    ("E21", "end-to-end integrity: authenticated pages, scrubbing, fleet repair",
+     fun () -> integrity_sweep ?metrics:(metrics "E21") ~scale ());
     ("A1", "ablation: exact verification joins vs pure Bloom post-filtering",
      fun () -> ablation_exact_post ~scale ());
     ("A2", "ablation: Bloom target false-positive rate vs RAM",

@@ -132,6 +132,17 @@ val wire_formats :
     byte-cut and speedup ratios against the verbose baseline measured
     in the same run. *)
 
+val integrity_sweep :
+  ?metrics:Ghost_metrics.Metrics.t -> ?scale:Medical.scale -> unit -> Report.t
+(** E21 (extension): end-to-end integrity. Prices CRC trailer
+    verification on the E16 hot-cache workload (verify off vs on),
+    then injects seeded latent corruption — alternating ECC-correctable
+    one-bit decays and uncorrectable two-bit flips — into one replica's
+    structure pages of a two-shard fleet and sweeps flip rate ×
+    scrubbing × R ∈ {{1, 2}}: silently-wrong answers (zero, by
+    construction), detections, scrubber refreshes, anti-entropy repairs
+    and repair time, and remaining failures after repair. *)
+
 (** {2 Ablations of design choices} *)
 
 val ablation_exact_post : ?scale:Medical.scale -> unit -> Report.t
@@ -160,9 +171,9 @@ val all :
   (string * string * (unit -> Report.t)) list
 (** The whole suite as (id, one-line description, thunk) triples —
     experiments run only when forced, so id filters (and [--list])
-    don't pay for the rest. E1–E20, A1–A5; [full] raises E10 to the
+    don't pay for the rest. E1–E21, A1–A5; [full] raises E10 to the
     paper's one million prescriptions and E19 to 32 devices.
 
     [metrics] supplies, per experiment id, an optional registry for
-    the instrumented experiments (E16–E20) to record into; defaults to
+    the instrumented experiments (E16–E21) to record into; defaults to
     none for all. *)

@@ -82,6 +82,32 @@ let storage t =
         t.entries;
   }
 
+(* Every Flash page holding a query-time structure: SKT rows, hidden
+   column stores, and climbing indexes (key + attribute). The delta /
+   tombstone logs are excluded — they carry their own record CRCs in
+   the durable format and are rewritten, not scrubbed, on
+   reorganization. Sorted and deduplicated: the scrubber's and
+   anti-entropy's canonical walk order. *)
+let structure_pages t =
+  let acc = List.concat_map (fun (_, s) -> Skt.pages s) t.skts in
+  let acc =
+    List.fold_left
+      (fun acc (_, e) ->
+         let acc =
+           List.fold_left (fun acc (_, cs) -> Column_store.pages cs @ acc)
+             acc e.hidden_columns
+         in
+         let acc =
+           match e.key_index with
+           | Some i -> Climbing_index.pages i @ acc
+           | None -> acc
+         in
+         List.fold_left (fun acc (_, i) -> Climbing_index.pages i @ acc)
+           acc e.attr_indexes)
+      acc t.entries
+  in
+  List.sort_uniq compare acc
+
 let pp_storage fmt r =
   Format.fprintf fmt
     "hidden base data %d B; SKTs %d B; climbing indexes %d B; key indexes %d B (total %d B)"

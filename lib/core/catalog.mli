@@ -68,3 +68,10 @@ type storage_report = {
 
 val storage : t -> storage_report
 val pp_storage : Format.formatter -> storage_report -> unit
+
+val structure_pages : t -> int list
+(** Every Flash page holding a query-time structure (SKT rows, hidden
+    column stores, climbing indexes), sorted and deduplicated — the
+    canonical walk list for the background scrubber and the fleet's
+    anti-entropy digests. The delta / tombstone logs are excluded:
+    their durable format carries its own record CRCs. *)

@@ -458,7 +458,7 @@ let check_bloom_fpr fpr =
       (Printf.sprintf
          "Exec: bloom_fpr must lie strictly between 0 and 1, got %g" fpr)
 
-let execute ~exact_post ~bloom_fpr ~scratch catalog public plan =
+let execute_once ~exact_post ~bloom_fpr ~scratch catalog public plan =
   Plan.validate plan;
   check_bloom_fpr bloom_fpr;
   let device = catalog.Catalog.device in
@@ -915,6 +915,28 @@ let execute ~exact_post ~bloom_fpr ~scratch catalog public plan =
       ram_peak;
       bloom_fp_candidates = ctx.bloom_fps;
     })
+
+(* Graceful degradation under a detected integrity failure. A caught
+   {!Flash.Integrity_error} aborts the attempt cleanly (the deferred
+   RAM-scope close runs, the scratch region is reclaimable), the
+   poisoned frame is dropped from the page cache, and a cache-bypass
+   re-read of the accused page classifies the failure: if the cells
+   still verify, the corruption was transient (a stale frame) and the
+   plan is retried once from the top; if not, the damage is
+   persistent and the session fails with the original error — never
+   with silently wrong rows. *)
+let execute ~exact_post ~bloom_fpr ~scratch catalog public plan =
+  try execute_once ~exact_post ~bloom_fpr ~scratch catalog public plan with
+  | Flash.Integrity_error { page; _ } as e ->
+    let device = catalog.Catalog.device in
+    (match Device.page_cache device with
+     | Some c -> Page_cache.invalidate c ~page
+     | None -> ());
+    let transient = Flash.page_intact (Device.flash device) ~page in
+    Device.note_integrity_error device ~transient;
+    if transient then
+      execute_once ~exact_post ~bloom_fpr ~scratch catalog public plan
+    else raise e
 
 let run ?(exact_post = true) ?(bloom_fpr = 0.01) catalog public plan =
   execute ~exact_post ~bloom_fpr

@@ -221,8 +221,10 @@ exception Image_error of string
 (* Bumped to 4 when the image gained its length header and CRC-32
    trailer (and the instance its reorg field); to 5 when the device
    config gained its wire-format field and the device its wire
-   encoder: older marshalled images are incompatible. *)
-let image_magic = "GHOSTDB-IMAGE-5\n"
+   encoder; to 6 when the config gained verify_pages and the Flash
+   regions their authentication flag and latent-corruption table:
+   older marshalled images are incompatible. *)
+let image_magic = "GHOSTDB-IMAGE-6\n"
 
 (* Image layout: magic | u64 payload length | payload (marshalled
    instance) | u32 CRC-32 of the payload. Written to [<path>.tmp] and

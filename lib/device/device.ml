@@ -32,6 +32,7 @@ type config = {
   durable_logs : bool;
   page_cache_frames : int;
   wire_format : Wire.format;
+  verify_pages : bool;
 }
 
 let default_config = {
@@ -46,6 +47,7 @@ let default_config = {
   durable_logs = false;
   page_cache_frames = 0;
   wire_format = Wire.Verbose;
+  verify_pages = false;
 }
 
 let high_speed_usb config = { config with usb_mbit_per_s = 480.0 }
@@ -53,6 +55,7 @@ let high_speed_usb config = { config with usb_mbit_per_s = 480.0 }
 type fault_counters = {
   flash_bit_flips : int;
   flash_ecc_corrected : int;
+  flash_ecc_uncorrected : int;
   flash_program_failures : int;
   flash_pages_remapped : int;
   flash_bad_blocks : int;
@@ -64,6 +67,11 @@ type fault_counters = {
   reorg_checkpoints : int;
   reorg_rollbacks : int;
   reorg_rollforwards : int;
+  integrity_errors : int;
+  integrity_transients : int;
+  pages_scrubbed : int;
+  scrub_refreshes : int;
+  repair_rebuilds : int;
 }
 
 type snapshot = {
@@ -104,6 +112,11 @@ type t = {
   mutable reorg_checkpoints : int;
   mutable reorg_rollbacks : int;
   mutable reorg_rollforwards : int;
+  mutable integrity_errors : int;
+  mutable integrity_transients : int;
+  mutable pages_scrubbed : int;
+  mutable scrub_refreshes : int;
+  mutable repair_rebuilds : int;
   mutable cpu_ops : int;
   mutable metrics : Ghost_metrics.Metrics.t option;
       (* observability registry; [None] (the default) costs one branch
@@ -131,6 +144,10 @@ let create ?(config = default_config) ~trace () =
     Flash.create ~geometry:config.flash_geometry ~cost:config.flash_cost
       ?fault:config.flash_fault ()
   in
+  (* Only the main store carries trailers: scratch regions hold
+     per-query spill runs that never outlive a session, so sealing
+     them would buy nothing and complicate the spill writers. *)
+  if config.verify_pages then Flash.set_authenticated flash true;
   let ram = Ram.create ~budget:config.ram_budget in
   {
   config;
@@ -159,6 +176,11 @@ let create ?(config = default_config) ~trace () =
   reorg_checkpoints = 0;
   reorg_rollbacks = 0;
   reorg_rollforwards = 0;
+  integrity_errors = 0;
+  integrity_transients = 0;
+  pages_scrubbed = 0;
+  scrub_refreshes = 0;
+  repair_rebuilds = 0;
   cpu_ops = 0;
   metrics = None;
   published = None;
@@ -368,6 +390,24 @@ let note_reorg_outcome t ~rolled_forward =
     metric t "reorg.rollbacks"
   end
 
+let note_integrity_error t ~transient =
+  t.integrity_errors <- t.integrity_errors + 1;
+  metric t "integrity.errors";
+  if transient then begin
+    t.integrity_transients <- t.integrity_transients + 1;
+    metric t "integrity.transient_retries"
+  end
+
+let note_scrub t ~pages ~refreshes =
+  t.pages_scrubbed <- t.pages_scrubbed + pages;
+  t.scrub_refreshes <- t.scrub_refreshes + refreshes;
+  metric t ~by:pages "scrub.pages";
+  if refreshes > 0 then metric t ~by:refreshes "scrub.refreshes"
+
+let note_repair t =
+  t.repair_rebuilds <- t.repair_rebuilds + 1;
+  metric t "repair.rebuilds"
+
 let emit_reorg_progress t ~phase ~phases =
   transfer t Outbound Trace.Device_to_pc
     (Trace.Reorg_progress { phase; phases }) ~bytes:0
@@ -410,6 +450,7 @@ let session_us t = elapsed_us t +. t.vclock_offset
 let zero_faults = {
   flash_bit_flips = 0;
   flash_ecc_corrected = 0;
+  flash_ecc_uncorrected = 0;
   flash_program_failures = 0;
   flash_pages_remapped = 0;
   flash_bad_blocks = 0;
@@ -421,11 +462,17 @@ let zero_faults = {
   reorg_checkpoints = 0;
   reorg_rollbacks = 0;
   reorg_rollforwards = 0;
+  integrity_errors = 0;
+  integrity_transients = 0;
+  pages_scrubbed = 0;
+  scrub_refreshes = 0;
+  repair_rebuilds = 0;
 }
 
 let add_faults a b = {
   flash_bit_flips = a.flash_bit_flips + b.flash_bit_flips;
   flash_ecc_corrected = a.flash_ecc_corrected + b.flash_ecc_corrected;
+  flash_ecc_uncorrected = a.flash_ecc_uncorrected + b.flash_ecc_uncorrected;
   flash_program_failures = a.flash_program_failures + b.flash_program_failures;
   flash_pages_remapped = a.flash_pages_remapped + b.flash_pages_remapped;
   flash_bad_blocks = a.flash_bad_blocks + b.flash_bad_blocks;
@@ -437,11 +484,18 @@ let add_faults a b = {
   reorg_checkpoints = a.reorg_checkpoints + b.reorg_checkpoints;
   reorg_rollbacks = a.reorg_rollbacks + b.reorg_rollbacks;
   reorg_rollforwards = a.reorg_rollforwards + b.reorg_rollforwards;
+  integrity_errors = a.integrity_errors + b.integrity_errors;
+  integrity_transients = a.integrity_transients + b.integrity_transients;
+  pages_scrubbed = a.pages_scrubbed + b.pages_scrubbed;
+  scrub_refreshes = a.scrub_refreshes + b.scrub_refreshes;
+  repair_rebuilds = a.repair_rebuilds + b.repair_rebuilds;
 }
 
 let diff_faults ~after ~before = {
   flash_bit_flips = after.flash_bit_flips - before.flash_bit_flips;
   flash_ecc_corrected = after.flash_ecc_corrected - before.flash_ecc_corrected;
+  flash_ecc_uncorrected =
+    after.flash_ecc_uncorrected - before.flash_ecc_uncorrected;
   flash_program_failures =
     after.flash_program_failures - before.flash_program_failures;
   flash_pages_remapped = after.flash_pages_remapped - before.flash_pages_remapped;
@@ -454,6 +508,11 @@ let diff_faults ~after ~before = {
   reorg_checkpoints = after.reorg_checkpoints - before.reorg_checkpoints;
   reorg_rollbacks = after.reorg_rollbacks - before.reorg_rollbacks;
   reorg_rollforwards = after.reorg_rollforwards - before.reorg_rollforwards;
+  integrity_errors = after.integrity_errors - before.integrity_errors;
+  integrity_transients = after.integrity_transients - before.integrity_transients;
+  pages_scrubbed = after.pages_scrubbed - before.pages_scrubbed;
+  scrub_refreshes = after.scrub_refreshes - before.scrub_refreshes;
+  repair_rebuilds = after.repair_rebuilds - before.repair_rebuilds;
 }
 
 let no_faults f = f = zero_faults
@@ -470,6 +529,7 @@ let fault_counters (t : t) =
   {
     flash_bit_flips = fs.Flash.bit_flips;
     flash_ecc_corrected = fs.Flash.ecc_corrected;
+    flash_ecc_uncorrected = fs.Flash.ecc_uncorrected;
     flash_program_failures = fs.Flash.program_failures;
     flash_pages_remapped = fs.Flash.pages_remapped;
     flash_bad_blocks = fs.Flash.bad_blocks_marked;
@@ -481,6 +541,11 @@ let fault_counters (t : t) =
     reorg_checkpoints = t.reorg_checkpoints;
     reorg_rollbacks = t.reorg_rollbacks;
     reorg_rollforwards = t.reorg_rollforwards;
+    integrity_errors = t.integrity_errors;
+    integrity_transients = t.integrity_transients;
+    pages_scrubbed = t.pages_scrubbed;
+    scrub_refreshes = t.scrub_refreshes;
+    repair_rebuilds = t.repair_rebuilds;
   }
 
 let snapshot (t : t) : snapshot = {
@@ -598,10 +663,18 @@ let pp_usage fmt u =
     u.used_usb_bytes_in u.cpu_us u.used_cpu_ops;
   if not (no_faults u.faults) then
     Format.fprintf fmt
-      " [faults: %d flips (%d ecc-fixed), %d prog-fail, %d remapped, %d bad blk, %d power cuts, %d usb retries]"
+      " [faults: %d flips (%d ecc-fixed, %d uncorrected), %d prog-fail, %d remapped, %d bad blk, %d power cuts, %d usb retries]"
       u.faults.flash_bit_flips u.faults.flash_ecc_corrected
+      u.faults.flash_ecc_uncorrected
       u.faults.flash_program_failures u.faults.flash_pages_remapped
       u.faults.flash_bad_blocks u.faults.flash_power_cuts u.faults.usb_retries;
+  if u.faults.integrity_errors > 0 || u.faults.pages_scrubbed > 0
+     || u.faults.repair_rebuilds > 0 then
+    Format.fprintf fmt
+      " [integrity: %d errors (%d transient), %d scrubbed, %d refreshed, %d rebuilt]"
+      u.faults.integrity_errors u.faults.integrity_transients
+      u.faults.pages_scrubbed u.faults.scrub_refreshes
+      u.faults.repair_rebuilds;
   if not (Page_cache.no_activity u.cache) then
     Format.fprintf fmt " [cache: %d hit %d miss %d evict %d inval]"
       u.cache.Page_cache.hits u.cache.Page_cache.misses

@@ -65,6 +65,13 @@ type config = {
           into interned opcodes, varint-delta id lists and coalesced
           CRC-framed transfers — same spy-visible information, fewer
           bytes on the bottleneck link (DESIGN.md section 13). *)
+  verify_pages : bool;
+      (** authenticate the main Flash region: structure-page writers
+          seal every page with a CRC-32 trailer and every cache-miss
+          read verifies it, raising {!Flash.Integrity_error} instead
+          of letting corrupt bytes reach the executor (DESIGN.md
+          section 14). Default false: unauthenticated pages, every
+          output bit-identical to the seed. *)
 }
 
 val default_config : config
@@ -203,6 +210,20 @@ val note_reorg_outcome : t -> rolled_forward:bool -> unit
     roll-forward (resumed from the last durable checkpoint) or
     roll-back (pre-reorg image kept). *)
 
+val note_integrity_error : t -> transient:bool -> unit
+(** Accounts one caught {!Flash.Integrity_error}; [transient] marks
+    failures a cache-bypass re-read survived (stale frame) as opposed
+    to persistent cell damage. Also counts [integrity.*] metrics. *)
+
+val note_scrub : t -> pages:int -> refreshes:int -> unit
+(** Accounts one scrubber batch: [pages] verified, of which
+    [refreshes] were rewritten in place ([scrub.*] metrics). *)
+
+val note_repair : t -> unit
+(** Accounts one fleet repair that rebuilt this device's replica from
+    a healthy peer ([repair.rebuilds] metric — recorded on the rebuilt
+    device). *)
+
 val emit_reorg_progress : t -> phase:int -> phases:int -> unit
 (** A zero-byte reorganization checkpoint notice on [Device_to_pc]
     (spy-visible, auditor-allowed): the device signals it is alive
@@ -242,6 +263,8 @@ val elapsed_us : t -> float
 type fault_counters = {
   flash_bit_flips : int;
   flash_ecc_corrected : int;
+  flash_ecc_uncorrected : int;
+      (** bit errors served corrupt (ECC off or beyond correction) *)
   flash_program_failures : int;
   flash_pages_remapped : int;
   flash_bad_blocks : int;
@@ -253,6 +276,11 @@ type fault_counters = {
   reorg_checkpoints : int;  (** durable reorg checkpoint records written *)
   reorg_rollbacks : int;  (** interrupted reorgs rolled back to the old image *)
   reorg_rollforwards : int;  (** interrupted reorgs resumed from a checkpoint *)
+  integrity_errors : int;  (** CRC trailer mismatches caught by readers *)
+  integrity_transients : int;  (** of which a cache-bypass re-read survived *)
+  pages_scrubbed : int;  (** pages the background scrubber verified *)
+  scrub_refreshes : int;  (** decaying pages the scrubber rewrote in place *)
+  repair_rebuilds : int;  (** replica rebuilds from a healthy fleet peer *)
 }
 (** Robustness counters: faults injected and survived. All zero unless
     fault injection is configured (or a recovery was noted). *)

@@ -104,7 +104,7 @@ let victim t =
 (* The frame holding [page], filling (and possibly evicting) on a miss.
    The fill is a full-page Flash read: that is the metered cost of a
    cache miss; hits cost no Flash time at all. *)
-let frame_for t page =
+let frame_for t ~verify page =
   match Hashtbl.find_opt t.frame_of page with
   | Some f ->
     t.hits <- t.hits + 1;
@@ -115,6 +115,9 @@ let frame_for t page =
     t.misses <- t.misses + 1;
     metric t "cache.misses";
     let image = Flash.read_page t.flash page in
+    (* Verify before victim selection: a corrupt image must never be
+       installed in a frame, where later hits would serve it silently. *)
+    if verify then Flash.verify_image t.flash ~page image;
     let f = victim t in
     if t.page_of.(f) >= 0 then begin
       t.evictions <- t.evictions + 1;
@@ -127,11 +130,11 @@ let frame_for t page =
     Hashtbl.replace t.frame_of page f;
     f
 
-let read t ~page ~off ~len dst ~pos =
+let read ?(verify = false) t ~page ~off ~len dst ~pos =
   check t;
   if off < 0 || len < 0 || off + len > t.page_size then
     invalid_arg "Page_cache.read: range out of page bounds";
-  let f = frame_for t page in
+  let f = frame_for t ~verify page in
   Bytes.blit t.data.(f) off dst pos len
 
 let invalidate t ~page =

@@ -52,11 +52,18 @@ val frame_bytes : t -> int
 val resident : t -> int
 (** Frames currently holding a page. *)
 
-val read : t -> page:int -> off:int -> len:int -> bytes -> pos:int -> unit
+val read :
+  ?verify:bool -> t -> page:int -> off:int -> len:int -> bytes -> pos:int -> unit
 (** [read t ~page ~off ~len dst ~pos] copies [len] bytes at [off] of
     [page] into [dst] at [pos], filling the page's frame first on a
     miss. Raises [Invalid_argument] on a range outside the page, or on
-    a never-programmed page (propagated from the fill read). *)
+    a never-programmed page (propagated from the fill read).
+
+    With [~verify:true] (authenticated devices) the miss-path fill is
+    checked against the page's CRC-32 trailer before it is installed:
+    a mismatch raises {!Flash.Integrity_error} and leaves the frame
+    pool untouched, so a corrupt image can never be served from a hit.
+    Hits are not re-verified — a frame was checked when filled. *)
 
 val invalidate : t -> page:int -> unit
 (** Drops [page]'s frame if resident. Called by the log layers after a

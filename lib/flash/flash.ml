@@ -1,4 +1,5 @@
 module Rng = Ghost_kernel.Rng
+module Codec = Ghost_kernel.Codec
 
 type geometry = {
   page_size : int;
@@ -104,6 +105,7 @@ let no_faults = {
 type fault_stats = {
   bit_flips : int;
   ecc_corrected : int;
+  ecc_uncorrected : int;
   program_failures : int;
   pages_remapped : int;
   bad_blocks_marked : int;
@@ -113,6 +115,7 @@ type fault_stats = {
 let zero_fault_stats = {
   bit_flips = 0;
   ecc_corrected = 0;
+  ecc_uncorrected = 0;
   program_failures = 0;
   pages_remapped = 0;
   bad_blocks_marked = 0;
@@ -122,6 +125,7 @@ let zero_fault_stats = {
 let add_fault_stats a b = {
   bit_flips = a.bit_flips + b.bit_flips;
   ecc_corrected = a.ecc_corrected + b.ecc_corrected;
+  ecc_uncorrected = a.ecc_uncorrected + b.ecc_uncorrected;
   program_failures = a.program_failures + b.program_failures;
   pages_remapped = a.pages_remapped + b.pages_remapped;
   bad_blocks_marked = a.bad_blocks_marked + b.bad_blocks_marked;
@@ -131,6 +135,7 @@ let add_fault_stats a b = {
 let diff_fault_stats ~after ~before = {
   bit_flips = after.bit_flips - before.bit_flips;
   ecc_corrected = after.ecc_corrected - before.ecc_corrected;
+  ecc_uncorrected = after.ecc_uncorrected - before.ecc_uncorrected;
   program_failures = after.program_failures - before.program_failures;
   pages_remapped = after.pages_remapped - before.pages_remapped;
   bad_blocks_marked = after.bad_blocks_marked - before.bad_blocks_marked;
@@ -159,10 +164,14 @@ type t = {
   bad_blocks : (int, unit) Hashtbl.t;
   mutable power : power_line;  (* countdown over page programs *)
   mutable fault_stats : fault_stats;
+  mutable authenticated : bool;  (* pages carry a CRC-32 trailer *)
+  flipped : (int, int list) Hashtbl.t;
+      (* page -> stored-bit indexes currently flipped in the cells *)
 }
 
 exception Program_error of string
 exception Power_cut of { page : int; programmed : int }
+exception Integrity_error of { page : int; what : string }
 
 let create ?(geometry = default_geometry) ?(cost = default_cost) ?fault () = {
   geometry;
@@ -176,6 +185,8 @@ let create ?(geometry = default_geometry) ?(cost = default_cost) ?fault () = {
   bad_blocks = Hashtbl.create 8;
   power = { cut_after = None };
   fault_stats = zero_fault_stats;
+  authenticated = false;
+  flipped = Hashtbl.create 8;
 }
 
 let geometry t = t.geometry
@@ -184,6 +195,61 @@ let set_cost t cost = t.cost <- cost
 let set_fault t fault =
   t.fault <- fault;
   t.rng <- Option.map (fun f -> Rng.create f.fault_seed) fault
+
+let set_authenticated t flag = t.authenticated <- flag
+let authenticated t = t.authenticated
+
+let auth_trailer_bytes = 4
+
+(* An authenticated page: payload | zero padding | CRC-32 of everything
+   before the trailer. Sealing always emits a full page so the trailer
+   sits at a fixed offset readers can find without a length header. *)
+let seal_page t payload =
+  let cap = t.geometry.page_size - auth_trailer_bytes in
+  let len = Bytes.length payload in
+  if len > cap then
+    raise (Program_error
+             (Printf.sprintf "seal_page: %d bytes exceeds sealed capacity %d"
+                len cap));
+  let page = Bytes.make t.geometry.page_size '\000' in
+  Bytes.blit payload 0 page 0 len;
+  Codec.put_u32 page cap (Codec.crc32 page ~pos:0 ~len:cap);
+  page
+
+let verify_image t ~page img =
+  let cap = t.geometry.page_size - auth_trailer_bytes in
+  if Codec.get_u32 img cap <> Codec.crc32 img ~pos:0 ~len:cap then
+    raise (Integrity_error { page; what = "page CRC trailer mismatch" })
+
+let is_programmed t page =
+  page >= 0 && page < t.page_high_water
+  && (match t.pages.(page) with Programmed _ -> true | Erased -> false)
+
+let ecc_enabled t =
+  match t.fault with Some f -> f.ecc | None -> true
+
+(* Latent cell corruption: toggle a stored bit in place, without
+   touching the simulated clock. Used by tests, chaos harnesses and
+   experiments; toggling the same bit twice restores it. The flip lives
+   in the cells, so every subsequent read of the page observes it until
+   the page is erased or refreshed. *)
+let corrupt_stored t ~page ~bit =
+  if not (is_programmed t page) then
+    invalid_arg (Printf.sprintf "Flash.corrupt_stored: page %d not programmed" page);
+  if bit < 0 || bit >= t.geometry.page_size * 8 then
+    invalid_arg "Flash.corrupt_stored: bit out of page bounds";
+  let bits = Option.value ~default:[] (Hashtbl.find_opt t.flipped page) in
+  let bits =
+    if List.mem bit bits then List.filter (fun b -> b <> bit) bits
+    else bit :: bits
+  in
+  if bits = [] then Hashtbl.remove t.flipped page
+  else Hashtbl.replace t.flipped page bits
+
+let page_errors t page =
+  match Hashtbl.find_opt t.flipped page with
+  | Some bits -> List.length bits
+  | None -> 0
 
 let arm_power_cut t ~after_programs =
   if after_programs < 1 then invalid_arg "Flash.arm_power_cut";
@@ -357,12 +423,49 @@ let inject_read_faults t out len =
       charge_read t len  (* the corrective re-read *)
     end
     else begin
+      t.fault_stats <-
+        { t.fault_stats with ecc_uncorrected = t.fault_stats.ecc_uncorrected + 1 };
       let bit = Rng.int rng (len * 8) in
       let byte = bit / 8 in
       Bytes.set out byte
         (Char.chr (Char.code (Bytes.get out byte) lxor (1 lsl (bit mod 8))))
     end
   | _ -> ()
+
+(* Latent cell flips (see [corrupt_stored]) observed by a read of
+   [off, off+len). A single flipped bit on the page is within the ECC
+   code's correction capacity: the controller fixes it with a metered
+   re-read and the caller sees clean data. More flips than that — or
+   ECC off — and the damage reaches the returned buffer. *)
+let apply_stored_flips t ~page ~off ~len out =
+  match Hashtbl.find_opt t.flipped page with
+  | None -> ()
+  | Some bits ->
+    let overlapping =
+      List.filter (fun b -> b / 8 >= off && b / 8 < off + len) bits
+    in
+    if overlapping <> [] then begin
+      t.fault_stats <-
+        { t.fault_stats with
+          bit_flips = t.fault_stats.bit_flips + List.length overlapping };
+      if ecc_enabled t && List.length bits = 1 then begin
+        t.fault_stats <-
+          { t.fault_stats with ecc_corrected = t.fault_stats.ecc_corrected + 1 };
+        charge_read t len  (* the corrective re-read *)
+      end
+      else begin
+        t.fault_stats <-
+          { t.fault_stats with
+            ecc_uncorrected =
+              t.fault_stats.ecc_uncorrected + List.length overlapping };
+        List.iter
+          (fun b ->
+             let byte = (b / 8) - off in
+             Bytes.set out byte
+               (Char.chr (Char.code (Bytes.get out byte) lxor (1 lsl (b mod 8)))))
+          overlapping
+      end
+    end
 
 let read t ~page ~off ~len =
   if page < 0 || page >= t.page_high_water then
@@ -377,10 +480,38 @@ let read t ~page ~off ~len =
     (* Bytes past the programmed prefix read back as zeros (padding). *)
     let avail = max 0 (min len (plen - off)) in
     if avail > 0 then Bytes.blit data off out 0 avail;
+    apply_stored_flips t ~page ~off ~len out;
     inject_read_faults t out len;
     out
 
 let read_page t page = read t ~page ~off:0 ~len:t.geometry.page_size
+
+(* Classify a failed verify: does a fresh full-page read (straight from
+   the cells, no cache in this layer) pass the trailer check? If so the
+   earlier corruption was transient (injected on the wire out of the
+   cells, or since repaired); if not, the damage is in the cells. *)
+let page_intact t ~page =
+  if not t.authenticated then
+    invalid_arg "Flash.page_intact: device is not authenticated";
+  if not (is_programmed t page) then false
+  else
+    match verify_image t ~page (read_page t page) with
+    | () -> true
+    | exception Integrity_error _ -> false
+
+(* In-place refresh of a decaying page: read the (ECC-corrected)
+   content and reprogram it onto a spare, keeping the logical page id
+   stable — the simulated FTL's spare-area remap. Clears the latent
+   flips; charged as one read plus one program. *)
+let rewrite_page t ~page =
+  if not (is_programmed t page) then
+    invalid_arg (Printf.sprintf "Flash.rewrite_page: page %d not programmed" page);
+  (match t.pages.(page) with
+   | Programmed { len; _ } ->
+     charge_read t t.geometry.page_size;
+     charge_program t len
+   | Erased -> assert false);
+  Hashtbl.remove t.flipped page
 
 let erase_block t block =
   let first = block * t.geometry.pages_per_block in
@@ -392,6 +523,7 @@ let erase_block t block =
       (match t.pages.(p) with
        | Programmed _ ->
          t.pages.(p) <- Erased;
+         Hashtbl.remove t.flipped p;
          t.free <- p :: t.free
        | Erased -> ())
     done;

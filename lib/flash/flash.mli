@@ -76,8 +76,11 @@ val no_faults : fault_config
     sweeps. *)
 
 type fault_stats = {
-  bit_flips : int;  (** raw bit errors injected on reads *)
+  bit_flips : int;  (** raw bit errors observed by reads *)
   ecc_corrected : int;  (** of which the controller ECC corrected *)
+  ecc_uncorrected : int;
+      (** bit errors served corrupt to the caller — ECC off, or damage
+          beyond the code's correction capacity *)
   program_failures : int;  (** program attempts that failed *)
   pages_remapped : int;  (** writes transparently moved to spare pages *)
   bad_blocks_marked : int;  (** blocks retired from allocation *)
@@ -101,6 +104,11 @@ exception Power_cut of { page : int; programmed : int }
     intended content) in its cells. The device is assumed to restart;
     higher layers must run their recovery protocol before appending
     again. *)
+
+exception Integrity_error of { page : int; what : string }
+(** Raised by {!verify_image} (and through it by every verifying
+    reader) when a page's CRC-32 trailer does not match its content:
+    corrupt bytes were about to flow into the executor. *)
 
 val create : ?geometry:geometry -> ?cost:cost -> ?fault:fault_config -> unit -> t
 val geometry : t -> geometry
@@ -162,6 +170,66 @@ val read : t -> page:int -> off:int -> len:int -> bytes
 
 val read_page : t -> int -> bytes
 (** Full-page read. *)
+
+(** {2 Authenticated pages}
+
+    With authentication on, structure-page writers reserve the last
+    {!auth_trailer_bytes} of every page for a CRC-32 of the rest, so
+    any reader can verify a served page end-to-end — catching exactly
+    the flips ECC misses. Off by default: an unauthenticated device is
+    bit-identical to the seed simulator. *)
+
+val set_authenticated : t -> bool -> unit
+val authenticated : t -> bool
+
+val auth_trailer_bytes : int
+(** Bytes of each page the CRC-32 trailer occupies (4). Sealed pages
+    carry [page_size - auth_trailer_bytes] bytes of payload. *)
+
+val seal_page : t -> bytes -> bytes
+(** [seal_page t payload] — a full page image: payload, zero padding,
+    CRC-32 trailer. Raises {!Program_error} if the payload exceeds the
+    sealed capacity. Pure; the caller programs the result. *)
+
+val verify_image : t -> page:int -> bytes -> unit
+(** Checks a full-page image against its trailer; raises
+    {!Integrity_error} on mismatch. Pure and uncharged — the caller
+    already paid for the read that produced the image. *)
+
+val page_intact : t -> page:int -> bool
+(** Re-reads [page] straight from the cells (metered) and reports
+    whether its trailer verifies — classifies a caught
+    {!Integrity_error} as transient (stale cache frame, since-repaired
+    damage) or persistent (bad cells). [false] for erased pages. *)
+
+(** {2 Latent corruption and refresh}
+
+    {!read}'s probabilistic flips model transient read disturbs; these
+    entry points model {e retention failure} — bits decaying in the
+    cells, visible to every later read until the page is erased or
+    refreshed. They are the corruption source for integrity tests and
+    E21, and the damage the scrubber exists to catch. *)
+
+val corrupt_stored : t -> page:int -> bit:int -> unit
+(** Toggles one stored bit of a programmed page, free of simulated
+    charge (cosmic rays do not bill the clock). Toggling the same bit
+    twice restores it. A read window covering the bit observes it: one
+    flipped bit per page is within ECC correction capacity (corrected,
+    metered re-read); more than one — or ECC off — reaches the caller's
+    buffer and bumps [ecc_uncorrected]. *)
+
+val page_errors : t -> int -> int
+(** Stored bits currently flipped on the page (0 for clean pages). *)
+
+val is_programmed : t -> int -> bool
+(** Whether the page is in the programmed state (in range, not erased). *)
+
+val rewrite_page : t -> page:int -> unit
+(** Scrub refresh: reads the page (ECC-corrected) and reprograms the
+    content onto a spare, the logical id staying stable — the FTL's
+    spare-area remap. Clears its latent flips; charged one full-page
+    read plus one program. Raises [Invalid_argument] if the page is not
+    programmed. *)
 
 val erase_block : t -> int -> unit
 (** Erases the given block (all its pages become programmable again;

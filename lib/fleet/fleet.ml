@@ -1,13 +1,17 @@
 module Value = Ghost_kernel.Value
+module Codec = Ghost_kernel.Codec
 module Schema = Ghost_relation.Schema
 module Relation = Ghost_relation.Relation
 module Predicate = Ghost_relation.Predicate
+module Flash = Ghost_flash.Flash
 module Device = Ghost_device.Device
 module Bind = Ghost_sql.Bind
 module Aggregate = Ghost_sql.Aggregate
 module Postproc = Ghost_sql.Postproc
 module Spy = Ghost_public.Spy
 module Ghost_db = Ghostdb.Ghost_db
+module Catalog = Ghostdb.Catalog
+module Reorganize = Ghostdb.Reorganize
 module Exec = Ghostdb.Exec
 module Planner = Ghostdb.Planner
 module Cost = Ghostdb.Cost
@@ -39,7 +43,7 @@ let health_name = function
   | Dead -> "dead"
 
 type replica = {
-  rep_db : Ghost_db.t;
+  mutable rep_db : Ghost_db.t;  (* swapped wholesale by a repair *)
   rep_shard : int;
   rep_index : int;
   mutable state : health;
@@ -47,6 +51,7 @@ type replica = {
   mutable forced_down : bool;
   mutable errors : int;
   mutable timeouts : int;
+  mutable integrity_failures : int;
   mutable probes : int;
   mutable probe_failures : int;
 }
@@ -62,6 +67,7 @@ type t = {
   f_topology : topology;
   f_robustness : robustness;
   f_shards : shard array;
+  f_index_hidden_fks : bool option;  (* replayed by replica rebuilds *)
   root_name : string;
   root_key : string;
   n_root : int;
@@ -161,6 +167,7 @@ let create ?device_config ?per_device_config ?index_hidden_fks
                forced_down = false;
                errors = 0;
                timeouts = 0;
+               integrity_failures = 0;
                probes = 0;
                probe_failures = 0;
              })
@@ -178,6 +185,7 @@ let create ?device_config ?per_device_config ?index_hidden_fks
     f_topology = topology;
     f_robustness = robustness;
     f_shards = shards;
+    f_index_hidden_fks = index_hidden_fks;
     root_name = root.Schema.name;
     root_key = root.Schema.key;
     n_root;
@@ -293,6 +301,7 @@ type replica_stats = {
   r_state : health;
   r_errors : int;
   r_timeouts : int;
+  r_integrity_failures : int;
   r_probes : int;
   r_probe_failures : int;
 }
@@ -303,6 +312,7 @@ let replica_stats t ~shard ~replica:r =
     r_state = rep.state;
     r_errors = rep.errors;
     r_timeouts = rep.timeouts;
+    r_integrity_failures = rep.integrity_failures;
     r_probes = rep.probes;
     r_probe_failures = rep.probe_failures;
   }
@@ -426,7 +436,7 @@ type result = {
   shard_reports : shard_report list;
 }
 
-type attempt_failure = Straggler | Transport
+type attempt_failure = Straggler | Transport | Integrity
 
 (* One execution attempt on one replica, bounded by [budget_us] of
    simulated device time (infinite when no live alternative remains:
@@ -454,6 +464,11 @@ let attempt t rep q ?exact_post ?bloom_fpr ~budget_us () =
     with
     | `Done r -> Ok (r, Device.elapsed_us device -. t0)
     | `Straggler -> Error Straggler
+    (* A persistent Integrity_error (the executor already retried once
+       past the cache): this replica's cells are damaged — distinct
+       from a transport fault, because the copy stays wrong until
+       repaired. *)
+    | exception Flash.Integrity_error _ -> Error Integrity
     | exception _ -> Error Transport
   end
 
@@ -501,6 +516,16 @@ let exec_shard t shard_idx q ?exact_post ?bloom_fpr () =
         go ()
       | Error Transport ->
         rep.errors <- rep.errors + 1;
+        note_failure t rep;
+        failed_over := true;
+        elapsed := !elapsed +. (Device.elapsed_us device -. t0);
+        go ()
+      | Error Integrity ->
+        (* Served-corrupt replica: fail over like a transport error and
+           feed the health machine, so persistent corruption demotes it
+           to suspect (and eventually dead) — probed before readmission,
+           rebuilt by anti-entropy. *)
+        rep.integrity_failures <- rep.integrity_failures + 1;
         note_failure t rep;
         failed_over := true;
         elapsed := !elapsed +. (Device.elapsed_us device -. t0);
@@ -589,6 +614,138 @@ let query t ?exact_post ?bloom_fpr sql =
          else List.fold_left (fun acc (r, _) -> acc +. r.sr_elapsed_us) 0. reports);
       shard_reports = List.map fst reports;
     }
+
+(* ---------- anti-entropy and repair ---------- *)
+
+type repair_report = {
+  rr_shard : int;
+  rr_replica : int;
+  rr_pages : int;
+  rr_bad_pages : int;
+  rr_repaired : bool;
+  rr_repair_us : float;
+}
+
+(* One data-independent pass over a replica's structure pages: every
+   page is read in full (charged to the replica's own device clock),
+   folded into a running CRC-32 digest, and checked — against its
+   trailer when the region is authenticated, against the injected-flip
+   table otherwise. Returns (pages scanned, bad pages, digest). *)
+let scan_replica rep =
+  let db = rep.rep_db in
+  let flash = Device.flash (Ghost_db.device db) in
+  let pages = Catalog.structure_pages (Ghost_db.catalog db) in
+  let digest = ref 0 and bad = ref 0 in
+  List.iter
+    (fun page ->
+       let img = Flash.read_page flash page in
+       digest := Codec.crc32 ~crc:!digest img ~pos:0 ~len:(Bytes.length img);
+       let ok =
+         if Flash.authenticated flash then
+           match Flash.verify_image flash ~page img with
+           | () -> true
+           | exception Flash.Integrity_error _ -> false
+         else Flash.page_errors flash page = 0
+       in
+       if not ok then incr bad)
+    pages;
+  (List.length pages, !bad, !digest)
+
+(* Rebuild [victim] wholesale from [peer]'s logical snapshot, reusing
+   the loader (same phased build as a reorganize). The peer must have
+   no pending tombstones: a compacting snapshot would renumber root
+   ids and desynchronize the shard's order-preserving global id map. *)
+let rebuild_from t victim peer =
+  if Ghost_db.tombstone_count peer.rep_db <> 0 then
+    invalid_arg "Fleet.repair: peer has pending deletes; reorganize it first";
+  let peer_device = Ghost_db.device peer.rep_db in
+  let t0 = Device.elapsed_us peer_device in
+  let rows =
+    Reorganize.snapshot (Ghost_db.catalog peer.rep_db)
+      (Ghost_db.public peer.rep_db)
+  in
+  let peer_us = Device.elapsed_us peer_device -. t0 in
+  let fresh =
+    Ghost_db.of_schema
+      ~device_config:(Device.config (Ghost_db.device victim.rep_db))
+      ?index_hidden_fks:t.f_index_hidden_fks t.f_schema rows
+  in
+  Ghost_db.set_metrics fresh (Ghost_db.metrics victim.rep_db);
+  victim.rep_db <- fresh;
+  victim.consecutive_failures <- 0;
+  (* rebuilt but not yet trusted: a probe must pass before the picker
+     treats it as healthy again *)
+  victim.state <- (if victim.forced_down then Dead else Suspect);
+  Device.note_repair (Ghost_db.device fresh);
+  peer_us +. Device.elapsed_us (Ghost_db.device fresh)
+
+let repair t ~shard ~replica:victim_idx ~from =
+  if from = victim_idx then invalid_arg "Fleet.repair: replica = from";
+  let victim = replica t ~shard ~replica:victim_idx in
+  let peer = replica t ~shard ~replica:from in
+  rebuild_from t victim peer
+
+let anti_entropy t =
+  let reports = ref [] in
+  Array.iteri
+    (fun shard s ->
+       let n = Array.length s.sh_replicas in
+       if n >= 2 then begin
+         let scans =
+           Array.map
+             (fun rep ->
+                if rep.forced_down then None else Some (scan_replica rep))
+             s.sh_replicas
+         in
+         (* the repair source: first reachable replica with every
+            trailer intact and no pending tombstones *)
+         let healthy =
+           let rec find r =
+             if r >= n then None
+             else
+               match scans.(r) with
+               | Some (_, 0, _)
+                 when Ghost_db.tombstone_count s.sh_replicas.(r).rep_db = 0 ->
+                 Some r
+               | _ -> find (r + 1)
+           in
+           find 0
+         in
+         Array.iteri
+           (fun r rep ->
+              match scans.(r) with
+              | None -> ()
+              | Some (pages, bad, digest) ->
+                let diverged =
+                  match healthy with
+                  | Some h when h <> r -> (
+                    match scans.(h) with
+                    | Some (_, _, hd) -> digest <> hd
+                    | None -> false)
+                  | _ -> false
+                in
+                if bad > 0 || diverged then begin
+                  let repaired, us =
+                    match healthy with
+                    | Some h when h <> r ->
+                      (true, rebuild_from t rep s.sh_replicas.(h))
+                    | _ -> (false, 0.)
+                  in
+                  reports :=
+                    {
+                      rr_shard = shard;
+                      rr_replica = r;
+                      rr_pages = pages;
+                      rr_bad_pages = bad;
+                      rr_repaired = repaired;
+                      rr_repair_us = us;
+                    }
+                    :: !reports
+                end)
+           s.sh_replicas
+       end)
+    t.f_shards;
+  List.rev !reports
 
 (* ---------- observability ---------- *)
 

@@ -166,6 +166,10 @@ type replica_stats = {
   r_state : health;
   r_errors : int;  (** transport errors observed *)
   r_timeouts : int;  (** straggler/deadline timeouts observed *)
+  r_integrity_failures : int;
+      (** reads that raised a persistent {!Flash.Integrity_error} —
+          damaged cells, not a flaky bus; the replica stays wrong
+          until repaired *)
   r_probes : int;
   r_probe_failures : int;
 }
@@ -217,7 +221,47 @@ type result = {
 val query : t -> ?exact_post:bool -> ?bloom_fpr:float -> string -> result
 (** Scatter–gather with hedging, failover and graceful degradation, as
     described above. Single shard + single replica is a pass-through
-    to {!Ghost_db.query} (bit-identical to the seed path). *)
+    to {!Ghost_db.query} (bit-identical to the seed path). A replica
+    whose read raises a persistent {!Flash.Integrity_error} is treated
+    like a transport failure — the read fails over and the health
+    machine demotes it — but is counted separately
+    ([r_integrity_failures]): its damage persists until a repair. *)
+
+(** {2 Anti-entropy and repair}
+
+    Replicas of one shard are loaded from identical rows by the
+    deterministic loader, so their structure pages are bit-identical.
+    {!anti_entropy} exploits that: each replica's structure pages are
+    scanned once (full-page reads on its own clock, data-independent
+    order), folded into a CRC-32 region digest and trailer-checked.
+    A replica with failing trailers — or a digest diverging from a
+    clean peer's — is rebuilt wholesale from that peer's logical
+    snapshot through the phased loader, exactly like a reorganize. *)
+
+type repair_report = {
+  rr_shard : int;
+  rr_replica : int;
+  rr_pages : int;  (** structure pages scanned *)
+  rr_bad_pages : int;  (** pages whose verification failed *)
+  rr_repaired : bool;  (** false when no clean peer was reachable *)
+  rr_repair_us : float;
+      (** device time of the rebuild: peer snapshot + fresh load *)
+}
+
+val anti_entropy : t -> repair_report list
+(** One scan-and-repair round over every shard with at least two
+    replicas (forced-down replicas are skipped). Returns one report
+    per replica found corrupt or divergent, in (shard, replica)
+    order. A repaired replica re-enters as suspect — it must pass a
+    probe before serving again — and its device's [repair_rebuilds]
+    counter is bumped. *)
+
+val repair : t -> shard:int -> replica:int -> from:int -> float
+(** Force-rebuild one replica from a named peer, returning the device
+    time spent. Raises [Invalid_argument] when [replica = from], an
+    index is out of range, or the peer has pending deletes (a
+    compacting snapshot would renumber root ids and desynchronize the
+    shard's global id map — reorganize the peer first). *)
 
 (** {2 Observability} *)
 

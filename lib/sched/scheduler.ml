@@ -86,6 +86,7 @@ type t = {
   mutable finished_rev : session list;
   mutable sessions : (int * session) list;
   mutable scratch_pool : Flash.t list;
+  mutable scrubber : Ghost_scrub.Scrub.t option;
   mutable n_submitted : int;
   mutable n_finished : int;
   mutable n_blocked : int;
@@ -113,6 +114,7 @@ let create ?(policy = Fifo) ?(quantum_us = infinity) ?(exact_post = true)
     finished_rev = [];
     sessions = [];
     scratch_pool = [];
+    scrubber = None;
     n_submitted = 0;
     n_finished = 0;
     n_blocked = 0;
@@ -343,8 +345,19 @@ let pick t =
 
 let is_runnable s = match s.state with Runnable -> true | Queued | Done _ -> false
 
+let set_scrubber t s = t.scrubber <- s
+let scrubber t = t.scrubber
+
 let step t =
-  if t.queue = [] && t.ready = [] then false
+  if t.queue = [] && t.ready = [] then
+    (* Idle slice: no session wants the device, so give the slice to
+       the background scrubber — one fixed-size batch per step keeps
+       idle work preemptible at the same granularity as queries. With
+       no scrubber attached (the default) the idle path is the seed's
+       [false], bit for bit. *)
+    (match t.scrubber with
+     | Some s -> Ghost_scrub.Scrub.step s
+     | None -> false)
   else begin
     expire_deadlines t;
     admit t;

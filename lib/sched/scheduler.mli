@@ -129,10 +129,23 @@ val step : t -> bool
     pick a session per the policy, run it for one quantum. Returns
     [false] when no session is queued or runnable (nothing happened).
     An exception raised by a plan is captured as its session's
-    {!Failed} outcome, never thrown to the caller. *)
+    {!Failed} outcome, never thrown to the caller.
+
+    When no session wants the device and a scrubber is attached, the
+    idle slice runs one scrub batch instead and returns [true] while
+    scrub work is pending — background maintenance consumes exactly
+    the slices queries leave free. *)
 
 val run : t -> unit
-(** Steps until every submitted session has finished. *)
+(** Steps until every submitted session has finished — and, with a
+    scrubber attached, until no scrub pass is pending. *)
+
+val set_scrubber : t -> Ghost_scrub.Scrub.t option -> unit
+(** Attaches (or detaches) a background scrubber (see
+    {!Ghost_scrub.Scrub}) fed by idle dispatch slices. [None] (the
+    default) keeps the idle path bit-identical to the seed. *)
+
+val scrubber : t -> Ghost_scrub.Scrub.t option
 
 val poll_finished : t -> finished list
 (** Sessions that finished since the last poll, in completion order. *)

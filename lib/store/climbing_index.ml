@@ -171,6 +171,11 @@ let size_bytes t =
 
 let directory_bytes t = t.directory.Pager.length + t.keys.Pager.length
 
+let pages t =
+  Array.to_list t.directory.Pager.pages
+  @ Array.to_list t.keys.Pager.pages
+  @ Array.to_list t.lists.Pager.pages
+
 (* ---- lookups ---- *)
 
 type locator = {

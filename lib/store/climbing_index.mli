@@ -72,6 +72,10 @@ val directory_bytes : t -> int
 (** Directory + key blob only — the repeatedly-probed hot part, which
     is what the cost model counts toward the page-cache working set. *)
 
+val pages : t -> int list
+(** Flash pages of all three segments (directory, key blob, list
+    blob), in layout order. *)
+
 (** {2 Query-time lookups}
 
     All lookups accept the device's shared page [cache]; directory

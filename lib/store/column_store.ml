@@ -30,6 +30,7 @@ let count t = t.count
 let width t = t.width
 let size_bytes t = t.segment.Pager.length
 let segment t = t.segment
+let pages t = Array.to_list t.segment.Pager.pages
 
 type reader = {
   store : t;

@@ -24,6 +24,9 @@ val width : t -> int
 val size_bytes : t -> int
 val segment : t -> Pager.segment
 
+val pages : t -> int list
+(** Flash pages of the column segment, in layout order. *)
+
 type reader
 
 val open_reader :

@@ -13,26 +13,36 @@ module Writer = struct
   type t = {
     flash : Flash.t;
     page_size : int;
+    cap : int;  (* payload bytes per page (page_size minus any trailer) *)
+    authed : bool;  (* seal each page with a CRC-32 trailer *)
     buf : Buffer.t;  (* current partial page *)
     mutable pages : int list;  (* reversed *)
     mutable flushed : int;  (* bytes already on flash *)
     mutable finished : bool;
   }
 
-  let create flash = {
-    flash;
-    page_size = (Flash.geometry flash).Flash.page_size;
-    buf = Buffer.create 2048;
-    pages = [];
-    flushed = 0;
-    finished = false;
-  }
+  let create flash =
+    let page_size = (Flash.geometry flash).Flash.page_size in
+    let authed = Flash.authenticated flash in
+    {
+      flash;
+      page_size;
+      cap = (if authed then page_size - Flash.auth_trailer_bytes else page_size);
+      authed;
+      buf = Buffer.create 2048;
+      pages = [];
+      flushed = 0;
+      finished = false;
+    }
 
   let flush_page t =
     let data = Buffer.to_bytes t.buf in
+    let data = if t.authed then Flash.seal_page t.flash data else data in
     let page = Flash.append t.flash data in
     t.pages <- page :: t.pages;
-    t.flushed <- t.flushed + Bytes.length data;
+    (* [flushed] counts logical payload bytes; the trailer is the
+       page's, not the segment's. *)
+    t.flushed <- t.flushed + Buffer.length t.buf;
     Buffer.clear t.buf
 
   let check t = if t.finished then invalid_arg "Pager.Writer: already finished"
@@ -41,12 +51,12 @@ module Writer = struct
     check t;
     let off = ref off and remaining = ref len in
     while !remaining > 0 do
-      let room = t.page_size - Buffer.length t.buf in
+      let room = t.cap - Buffer.length t.buf in
       let chunk = min room !remaining in
       Buffer.add_substring t.buf s !off chunk;
       off := !off + chunk;
       remaining := !remaining - chunk;
-      if Buffer.length t.buf = t.page_size then flush_page t
+      if Buffer.length t.buf = t.cap then flush_page t
     done
 
   let append_string t s = append_substring t s 0 (String.length s)
@@ -71,6 +81,8 @@ module Reader = struct
     flash : Flash.t;
     segment : segment;
     page_size : int;
+    cap : int;  (* payload bytes per page (mirrors the writer's) *)
+    verify : bool;  (* check CRC trailers on cache-miss fetches *)
     buffer_bytes : int;
     window : Bytes.t;  (* cached window *)
     mutable win_off : int;
@@ -95,10 +107,13 @@ module Reader = struct
     let cell =
       Option.map (fun r -> Ram.alloc r ~label:"pager-buffer" buffer_bytes) ram
     in
+    let authed = Flash.authenticated flash in
     {
       flash;
       segment;
       page_size;
+      cap = (if authed then page_size - Flash.auth_trailer_bytes else page_size);
+      verify = authed;
       buffer_bytes;
       window = Bytes.make buffer_bytes '\000';
       win_off = 0;
@@ -118,13 +133,22 @@ module Reader = struct
   let fetch t ~off ~len dst dst_off =
     let remaining = ref len and src = ref off and out = ref dst_off in
     while !remaining > 0 do
-      let page_idx = !src / t.page_size in
-      let in_page = !src mod t.page_size in
-      let chunk = min !remaining (t.page_size - in_page) in
+      let page_idx = !src / t.cap in
+      let in_page = !src mod t.cap in
+      let chunk = min !remaining (t.cap - in_page) in
       (match t.cache with
        | Some cache ->
-         Cache.read cache ~page:t.segment.pages.(page_idx) ~off:in_page ~len:chunk
-           dst ~pos:!out
+         Cache.read ~verify:t.verify cache ~page:t.segment.pages.(page_idx)
+           ~off:in_page ~len:chunk dst ~pos:!out
+       | None when t.verify ->
+         (* End-to-end verification needs the whole page under the
+            CRC: the uncached verifying read pays a full-page read
+            where the seed path pays a partial one. That honest cost
+            is what E21's overhead column prices. *)
+         let page = t.segment.pages.(page_idx) in
+         let img = Flash.read_page t.flash page in
+         Flash.verify_image t.flash ~page img;
+         Bytes.blit img in_page dst !out chunk
        | None ->
          let data =
            Flash.read t.flash ~page:t.segment.pages.(page_idx) ~off:in_page ~len:chunk

@@ -10,7 +10,15 @@ module Cache = Ghost_device.Page_cache
     are segments. Writers are used only at load time (the device is
     loaded in a secure setting, Section 2 of the paper); readers are
     the query-time access path and charge every access to the Flash
-    cost model and, when given an arena, their buffer to device RAM. *)
+    cost model and, when given an arena, their buffer to device RAM.
+
+    On an {!Flash.authenticated} region, writers transparently seal
+    every page with a CRC-32 trailer (so a page carries
+    [page_size - auth_trailer_bytes] payload bytes) and readers verify
+    each cache-miss page fill end-to-end, raising
+    {!Flash.Integrity_error} on a mismatch. Logical offsets are
+    unchanged either way — segments address payload bytes, never
+    trailers. *)
 
 type segment = {
   pages : int array;  (** flash page ids, in order *)

@@ -55,6 +55,7 @@ let level_index t name =
 let root_count t = t.root_count
 let row_width t = t.row_width
 let size_bytes t = t.segment.Pager.length
+let pages t = Array.to_list t.segment.Pager.pages
 
 type reader = {
   skt : t;

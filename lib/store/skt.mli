@@ -29,6 +29,10 @@ val root_count : t -> int
 val row_width : t -> int
 val size_bytes : t -> int
 
+val pages : t -> int list
+(** Flash pages of the row segment, in layout order (the scrubber's
+    and anti-entropy's walk list). *)
+
 type reader
 
 val open_reader :

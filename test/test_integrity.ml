@@ -1,0 +1,319 @@
+(* End-to-end integrity: authenticated structure pages (CRC-32
+   trailers, verified on every cache-miss read), the Exec-level
+   transient-vs-persistent retry, the background scrubber (refresh of
+   ECC-correctable decay, determinism, resume across idle slices) and
+   fleet anti-entropy repair. The core property: a corrupted device
+   answers correctly or raises Integrity_error — never silently
+   wrong. *)
+
+module Flash = Ghost_flash.Flash
+module Device = Ghost_device.Device
+module Bind = Ghost_sql.Bind
+module Medical = Ghost_workload.Medical
+module Queries = Ghost_workload.Queries
+module Reference = Ghost_workload.Reference
+module Ghost_db = Ghostdb.Ghost_db
+module Catalog = Ghostdb.Catalog
+module Exec = Ghostdb.Exec
+module Scheduler = Ghost_sched.Scheduler
+module Scrub = Ghost_scrub.Scrub
+module Fleet = Ghost_fleet.Fleet
+
+let schema () = Medical.schema ()
+let rows () = Medical.generate Medical.tiny
+
+let verified_config = { Device.default_config with Device.verify_pages = true }
+
+(* ECC off: a single stored flip reaches the served buffer, so the CRC
+   trailer is the only line of defence — the sweep exercises exactly
+   the detection layer. *)
+let no_ecc_config =
+  { verified_config with
+    Device.flash_fault = Some { Flash.no_faults with Flash.ecc = false } }
+
+let sweep_queries =
+  [
+    Queries.demo;
+    "SELECT COUNT(*) FROM Prescription Pre WHERE Pre.Quantity BETWEEN 8 AND 10";
+    "SELECT Pat.PatID FROM Patient Pat WHERE Pat.BodyMassIndex >= 35.0";
+  ]
+
+let structure_flash db =
+  ( Device.flash (Ghost_db.device db),
+    Catalog.structure_pages (Ghost_db.catalog db) )
+
+(* verify_pages changes the clock (full-page verified reads), never
+   the answers, and raises nothing on an undamaged store. *)
+let test_verify_equivalence () =
+  let plain = Ghost_db.of_schema (schema ()) (rows ()) in
+  let verified = Ghost_db.of_schema ~device_config:verified_config (schema ()) (rows ()) in
+  List.iter
+    (fun sql ->
+       let p = Ghost_db.query plain sql in
+       let v = Ghost_db.query verified sql in
+       Alcotest.(check bool) "rows equal" true (p.Exec.rows = v.Exec.rows);
+       Alcotest.(check bool) "verified reads cost at least as much" true
+         (v.Exec.elapsed_us >= p.Exec.elapsed_us))
+    sweep_queries;
+  let f = Device.fault_counters (Ghost_db.device verified) in
+  Alcotest.(check int) "no integrity errors on a clean store" 0
+    f.Device.integrity_errors
+
+(* The tentpole property: a single bit flip in EVERY structure page,
+   one page at a time — each query either answers correctly or raises
+   Integrity_error. Corruption is XOR-toggled, so each page is
+   restored exactly before the next is damaged. *)
+let test_single_flip_sweep () =
+  let db = Ghost_db.of_schema ~device_config:no_ecc_config (schema ()) (rows ()) in
+  let flash, pages = structure_flash db in
+  Alcotest.(check bool) "store has structure pages" true (pages <> []);
+  let expected = List.map (fun sql -> (Ghost_db.query db sql).Exec.rows) sweep_queries in
+  let detections = ref 0 in
+  List.iter
+    (fun page ->
+       let bit = 8 * (page mod 97) in
+       Flash.corrupt_stored flash ~page ~bit;
+       List.iter2
+         (fun sql want ->
+            match Ghost_db.query db sql with
+            | r ->
+              Alcotest.(check bool)
+                (Printf.sprintf "page %d: correct or detected" page)
+                true
+                (r.Exec.rows = want)
+            | exception Flash.Integrity_error { page = p; _ } ->
+              Alcotest.(check int) "error names the damaged page" page p;
+              incr detections)
+         sweep_queries expected;
+       (* toggle the same bit back: the page must be pristine again *)
+       Flash.corrupt_stored flash ~page ~bit;
+       Alcotest.(check int)
+         (Printf.sprintf "page %d restored" page)
+         0 (Flash.page_errors flash page))
+    pages;
+  Alcotest.(check bool) "some flips were read and detected" true (!detections > 0);
+  let f = Device.fault_counters (Ghost_db.device db) in
+  Alcotest.(check bool) "uncorrected ECC errors surfaced" true
+    (f.Device.flash_ecc_uncorrected > 0);
+  Alcotest.(check int) "every detection was counted" !detections
+    f.Device.integrity_errors;
+  (* the store is fully restored: everything answers again *)
+  List.iter2
+    (fun sql want ->
+       Alcotest.(check bool) "restored store answers" true
+         ((Ghost_db.query db sql).Exec.rows = want))
+    sweep_queries expected
+
+(* Injected read faults (not stored damage) corrupt one served buffer:
+   the trailer catches it, the cache-bypass re-read comes back clean,
+   and the query completes with the right answer. *)
+let test_transient_retry () =
+  let config =
+    { verified_config with
+      Device.flash_fault =
+        Some { Flash.no_faults with
+               Flash.ecc = false;
+               fault_seed = 7;
+               read_flip_prob = 0.02 } }
+  in
+  let clean = Ghost_db.of_schema (schema ()) (rows ()) in
+  let db = Ghost_db.of_schema ~device_config:config (schema ()) (rows ()) in
+  List.iter
+    (fun sql ->
+       let want = (Ghost_db.query clean sql).Exec.rows in
+       Alcotest.(check bool) "retried reads answer correctly" true
+         ((Ghost_db.query db sql).Exec.rows = want))
+    sweep_queries;
+  let f = Device.fault_counters (Ghost_db.device db) in
+  Alcotest.(check bool) "some reads were caught and retried" true
+    (f.Device.integrity_transients > 0);
+  Alcotest.(check int) "all caught errors were transient"
+    f.Device.integrity_errors f.Device.integrity_transients
+
+(* The scrubber refreshes ECC-correctable decay in place, records
+   uncorrectable pages, and two identical devices scrub to identical
+   progress on identical clocks. *)
+let test_scrub_refresh_determinism () =
+  let make () =
+    let db = Ghost_db.of_schema ~device_config:verified_config (schema ()) (rows ()) in
+    let flash, pages = structure_flash db in
+    let decayed = [ List.nth pages 0; List.nth pages 2; List.nth pages 4 ] in
+    let doomed = List.nth pages 1 in
+    List.iter (fun page -> Flash.corrupt_stored flash ~page ~bit:3) decayed;
+    Flash.corrupt_stored flash ~page:doomed ~bit:3;
+    Flash.corrupt_stored flash ~page:doomed ~bit:11;
+    (db, flash, pages, decayed, doomed)
+  in
+  let db1, flash1, pages1, decayed, doomed = make () in
+  let db2, _, _, _, _ = make () in
+  let scrub db =
+    let _, pages = structure_flash db in
+    let s = Scrub.create ~batch_pages:3 (Ghost_db.device db) ~pages in
+    Scrub.run_pending s;
+    s
+  in
+  let s1 = scrub db1 and s2 = scrub db2 in
+  Alcotest.(check bool) "identical progress" true
+    (Scrub.progress s1 = Scrub.progress s2);
+  Alcotest.(check (float 0.)) "identical clocks"
+    (Device.elapsed_us (Ghost_db.device db1))
+    (Device.elapsed_us (Ghost_db.device db2));
+  let p = Scrub.progress s1 in
+  Alcotest.(check int) "one pass" 1 p.Scrub.passes;
+  Alcotest.(check int) "every page verified" (List.length pages1)
+    p.Scrub.pages_verified;
+  Alcotest.(check int) "decayed pages refreshed" (List.length decayed)
+    p.Scrub.refreshed;
+  Alcotest.(check (list int)) "uncorrectable page recorded" [ doomed ]
+    p.Scrub.corrupt;
+  List.iter
+    (fun page ->
+       Alcotest.(check int) "refresh cleared the decay" 0
+         (Flash.page_errors flash1 page))
+    decayed;
+  let f = Device.fault_counters (Ghost_db.device db1) in
+  Alcotest.(check int) "scrubbed pages counted" (List.length pages1)
+    f.Device.pages_scrubbed;
+  Alcotest.(check int) "refreshes counted" (List.length decayed)
+    f.Device.scrub_refreshes
+
+(* Scrubbing one batch at a time — paused and resumed — lands on the
+   same state as one eager pass, and the scheduler's idle slices drive
+   it to completion. *)
+let test_scrub_resume_across_slices () =
+  let make () =
+    let db = Ghost_db.of_schema ~device_config:verified_config (schema ()) (rows ()) in
+    let flash, pages = structure_flash db in
+    Flash.corrupt_stored flash ~page:(List.hd pages) ~bit:5;
+    (db, pages)
+  in
+  let db1, pages1 = make () in
+  let db2, pages2 = make () in
+  let eager = Scrub.create ~batch_pages:4 (Ghost_db.device db1) ~pages:pages1 in
+  Scrub.run_pending eager;
+  let sliced = Scrub.create ~batch_pages:4 (Ghost_db.device db2) ~pages:pages2 in
+  (* resume boundary after every single slice *)
+  while Scrub.step sliced do
+    Alcotest.(check bool) "cursor within walk list" true
+      ((Scrub.progress sliced).Scrub.cursor <= Scrub.page_count sliced)
+  done;
+  Alcotest.(check bool) "sliced = eager" true
+    (Scrub.progress sliced = Scrub.progress eager);
+  Alcotest.(check bool) "idle after the pass" true (Scrub.idle sliced);
+  Alcotest.(check bool) "idle scrubber does nothing" false (Scrub.step sliced);
+  (* a second requested pass re-walks the (now clean) list *)
+  Scrub.request_pass sliced;
+  Scrub.run_pending sliced;
+  let p = Scrub.progress sliced in
+  Alcotest.(check int) "two passes" 2 p.Scrub.passes;
+  Alcotest.(check int) "no new refreshes on the clean pass" 1 p.Scrub.refreshed;
+  (* scheduler integration: idle slices drain the pending pass *)
+  let db3, pages3 = make () in
+  let sched = Scheduler.create (Ghost_db.catalog db3) (Ghost_db.public db3) in
+  let s3 = Scrub.create ~batch_pages:4 (Ghost_db.device db3) ~pages:pages3 in
+  Scheduler.set_scrubber sched (Some s3);
+  Scheduler.run sched;
+  Alcotest.(check bool) "scheduler drained the scrub pass" true (Scrub.idle s3);
+  Alcotest.(check int) "idle slices completed the pass" 1
+    (Scrub.progress s3).Scrub.passes;
+  Alcotest.(check bool) "nothing left to dispatch" false (Scheduler.step sched)
+
+let reference_rows sql =
+  let schema = schema () in
+  let db = Reference.db_of_rows schema (rows ()) in
+  Reference.run schema db (Bind.bind schema sql)
+
+let sorted = Reference.sort_rows
+
+(* A replica serving corrupt pages: reads fail over (correct, complete
+   answers), the health machine counts integrity failures, and
+   anti-entropy rebuilds the replica from its healthy peer. *)
+let test_fleet_failover_and_repair () =
+  let fleet =
+    Fleet.create ~device_config:verified_config
+      ~topology:{ Fleet.shards = 2; replicas = 2; partitioning = Fleet.Range }
+      (schema ()) (rows ())
+  in
+  let sql = "SELECT COUNT(*) FROM Prescription Pre WHERE Pre.Quantity >= 1" in
+  let want = reference_rows sql in
+  (* wound every structure page of shard 0's first replica past ECC *)
+  let victim = Fleet.db fleet ~shard:0 ~replica:0 in
+  let flash, pages = structure_flash victim in
+  List.iter
+    (fun page ->
+       Flash.corrupt_stored flash ~page ~bit:2;
+       Flash.corrupt_stored flash ~page ~bit:19)
+    pages;
+  let r = Fleet.query fleet sql in
+  Alcotest.(check bool) "failover keeps the answer complete" true
+    r.Fleet.complete;
+  Alcotest.(check bool) "failover keeps the answer correct" true
+    (sorted r.Fleet.rows = sorted want);
+  let st = Fleet.replica_stats fleet ~shard:0 ~replica:0 in
+  Alcotest.(check bool) "integrity failures counted" true
+    (st.Fleet.r_integrity_failures > 0);
+  (* anti-entropy finds the wounded replica and rebuilds it *)
+  (match Fleet.anti_entropy fleet with
+   | [ rep ] ->
+     Alcotest.(check int) "report names the shard" 0 rep.Fleet.rr_shard;
+     Alcotest.(check int) "report names the replica" 0 rep.Fleet.rr_replica;
+     Alcotest.(check bool) "bad pages found" true (rep.Fleet.rr_bad_pages > 0);
+     Alcotest.(check bool) "repaired from the peer" true rep.Fleet.rr_repaired;
+     Alcotest.(check bool) "repair time charged" true (rep.Fleet.rr_repair_us > 0.)
+   | reports ->
+     Alcotest.failf "expected exactly one repair report, got %d"
+       (List.length reports));
+  Alcotest.(check bool) "rebuilt replica re-enters as suspect" true
+    (Fleet.health fleet ~shard:0 ~replica:0 = Fleet.Suspect);
+  let rebuilt = Fleet.db fleet ~shard:0 ~replica:0 in
+  Alcotest.(check int) "rebuild counted on the fresh device" 1
+    (Device.fault_counters (Ghost_db.device rebuilt)).Device.repair_rebuilds;
+  (* the fleet is whole again: a second round finds nothing *)
+  Alcotest.(check int) "second anti-entropy round is clean" 0
+    (List.length (Fleet.anti_entropy fleet));
+  let r2 = Fleet.query fleet sql in
+  Alcotest.(check bool) "repaired fleet answers correctly" true
+    (r2.Fleet.complete && sorted r2.Fleet.rows = sorted want);
+  Alcotest.check_raises "repair from itself rejected"
+    (Invalid_argument "Fleet.repair: replica = from") (fun () ->
+      ignore (Fleet.repair fleet ~shard:0 ~replica:0 ~from:0))
+
+(* R=1 leaves nothing to fail over to: the damaged shard degrades to a
+   tagged partial, and anti-entropy (needing a peer) cannot repair. *)
+let test_fleet_degrades_without_replica () =
+  let fleet =
+    Fleet.create ~device_config:verified_config
+      ~topology:{ Fleet.shards = 2; replicas = 1; partitioning = Fleet.Range }
+      (schema ()) (rows ())
+  in
+  let victim = Fleet.db fleet ~shard:0 ~replica:0 in
+  let flash, pages = structure_flash victim in
+  List.iter
+    (fun page ->
+       Flash.corrupt_stored flash ~page ~bit:2;
+       Flash.corrupt_stored flash ~page ~bit:19)
+    pages;
+  let sql = "SELECT COUNT(*) FROM Prescription Pre WHERE Pre.Quantity >= 1" in
+  let r = Fleet.query fleet sql in
+  Alcotest.(check bool) "partial, never wrong" true (not r.Fleet.complete);
+  Alcotest.(check (list int)) "damaged shard tagged" [ 0 ] r.Fleet.unreachable;
+  Alcotest.(check int) "no peer, no repair" 0
+    (List.length (List.filter (fun x -> x.Fleet.rr_repaired) (Fleet.anti_entropy fleet)))
+
+let suite =
+  [
+    Alcotest.test_case "verify_pages: same answers, clean store" `Quick
+      test_verify_equivalence;
+    Alcotest.test_case "single-flip sweep: correct or detected, never wrong"
+      `Quick test_single_flip_sweep;
+    Alcotest.test_case "transient read faults retry past the cache" `Quick
+      test_transient_retry;
+    Alcotest.test_case "scrubber: refresh, record, deterministic" `Quick
+      test_scrub_refresh_determinism;
+    Alcotest.test_case "scrubber resumes across idle slices" `Quick
+      test_scrub_resume_across_slices;
+    Alcotest.test_case "fleet: integrity failover + anti-entropy repair" `Quick
+      test_fleet_failover_and_repair;
+    Alcotest.test_case "fleet: R=1 degrades to tagged partials" `Quick
+      test_fleet_degrades_without_replica;
+  ]
