@@ -77,7 +77,12 @@ let load_json path =
 (* Integrity machinery metrics ("integrity.*", "scrub.*", "repair.*"
    and the E21 cell counters) are registry counters, so they land in
    the exact-match kind below: a changed detection, refresh or repair
-   count fails the gate outright, no tolerance. *)
+   count fails the gate outright, no tolerance. The E22 "oblivious_*"
+   counters (pad bytes, USB bytes, modeled millibits, distinct
+   fingerprints per mode) are exact-match for the same reason: padding
+   and leakage accounting are deterministic functions of schema and
+   public bounds, so any drift is a broken guarantee, not noise — only
+   the "oblivious.<mode>.device_us" gauges get the time tolerance. *)
 type kind = Counter | Time | Gauge
 
 (* A metric whose name carries a microsecond unit is simulated time:

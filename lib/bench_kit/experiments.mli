@@ -143,6 +143,17 @@ val integrity_sweep :
     construction), detections, scrubber refreshes, anti-entropy repairs
     and repair time, and remaining failures after repair. *)
 
+val oblivious_frontier :
+  ?metrics:Ghost_metrics.Metrics.t -> ?scale:Medical.scale -> unit -> Report.t
+(** E22 (extension): the privacy/performance frontier of oblivious
+    execution. Runs the E18 query mix under baseline, pad-only and
+    fully-oblivious modes and reports device time, USB bytes and
+    padding overhead against two leakage measures: the auditor's
+    modeled data-dependent bits, and the empirical Shannon entropy of
+    spy-trace fingerprints over eight probe queries that differ only
+    in a hidden range bound (0 bits under the fully-oblivious path:
+    the hidden constants are indistinguishable on the wire). *)
+
 (** {2 Ablations of design choices} *)
 
 val ablation_exact_post : ?scale:Medical.scale -> unit -> Report.t
@@ -171,9 +182,9 @@ val all :
   (string * string * (unit -> Report.t)) list
 (** The whole suite as (id, one-line description, thunk) triples —
     experiments run only when forced, so id filters (and [--list])
-    don't pay for the rest. E1–E21, A1–A5; [full] raises E10 to the
+    don't pay for the rest. E1–E22, A1–A5; [full] raises E10 to the
     paper's one million prescriptions and E19 to 32 devices.
 
     [metrics] supplies, per experiment id, an optional registry for
-    the instrumented experiments (E16–E21) to record into; defaults to
+    the instrumented experiments (E16–E22) to record into; defaults to
     none for all. *)

@@ -7,6 +7,7 @@ module Flash = Ghost_flash.Flash
 module Device = Ghost_device.Device
 module Wire = Ghost_device.Device.Wire
 module Bloom = Ghost_bloom.Bloom
+module Oblivious = Ghost_oblivious.Oblivious
 
 type estimate = {
   est_time_us : float;
@@ -79,14 +80,37 @@ let cpu_us env ops = ops /. env.cfg.Device.cpu_mips
    wire-format definition, the [population] (table cardinality the
    shipped subset was drawn from) fixes the expected varint-delta
    width. Under the default [Verbose] these are exactly the seed's
-   fixed-width sizes. *)
+   fixed-width sizes. Padded modes bypass the wire encoder with
+   fixed-width frames rounded up to their public bound, and the model
+   follows suit. *)
 let ship_bytes env ~n_t m =
-  Wire.est_id_list_bytes env.cfg.Device.wire_format
-    ~population:(Float.of_int n_t) m
+  match env.plan.Plan.oblivious with
+  | Oblivious.Off ->
+    Wire.est_id_list_bytes env.cfg.Device.wire_format
+      ~population:(Float.of_int n_t) m
+  | Oblivious.Pad ->
+    let n = min n_t (int_of_float (ceil m)) in
+    4. *. Float.of_int (Oblivious.pad_count ~bound:n_t (max 0 n))
+  | Oblivious.Full -> 4. *. Float.of_int n_t
 
 let stream_bytes env ~n_t ~tys n =
-  Wire.est_value_stream_bytes env.cfg.Device.wire_format
-    ~population:(Float.of_int n_t) ~tys n
+  match env.plan.Plan.oblivious with
+  | Oblivious.Off ->
+    Wire.est_value_stream_bytes env.cfg.Device.wire_format
+      ~population:(Float.of_int n_t) ~tys n
+  | (Oblivious.Pad | Oblivious.Full) as m ->
+    let width =
+      List.fold_left
+        (fun acc ty -> acc +. Float.of_int (4 + Value.ty_width ty))
+        0. tys
+    in
+    let count =
+      match m with
+      | Oblivious.Pad ->
+        Oblivious.pad_count ~bound:n_t (max 0 (min n_t (int_of_float (ceil n))))
+      | Oblivious.Off | Oblivious.Full -> n_t
+    in
+    width *. Float.of_int count
 
 let sel env (p : Predicate.t) =
   Col_stats.selectivity
@@ -158,6 +182,14 @@ let skt_access_us env ~n_root ~candidates ~row_bytes =
 
 let visible_sel env preds = List.fold_left (fun acc p -> acc *. sel env p) 1. preds
 
+(* Public bound of the result cardinality: the live root count, capped
+   by the query's LIMIT (which rides in the spy-visible query text). *)
+let emit_bound env =
+  let live = count env env.plan.Plan.root in
+  match env.plan.Plan.query.Bind.limit with
+  | Some l -> max 0 (min l live)
+  | None -> live
+
 (* Bytes the query-time point-read paths keep going back to: index
    directories (binary searches revisit the top levels constantly),
    SKT rows and hidden column stores. The list blobs are streamed once
@@ -187,6 +219,122 @@ let hit_ratio cat (cfg : Device.config) =
       (Float.of_int (cfg.Device.page_cache_frames * page) /. Float.of_int ws)
   end
 
+(* Fixed-shape estimate ([Plan.oblivious = Full]): mirrors the
+   oblivious executor stage by stage instead of scaling by
+   selectivities — by construction its cost is a function of the
+   schema and public bounds alone, so nothing here consults a
+   predicate's selectivity except to predict [est_results]. *)
+let estimate_full env =
+  let plan = env.plan in
+  let cat = env.cat in
+  let root = plan.Plan.root in
+  let n_root = count env root in
+  let schema = cat.Catalog.schema in
+  let time = ref 0. in
+  let spend label us =
+    add env label us;
+    time := !time +. us
+  in
+  (* one full-cardinality frame per visible predicate *)
+  List.iter
+    (fun (g : Plan.group) ->
+       let t = g.Plan.g_table in
+       let n_t = count env t in
+       List.iter
+         (fun (_ : Predicate.t) ->
+            spend
+              (Printf.sprintf "ship-pad(%s)" t)
+              (usb_us env (4. *. Float.of_int n_t)
+               +. cpu_us env (Float.of_int n_t)))
+         g.Plan.g_visible)
+    plan.Plan.groups;
+  (* bound-depth SKT scan: every loaded root row, sequentially *)
+  let skt_row_bytes =
+    match Catalog.skt cat root with
+    | Some skt -> Float.of_int (Ghost_store.Skt.row_width skt)
+    | None -> 0.
+  in
+  spend "bound-scan"
+    (read_stream_us env (Float.of_int n_root *. skt_row_bytes)
+     +. cpu_us env (Float.of_int n_root *. 3.));
+  (* every hidden predicate checked on every candidate *)
+  List.iter
+    (fun (g : Plan.group) ->
+       List.iter
+         (fun (h : Plan.hidden_pred) ->
+            let tbl = Schema.find_table schema g.Plan.g_table in
+            let col = Schema.find_column tbl h.Plan.h_pred.Predicate.column in
+            spend
+              (Printf.sprintf "check-all(%s.%s)" g.Plan.g_table
+                 h.Plan.h_pred.Predicate.column)
+              (Float.of_int n_root
+               *. point_read_us env (Float.of_int (Value.ty_width col.Column.ty))))
+         g.Plan.g_hidden)
+    plan.Plan.groups;
+  (* full-column projection streams, joined against all rows *)
+  let projected_visible =
+    List.filter_map
+      (fun (table, column) ->
+         let tbl = Schema.find_table schema table in
+         if column = tbl.Schema.key then None
+         else begin
+           let col = Schema.find_column tbl column in
+           if Column.is_hidden col then None
+           else Some (table, column, col.Column.ty)
+         end)
+      plan.Plan.query.Bind.projections
+    |> List.sort_uniq compare
+  in
+  let tables =
+    List.sort_uniq String.compare (List.map (fun (t, _, _) -> t) projected_visible)
+  in
+  List.iter
+    (fun table ->
+       let n_t = count env table in
+       let cols = List.filter (fun (t, _, _) -> t = table) projected_visible in
+       let tys = List.map (fun (_, _, ty) -> ty) cols in
+       spend
+         (Printf.sprintf "stream-full(%s)" table)
+         (usb_us env (stream_bytes env ~n_t ~tys (Float.of_int n_t)));
+       spend
+         (Printf.sprintf "join-hash(%s)" table)
+         (cpu_us env ((Float.of_int n_t +. Float.of_int n_root) *. 4.)))
+    tables;
+  (* hidden projections read for every row, live or dead *)
+  List.iter
+    (fun (table, column) ->
+       let tbl = Schema.find_table schema table in
+       if column <> tbl.Schema.key then begin
+         let col = Schema.find_column tbl column in
+         if Column.is_hidden col then
+           spend
+             (Printf.sprintf "fetch-all(%s.%s)" table column)
+             (Float.of_int n_root
+              *. point_read_us env (Float.of_int (Value.ty_width col.Column.ty)))
+       end)
+    plan.Plan.query.Bind.projections;
+  (* emission padded to the public bound *)
+  let bound = emit_bound env in
+  spend "emit-pad" (usb_us env (Float.of_int bound *. 16.));
+  let all_sel =
+    List.fold_left
+      (fun acc (g : Plan.group) ->
+         acc
+         *. List.fold_left
+              (fun a (h : Plan.hidden_pred) -> a *. sel env h.Plan.h_pred)
+              1. g.Plan.g_hidden
+         *. visible_sel env g.Plan.g_visible)
+      1. plan.Plan.groups
+  in
+  {
+    est_time_us = !time;
+    est_candidates = n_root;
+    est_results = int_of_float (Float.round (Float.of_int n_root *. all_sel));
+    est_ram_bytes = env.ram_bytes;
+    est_usb_bytes = env.usb_bytes;
+    breakdown = List.rev env.parts;
+  }
+
 let estimate cat (plan : Plan.t) =
   let cfg = Device.config cat.Catalog.device in
   let env =
@@ -201,6 +349,8 @@ let estimate cat (plan : Plan.t) =
       ram_bytes = 0;
     }
   in
+  if plan.Plan.oblivious = Oblivious.Full then estimate_full env
+  else begin
   let root = plan.Plan.root in
   let n_root = count env root in
   let schema = cat.Catalog.schema in
@@ -395,7 +545,16 @@ let estimate cat (plan : Plan.t) =
          (Printf.sprintf "fetch(%s.%s)" table column)
          (survivors *. point_read_us env (Float.of_int (Value.ty_width col.Column.ty))))
     hidden_proj;
-  spend "emit" (usb_us env (survivors *. 16.));
+  let emit_n =
+    match plan.Plan.oblivious with
+    | Oblivious.Pad ->
+      let bound = emit_bound env in
+      Float.of_int
+        (Oblivious.pad_count ~bound
+           (max 0 (min bound (int_of_float (ceil survivors)))))
+    | Oblivious.Off | Oblivious.Full -> survivors
+  in
+  spend "emit" (usb_us env (emit_n *. 16.));
   {
     est_time_us = !time;
     est_candidates = int_of_float (Float.round candidates);
@@ -404,6 +563,7 @@ let estimate cat (plan : Plan.t) =
     est_usb_bytes = env.usb_bytes;
     breakdown = List.rev env.parts;
   }
+  end
 
 (* The scheduler's shortest-remaining-cost-first policy reorders
    runnable sessions by this on every dispatch: the estimate minus the

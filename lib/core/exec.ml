@@ -20,6 +20,7 @@ module Merge_union = Ghost_store.Merge_union
 module Ext_sort = Ghost_store.Ext_sort
 module Public_store = Ghost_public.Public_store
 module Metrics = Ghost_metrics.Metrics
+module Oblivious = Ghost_oblivious.Oblivious
 
 type op_stats = {
   op_label : string;
@@ -37,6 +38,8 @@ type result = {
   elapsed_us : float;
   ram_peak : int;
   bloom_fp_candidates : int;
+  oblivious : Oblivious.mode;
+  padding_bytes : int;
 }
 
 exception Exec_error of string
@@ -68,6 +71,8 @@ type context = {
   mutable bloom_fps : int;
   mutable shipped : (string * int array) list;
       (* visible Pre-filter id lists, kept for the delta scan *)
+  mutable pad_bytes : int;
+      (* dummy-padding bytes shipped or emitted so far (Pad / Full) *)
 }
 
 (* Operator class: the label prefix before the table/column argument —
@@ -139,6 +144,114 @@ let column_store_exn ctx ~table ~column =
   | Some cs -> cs
   | None -> fail "no device column store for %s.%s" table column
 
+(* ---- oblivious metering ----
+
+   The three USB sites whose lengths could betray hidden data: id-list
+   shipments, projection value streams, result emission. Under [Off]
+   they go through the typed wire path untouched (bit-identical to the
+   seed); under [Pad] / [Full] they bypass the varint encoder — whose
+   frame sizes are value-dependent — and ship fixed-width frames padded
+   up to a public bound, annotated with {!Trace.obl} so the leakage
+   quantifier can price each event. *)
+
+let receive_ids ctx ~table ids =
+  match ctx.plan.Plan.oblivious with
+  | Oblivious.Off -> Device.receive_id_list ctx.device ~table ids
+  | (Oblivious.Pad | Oblivious.Full) as m ->
+    let bound = Public_store.cardinality ctx.public table in
+    let n = Array.length ids in
+    let count =
+      match m with
+      | Oblivious.Pad -> Oblivious.pad_count ~bound n
+      | Oblivious.Off | Oblivious.Full -> bound
+    in
+    let pad = 4 * (count - n) in
+    ctx.pad_bytes <- ctx.pad_bytes + pad;
+    Device.receive ctx.device
+      ~obl:{ Trace.obl_bound = bound; obl_values = 1; obl_pad_bytes = pad }
+      (Trace.Id_list { table; count })
+      ~bytes:(4 * count)
+
+let receive_stream ctx ~table ~column ~ty stream =
+  match ctx.plan.Plan.oblivious with
+  | Oblivious.Off ->
+    Device.receive_value_stream ctx.device ~table ~column ~ty stream
+  | (Oblivious.Pad | Oblivious.Full) as m ->
+    let bound = Public_store.cardinality ctx.public table in
+    let n = Array.length stream in
+    let count =
+      match m with
+      | Oblivious.Pad -> Oblivious.pad_count ~bound n
+      | Oblivious.Off | Oblivious.Full -> bound
+    in
+    let width = 4 + Value.ty_width ty in
+    let pad = width * (count - n) in
+    ctx.pad_bytes <- ctx.pad_bytes + pad;
+    Device.receive ctx.device
+      ~obl:{ Trace.obl_bound = bound; obl_values = 1; obl_pad_bytes = pad }
+      (Trace.Value_stream { table; column; count })
+      ~bytes:(width * count)
+
+(* Bytes one emitted row occupies on the display link. Derived from the
+   schema and the projection list alone — it sizes padded emission, so
+   it must not depend on the data. Mirrors the baseline accounting:
+   4 bytes of framing per projected column, plus the column width for
+   non-key columns; aggregates emit 8 bytes per output column. *)
+let emit_row_width ctx =
+  let plan = ctx.plan in
+  let schema = ctx.catalog.Catalog.schema in
+  match plan.Plan.query.Bind.aggregate with
+  | Some spec -> 8 * max 1 (List.length spec.Ghost_sql.Aggregate.output)
+  | None ->
+    List.fold_left
+      (fun acc (table, column) ->
+         let tbl = Schema.find_table schema table in
+         if column = tbl.Schema.key then acc
+         else acc + Value.ty_width (Schema.find_column tbl column).Column.ty)
+      (4 * List.length plan.Plan.query.Bind.projections)
+      plan.Plan.query.Bind.projections
+
+(* Result emission. The cardinality is the one display-side count that
+   depends on hidden data, so this is where the baseline's residual
+   leakage concentrates: [Off] emits the real count annotated as
+   ranging over [bound + 1] values; [Pad] rounds the count up to a
+   power-of-two bucket; [Full] pads to the bound itself. The bound is
+   the live root cardinality capped by the query's LIMIT — both public
+   (the spy watched every load, insert and delete, and the LIMIT rides
+   in the query text). *)
+let emit_rows ctx ~count ~bytes =
+  let device = ctx.device in
+  let live = Catalog.live_count ctx.catalog ctx.plan.Plan.root in
+  let bound =
+    let b =
+      match ctx.plan.Plan.query.Bind.limit with
+      | Some l -> min l live
+      | None -> live
+    in
+    (* a global aggregate over an empty table emits one row: never let
+       the real count overrun the padding target *)
+    max b count
+  in
+  match ctx.plan.Plan.oblivious with
+  | Oblivious.Off ->
+    Device.emit_result device
+      ~obl:{ Trace.obl_bound = bound; obl_values = bound + 1; obl_pad_bytes = 0 }
+      ~count ~bytes
+  | (Oblivious.Pad | Oblivious.Full) as m ->
+    let width = emit_row_width ctx in
+    let padded, values =
+      match m with
+      | Oblivious.Pad ->
+        (Oblivious.pad_count ~bound count, Oblivious.bucket_values ~bound)
+      | Oblivious.Off | Oblivious.Full -> (bound, 1)
+    in
+    let padded_bytes = max bytes (padded * width) in
+    let pad = padded_bytes - bytes in
+    ctx.pad_bytes <- ctx.pad_bytes + pad;
+    Device.emit_result device
+      ~obl:{ Trace.obl_bound = bound; obl_values = values; obl_pad_bytes = pad }
+      ~count:padded ~bytes:padded_bytes
+
 (* ---- pre-filter sources ---- *)
 
 let union ctx sources =
@@ -156,7 +269,7 @@ let ship_visible_ids ctx ~table preds =
         List.map
           (fun p ->
              let ids = Public_store.select_ids ctx.public ~trace:(Device.trace ctx.device) p in
-             Device.receive_id_list ctx.device ~table ids;
+             receive_ids ctx ~table ids;
              cpu ctx (Array.length ids);
              ids)
           preds)
@@ -313,7 +426,7 @@ let build_bloom ctx ~level_of (g : Plan.group) =
         List.map
           (fun p ->
              let ids = Public_store.select_ids ctx.public ~trace:(Device.trace ctx.device) p in
-             Device.receive_id_list ctx.device ~table ids;
+             receive_ids ctx ~table ids;
              ids)
           g.Plan.g_visible)
     in
@@ -458,7 +571,7 @@ let check_bloom_fpr fpr =
       (Printf.sprintf
          "Exec: bloom_fpr must lie strictly between 0 and 1, got %g" fpr)
 
-let execute_once ~exact_post ~bloom_fpr ~scratch catalog public plan =
+let execute_baseline ~exact_post ~bloom_fpr ~scratch catalog public plan =
   Plan.validate plan;
   check_bloom_fpr bloom_fpr;
   let device = catalog.Catalog.device in
@@ -478,6 +591,7 @@ let execute_once ~exact_post ~bloom_fpr ~scratch catalog public plan =
         bloom_fpr;
         bloom_fps = 0;
         shipped = [];
+        pad_bytes = 0;
       }
     in
     let schema = catalog.Catalog.schema in
@@ -763,7 +877,7 @@ let execute_once ~exact_post ~bloom_fpr ~scratch catalog public plan =
              Public_store.stream_column ctx.public ~trace ~table ~column
                ~preds:(visible_preds_on table)
            in
-           Device.receive_value_stream device ~table ~column ~ty stream;
+           receive_stream ctx ~table ~column ~ty stream;
            stream
          in
          let verify = exact_post && List.mem table post_tables in
@@ -874,7 +988,7 @@ let execute_once ~exact_post ~bloom_fpr ~scratch catalog public plan =
               (max 16 (n * 8))
               (fun _ -> Ghost_sql.Postproc.apply ~order_by ~limit out)
         in
-        Device.emit_result device ~count:(List.length out) ~bytes:!emit_bytes;
+        emit_rows ctx ~count:(List.length out) ~bytes:!emit_bytes;
         (out, List.length out))
     in
     (* 6. Reclaim the scratch region (block erases count). Live bytes,
@@ -914,7 +1028,396 @@ let execute_once ~exact_post ~bloom_fpr ~scratch catalog public plan =
       elapsed_us = total.Device.total_us;
       ram_peak;
       bloom_fp_candidates = ctx.bloom_fps;
+      oblivious = plan.Plan.oblivious;
+      padding_bytes = ctx.pad_bytes;
     })
+
+(* The fixed-shape path ([Plan.oblivious = Full]). Everything the spy
+   observes — frame count, frame lengths, page-touch counts, the
+   simulated clock — is a function of the schema and of public bounds
+   (table cardinalities, live root count, delta / tombstone log
+   lengths), never of hidden data:
+
+   - visible id lists ship padded to the table cardinality, one fixed
+     frame per predicate (the predicate count rides in the query
+     text); the real intersection stays host-side for membership;
+   - the SKT is scanned bound-depth: every loaded root id is visited
+     and EVERY hidden predicate evaluated on every candidate — no
+     short-circuiting, a skipped check would show on the clock;
+   - projection streams fetch the full column ([preds:[]]), so the
+     stream length is the table cardinality;
+   - the result is emitted padded to the live root count (capped by
+     the public LIMIT); dummies are stripped before rows return.
+
+   Filtering rides on live/dead flags carried beside each row, so the
+   answer is still exact. RAM occupancy inside the tamper-resistant
+   device may vary with the data; it is not on any spy-visible link. *)
+let execute_oblivious ~scratch catalog public plan =
+  Plan.validate plan;
+  let device = catalog.Catalog.device in
+  Resources.with_resources (fun resources ->
+    let ctx =
+      {
+        catalog;
+        public;
+        plan;
+        device;
+        ram = Device.ram device;
+        scratch;
+        cache = Device.page_cache device;
+        resources;
+        ops_rev = [];
+        exact_post = true;
+        bloom_fpr = 0.01;
+        bloom_fps = 0;
+        shipped = [];
+        pad_bytes = 0;
+      }
+    in
+    let schema = catalog.Catalog.schema in
+    let root = plan.Plan.root in
+    let trace = Device.trace device in
+    let global_scope = Ram.open_scope ctx.ram in
+    Resources.defer resources (fun () ->
+      ignore (Ram.close_scope ctx.ram global_scope));
+    let run_start = Device.snapshot device in
+    ignore
+      (measure ctx "ReceiveQuery" ~tuples_in:0 (fun () ->
+         Device.receive_query device plan.Plan.query.Bind.text;
+         ((), 0)));
+    let skt_opt = Catalog.skt catalog root in
+    let levels =
+      match skt_opt with
+      | Some skt -> Skt.levels skt
+      | None -> [ root ]
+    in
+    let level_of table =
+      let rec loop i = function
+        | [] -> fail "table %s is not in the subtree of %s" table root
+        | t :: rest -> if t = table then i else loop (i + 1) rest
+      in
+      loop 0 levels
+    in
+    let tombstones =
+      match Catalog.tombstone catalog root with
+      | None -> [||]
+      | Some log ->
+        measure ctx "TombstoneLoad" ~tuples_in:0 (fun () ->
+          let ids = Tombstone_log.load_sorted log in
+          let cell =
+            Ram.alloc ctx.ram ~label:"tombstones" (max 4 (4 * Array.length ids))
+          in
+          Resources.defer resources (fun () -> Ram.free ctx.ram cell);
+          cpu ctx (Array.length ids);
+          (ids, Array.length ids))
+    in
+    (* Padded visible shipments, CPU charged at the bound. *)
+    List.iter
+      (fun (g : Plan.group) ->
+         if g.Plan.g_visible <> [] then begin
+           let table = g.Plan.g_table in
+           ignore
+             (measure ctx (Printf.sprintf "ShipPadded(%s)" table) ~tuples_in:0
+                (fun () ->
+                   let lists =
+                     List.map
+                       (fun p ->
+                          let ids =
+                            Public_store.select_ids ctx.public ~trace p
+                          in
+                          receive_ids ctx ~table ids;
+                          cpu ctx (Public_store.cardinality ctx.public table);
+                          ids)
+                       g.Plan.g_visible
+                   in
+                   let ids = Sorted_ids.intersect_many lists in
+                   ctx.shipped <- (table, ids) :: ctx.shipped;
+                   ((), Array.length ids)))
+         end)
+      plan.Plan.groups;
+    (* Every hidden predicate becomes a per-candidate check. *)
+    let checks =
+      List.concat_map
+        (fun (g : Plan.group) ->
+           List.map
+             (fun (h : Plan.hidden_pred) ->
+                let cs =
+                  column_store_exn ctx ~table:g.Plan.g_table
+                    ~column:h.Plan.h_pred.Predicate.column
+                in
+                let reader =
+                  Column_store.open_reader ~ram:ctx.ram ~buffer_bytes:256
+                    ?cache:ctx.cache cs
+                in
+                Resources.defer resources (fun () ->
+                  Column_store.close_reader reader);
+                {
+                  hc_pred = h.Plan.h_pred;
+                  hc_level = level_of g.Plan.g_table;
+                  hc_reader = reader;
+                })
+             g.Plan.g_hidden)
+        plan.Plan.groups
+    in
+    (* Bound-depth scan: all the predicate work, on all the rows. The
+       folds below keep evaluating after a miss on purpose. *)
+    let n_root = Catalog.table_count catalog root in
+    let scanned =
+      measure ctx "BoundScan" ~tuples_in:n_root (fun () ->
+        let reader =
+          Option.map
+            (fun skt ->
+               Skt.open_reader ~ram:ctx.ram ~buffer_bytes:64 ?cache:ctx.cache skt)
+            skt_opt
+        in
+        Option.iter
+          (fun r -> Resources.defer resources (fun () -> Skt.close_reader r))
+          reader;
+        let out = ref [] in
+        let live_out = ref 0 in
+        for id = 1 to n_root do
+          let ids =
+            match reader with
+            | Some r -> Skt.get r id
+            | None -> [| id |]
+          in
+          cpu ctx 1;
+          let dead = Sorted_ids.member tombstones id in
+          let hidden_ok =
+            List.fold_left
+              (fun acc hc ->
+                 cpu ctx 2;
+                 let v = Column_store.get hc.hc_reader ids.(hc.hc_level) in
+                 let ok = Predicate.holds hc.hc_pred v in
+                 acc && ok)
+              true checks
+          in
+          let visible_ok =
+            List.fold_left
+              (fun acc (table, shipped) ->
+                 cpu ctx 2;
+                 let m = Sorted_ids.member shipped ids.(level_of table) in
+                 acc && m)
+              true ctx.shipped
+          in
+          let live = (not dead) && hidden_ok && visible_ok in
+          if live then incr live_out;
+          out := ({ ids; attached = []; delta_hidden = None }, live) :: !out
+        done;
+        (List.rev !out, !live_out))
+    in
+    (* The delta log is scanned end to end (its length is public: the
+       spy watched every insert), same uniform evaluation. *)
+    let delta_rows =
+      match Catalog.delta catalog root with
+      | None -> []
+      | Some log ->
+        measure ctx "DeltaScan" ~tuples_in:(Delta_log.count log) (fun () ->
+          let out = ref [] in
+          let live_out = ref 0 in
+          Delta_log.scan log (fun r ->
+            cpu ctx 5;
+            let dead = Sorted_ids.member tombstones r.Delta_log.ids.(0) in
+            let hidden_ok =
+              List.fold_left
+                (fun acc hc ->
+                   cpu ctx 2;
+                   let v =
+                     if hc.hc_level = 0 then
+                       Delta_log.hidden_value log r hc.hc_pred.Predicate.column
+                     else
+                       Column_store.get hc.hc_reader
+                         r.Delta_log.ids.(hc.hc_level)
+                   in
+                   let ok = Predicate.holds hc.hc_pred v in
+                   acc && ok)
+                true checks
+            in
+            let visible_ok =
+              List.fold_left
+                (fun acc (table, shipped) ->
+                   cpu ctx 2;
+                   let m =
+                     Sorted_ids.member shipped r.Delta_log.ids.(level_of table)
+                   in
+                   acc && m)
+                true ctx.shipped
+            in
+            let live = (not dead) && hidden_ok && visible_ok in
+            if live then incr live_out;
+            out :=
+              ( {
+                  ids = r.Delta_log.ids;
+                  attached = [];
+                  delta_hidden = Some (Delta_log.hidden_assoc log r);
+                },
+                live )
+              :: !out);
+          (List.rev !out, !live_out))
+    in
+    let all_pairs = scanned @ delta_rows in
+    let all_rows = List.map fst all_pairs in
+    (* Projection joins over ALL rows (live and dead) against the full
+       column stream: [verify:false] keeps every row, attaching values
+       in place. *)
+    let projected_visible =
+      List.filter_map
+        (fun (table, column) ->
+           let tbl = Schema.find_table schema table in
+           if column = tbl.Schema.key then None
+           else begin
+             let col = Schema.find_column tbl column in
+             if Column.is_hidden col then None
+             else Some (table, column, col.Column.ty)
+           end)
+        plan.Plan.query.Bind.projections
+      |> List.sort_uniq compare
+    in
+    List.iter
+      (fun (table, column, ty) ->
+         let width = Value.ty_width ty in
+         let fetch () =
+           let stream =
+             Public_store.stream_column ctx.public ~trace ~table ~column
+               ~preds:[]
+           in
+           receive_stream ctx ~table ~column ~ty stream;
+           stream
+         in
+         ignore
+           (join_stream ctx
+              ~label:(Printf.sprintf "Project+Join(%s.%s)" table column)
+              ~level:(level_of table) ~verify:false ~attach_value:true
+              ~value_width:width ~rows:all_rows fetch))
+      projected_visible;
+    (* Projection + padded emission: tuples are materialised for dead
+       rows too (identical hidden-column page touches), then dropped. *)
+    let attach_order = List.map (fun (t, c, _) -> (t, c)) projected_visible in
+    let result_rows =
+      measure ctx "Project" ~tuples_in:(List.length all_pairs) (fun () ->
+        let hidden_readers = Hashtbl.create 8 in
+        let reader_for table column =
+          match Hashtbl.find_opt hidden_readers (table, column) with
+          | Some r -> r
+          | None ->
+            let cs = column_store_exn ctx ~table ~column in
+            let r =
+              Column_store.open_reader ~ram:ctx.ram ~buffer_bytes:256
+                ?cache:ctx.cache cs
+            in
+            Resources.defer resources (fun () -> Column_store.close_reader r);
+            Hashtbl.replace hidden_readers (table, column) r;
+            r
+        in
+        let out =
+          List.filter_map
+            (fun (row, live) ->
+               let attached = Array.of_list (List.rev row.attached) in
+               let tuple =
+                 Array.of_list
+                   (List.map
+                      (fun (table, column) ->
+                         cpu ctx 2;
+                         let tbl = Schema.find_table schema table in
+                         if column = tbl.Schema.key then
+                           Value.Int row.ids.(level_of table)
+                         else begin
+                           let col = Schema.find_column tbl column in
+                           if Column.is_hidden col then begin
+                             match row.delta_hidden with
+                             | Some assoc when table = root ->
+                               List.assoc column assoc
+                             | Some _ | None ->
+                               Column_store.get (reader_for table column)
+                                 row.ids.(level_of table)
+                           end
+                           else begin
+                             let rec pos i = function
+                               | [] ->
+                                 fail "projection %s.%s not attached" table
+                                   column
+                               | (t, c) :: rest ->
+                                 if t = table && c = column then i
+                                 else pos (i + 1) rest
+                             in
+                             attached.(pos 0 attach_order)
+                           end
+                         end)
+                      plan.Plan.query.Bind.projections)
+               in
+               if live then Some tuple else None)
+            all_pairs
+        in
+        let padded_in = List.length all_pairs in
+        let out =
+          match plan.Plan.query.Bind.aggregate with
+          | None -> out
+          | Some spec ->
+            cpu ctx (5 * padded_in);
+            let grouped = Ghost_sql.Aggregate.apply spec out in
+            let group_bytes =
+              max 16
+                (List.length grouped
+                 * 8
+                 * max 1 (List.length spec.Ghost_sql.Aggregate.output))
+            in
+            Ram.with_alloc ctx.ram ~label:"aggregate-groups" group_bytes
+              (fun _ -> ());
+            grouped
+        in
+        let out =
+          match plan.Plan.query.Bind.order_by, plan.Plan.query.Bind.limit with
+          | [], None -> out
+          | order_by, limit ->
+            cpu ctx (padded_in * Ext_sort.log2_ceil (max 1 padded_in));
+            Ram.with_alloc ctx.ram ~label:"order-by"
+              (max 16 (padded_in * 8))
+              (fun _ -> Ghost_sql.Postproc.apply ~order_by ~limit out)
+        in
+        emit_rows ctx ~count:(List.length out)
+          ~bytes:(List.length out * emit_row_width ctx);
+        (out, List.length out))
+    in
+    let scratch = ctx.scratch in
+    if Flash.live_bytes scratch > 0 then
+      ignore
+        (measure ctx "ScratchReclaim" ~tuples_in:0 (fun () ->
+           Flash.erase_live_blocks scratch;
+           ((), 0)));
+    Resources.release resources;
+    (match ctx.cache with
+     | Some c ->
+       let s = Page_cache.stats c in
+       Trace.record trace Trace.Device_to_display
+         (Trace.Cache_stats
+            {
+              hits = s.Page_cache.hits;
+              misses = s.Page_cache.misses;
+              evictions = s.Page_cache.evictions;
+            })
+         ~bytes:0
+     | None -> ());
+    let total =
+      Device.usage_between device ~before:run_start ~after:(Device.snapshot device)
+    in
+    let ram_peak = Ram.close_scope ctx.ram global_scope in
+    {
+      rows = result_rows;
+      row_count = List.length result_rows;
+      ops = List.rev ctx.ops_rev;
+      total;
+      elapsed_us = total.Device.total_us;
+      ram_peak;
+      bloom_fp_candidates = 0;
+      oblivious = Oblivious.Full;
+      padding_bytes = ctx.pad_bytes;
+    })
+
+let execute_once ~exact_post ~bloom_fpr ~scratch catalog public plan =
+  match plan.Plan.oblivious with
+  | Oblivious.Full -> execute_oblivious ~scratch catalog public plan
+  | Oblivious.Off | Oblivious.Pad ->
+    execute_baseline ~exact_post ~bloom_fpr ~scratch catalog public plan
 
 (* Graceful degradation under a detected integrity failure. A caught
    {!Flash.Integrity_error} aborts the attempt cleanly (the deferred

@@ -2,6 +2,7 @@ module Value = Ghost_kernel.Value
 module Device = Ghost_device.Device
 module Flash = Ghost_flash.Flash
 module Public_store = Ghost_public.Public_store
+module Oblivious = Ghost_oblivious.Oblivious
 
 (** The device-side query executor.
 
@@ -15,7 +16,16 @@ module Public_store = Ghost_public.Public_store
 
     Every stage charges the device clock and the RAM arena, and
     reports the per-operator statistics the demo GUI shows (tuples
-    processed, local RAM consumption, processing time). *)
+    processed, local RAM consumption, processing time).
+
+    When the plan carries {!Plan.t.oblivious} = [Pad], the same
+    pipeline runs but the three length-bearing USB sites (id
+    shipments, projection streams, result emission) are padded up to
+    power-of-two buckets under their public bounds. Under [Full] a
+    separate fixed-shape path runs instead: bound-depth SKT scan,
+    uniform predicate evaluation, full-column streams and
+    bound-padded emission, making the spy-visible trace (and the
+    device clock) a function of schema and public bounds alone. *)
 
 type op_stats = {
   op_label : string;
@@ -35,6 +45,12 @@ type result = {
   bloom_fp_candidates : int;
       (** candidates admitted by a Bloom filter and later rejected by
           the exact verification join (0 unless Post-filtering ran) *)
+  oblivious : Oblivious.mode;  (** the plan's mode, echoed back *)
+  padding_bytes : int;
+      (** dummy bytes added by oblivious padding across id shipments,
+          projection streams and result emission; always 0 under
+          {!Oblivious.Off}. The trusted side strips the dummies:
+          [rows] only ever holds real tuples. *)
 }
 
 exception Exec_error of string

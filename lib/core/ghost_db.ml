@@ -195,9 +195,18 @@ let recover t =
 
 let plans t sql = Planner.with_estimates t.catalog (bind t sql)
 
-let query t ?exact_post ?bloom_fpr sql =
+let query t ?exact_post ?bloom_fpr ?(oblivious = false) sql =
   let q = bind t sql in
-  let plan, est = Planner.best t.catalog q in
+  let plan, est =
+    if oblivious then begin
+      (* One fixed-shape plan per query: strategy choice is itself a
+         function of the hidden data's statistics, so the oblivious
+         path never consults the cost-based panel. *)
+      let p = Planner.oblivious t.catalog q in
+      (p, Cost.estimate t.catalog p)
+    end
+    else Planner.best t.catalog q
+  in
   let r = Exec.run ?exact_post ?bloom_fpr t.catalog t.public plan in
   (* Serial queries are calibration ground truth too: the planner's
      estimate for the chosen plan against the measured device time. *)
@@ -208,11 +217,22 @@ let query t ?exact_post ?bloom_fpr sql =
        ~predicted_us:est.Cost.est_time_us ~measured_us:r.Exec.elapsed_us);
   r
 
-let run_plan t ?exact_post ?bloom_fpr plan =
+let run_plan t ?exact_post ?bloom_fpr ?(oblivious = false) plan =
+  let plan =
+    if oblivious then Plan.with_mode plan Ghost_oblivious.Oblivious.Full
+    else plan
+  in
   Exec.run ?exact_post ?bloom_fpr t.catalog t.public plan
 
 let spy_report t = Spy.analyze t.trace
-let audit t = Privacy.audit t.trace
+
+let access_profile t ~fixed_shape =
+  {
+    Privacy.fixed_shape;
+    page_bound = List.length (Catalog.structure_pages t.catalog);
+  }
+
+let audit ?access t = Privacy.audit ?access t.trace
 let clear_trace t = Trace.clear t.trace
 let storage t = Catalog.storage t.catalog
 
@@ -222,9 +242,10 @@ exception Image_error of string
    trailer (and the instance its reorg field); to 5 when the device
    config gained its wire-format field and the device its wire
    encoder; to 6 when the config gained verify_pages and the Flash
-   regions their authentication flag and latent-corruption table:
+   regions their authentication flag and latent-corruption table; to 7
+   when trace events gained their oblivious leakage annotation:
    older marshalled images are incompatible. *)
-let image_magic = "GHOSTDB-IMAGE-6\n"
+let image_magic = "GHOSTDB-IMAGE-7\n"
 
 (* Image layout: magic | u64 payload length | payload (marshalled
    instance) | u32 CRC-32 of the payload. Written to [<path>.tmp] and

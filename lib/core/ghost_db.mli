@@ -153,24 +153,45 @@ val recover : t -> recovery_report
     reorganization stays pending and the next [recover] picks it up
     from the checkpoints that survived. *)
 
-val query : t -> ?exact_post:bool -> ?bloom_fpr:float -> string -> Exec.result
+val query :
+  t -> ?exact_post:bool -> ?bloom_fpr:float -> ?oblivious:bool -> string ->
+  Exec.result
 (** Optimize and execute. [bloom_fpr] is the target false-positive
     rate for Post-filter Bloom filters; it must lie strictly between 0
     and 1 or the call raises [Invalid_argument] before touching the
-    device. *)
+    device.
+
+    [oblivious] (default false) runs the query through the fixed-shape
+    path ({!Planner.oblivious} + the [Full] executor): the spy-visible
+    trace becomes a function of the schema and public bounds alone —
+    two queries with the same visible part and the same public bounds
+    produce byte-identical traces whatever their hidden constants.
+    Rows returned are the real answer (dummy padding never leaves the
+    trusted side); the overhead is reported in
+    {!Exec.result.padding_bytes}. *)
 
 val plans : t -> string -> (Plan.t * Cost.estimate) list
 (** The candidate-plan panel, best first. *)
 
-val run_plan : t -> ?exact_post:bool -> ?bloom_fpr:float -> Plan.t -> Exec.result
+val run_plan :
+  t -> ?exact_post:bool -> ?bloom_fpr:float -> ?oblivious:bool -> Plan.t ->
+  Exec.result
 (** Execute a specific plan (ad-hoc plans of the demo's game phase).
     Validates [bloom_fpr] exactly as {!query} does:
-    [Invalid_argument] unless it lies strictly between 0 and 1. *)
+    [Invalid_argument] unless it lies strictly between 0 and 1.
+    [oblivious] forces the plan to {!Plan.with_mode} [Full]; a plan
+    already carrying a mode (e.g. [Pad]) runs under it unchanged. *)
 
 val spy_report : t -> Spy.report
 (** What a spy has observed since the last {!clear_trace}. *)
 
-val audit : t -> Privacy.verdict
+val access_profile : t -> fixed_shape:bool -> Privacy.access
+(** The access-pattern side-channel profile to hand {!audit}:
+    [page_bound] is the catalog's structure page count (the most pages
+    a query-time walk can touch); [fixed_shape] asserts the executions
+    being audited used the oblivious path. *)
+
+val audit : ?access:Privacy.access -> t -> Privacy.verdict
 val clear_trace : t -> unit
 
 val storage : t -> Catalog.storage_report

@@ -1,5 +1,6 @@
 module Predicate = Ghost_relation.Predicate
 module Bind = Ghost_sql.Bind
+module Oblivious = Ghost_oblivious.Oblivious
 
 type hidden_strategy =
   | H_index
@@ -39,6 +40,7 @@ type t = {
   root : string;
   groups : group list;
   label : string;
+  oblivious : Oblivious.mode;
 }
 
 let group_label g =
@@ -67,13 +69,23 @@ let group_label g =
   in
   String.concat " " (hidden @ visible)
 
-let make ~query ~root groups =
+let mode_suffix = function
+  | Oblivious.Off -> ""
+  | Oblivious.Pad -> " [padded]"
+  | Oblivious.Full -> " [oblivious]"
+
+let make ?(oblivious = Oblivious.Off) ~query ~root groups =
   let label =
-    match groups with
-    | [] -> "scan"
-    | _ -> String.concat " | " (List.map group_label groups)
+    (match groups with
+     | [] -> "scan"
+     | _ -> String.concat " | " (List.map group_label groups))
+    ^ mode_suffix oblivious
   in
-  { query; root; groups; label }
+  { query; root; groups; label; oblivious }
+
+let with_mode t mode =
+  if t.oblivious = mode then t
+  else make ~oblivious:mode ~query:t.query ~root:t.root t.groups
 
 let group_produces_pre_source g =
   List.exists (fun h -> h.h_strategy = H_index) g.g_hidden
@@ -85,6 +97,16 @@ let group_produces_pre_source g =
 let describe t =
   let buf = Buffer.create 256 in
   Printf.bprintf buf "plan [%s] rooted at %s\n" t.label t.root;
+  (match t.oblivious with
+   | Oblivious.Off -> ()
+   | Oblivious.Pad ->
+     Printf.bprintf buf
+       "  pad-only: shipments, streams and the result cardinality padded to \
+        power-of-two buckets\n"
+   | Oblivious.Full ->
+     Printf.bprintf buf
+       "  oblivious: full-cardinality padding + bound-depth scans; the \
+        spy-visible trace depends only on schema and public bounds\n");
   List.iter
     (fun g ->
        Printf.bprintf buf "  group %s:\n" g.g_table;

@@ -1,5 +1,6 @@
 module Predicate = Ghost_relation.Predicate
 module Bind = Ghost_sql.Bind
+module Oblivious = Ghost_oblivious.Oblivious
 
 (** Physical plans: the Pre- / Post- / Cross-filtering strategy space
     of Section 4.
@@ -55,10 +56,21 @@ type t = {
   root : string;  (** the subtree root R whose SKT drives execution *)
   groups : group list;
   label : string;  (** short human-readable strategy summary *)
+  oblivious : Oblivious.mode;
+      (** how much of the access pattern the executor hides: [Off]
+          (the seed path, bit-identical), [Pad] (power-of-two padding
+          at the metering sites, baseline access pattern) or [Full]
+          (data-independent trace — see {!Exec}). Travels on the plan
+          so the scheduler's step machines respect it without any
+          scheduler change. *)
 }
 
-val make : query:Bind.query -> root:string -> group list -> t
-(** Computes the label. *)
+val make : ?oblivious:Oblivious.mode -> query:Bind.query -> root:string -> group list -> t
+(** Computes the label ([oblivious] defaults to [Off] and suffixes the
+    label when set). *)
+
+val with_mode : t -> Oblivious.mode -> t
+(** The same plan under another oblivious mode (label recomputed). *)
 
 val describe : t -> string
 (** Multi-line description (for the demo's plan-building phase). *)

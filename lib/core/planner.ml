@@ -165,6 +165,31 @@ let all_pre cat q = with_uniform_strategy cat q ~visible_strategy:Plan.V_pre ~us
 let all_post cat q = with_uniform_strategy cat q ~visible_strategy:Plan.V_post ~use_cross:false
 let cross cat q = with_uniform_strategy cat q ~visible_strategy:Plan.V_pre ~use_cross:true
 
+(* The fixed-shape plan oblivious execution always runs: every hidden
+   predicate is a per-candidate check over a bound-depth sequential
+   scan (never a data-dependent climbing-index walk), every visible
+   predicate a shipped-list membership check. Strategy choice is what
+   the access pattern would otherwise leak, so there is exactly one
+   oblivious plan per query. *)
+let oblivious cat (q : Bind.query) =
+  let root = root_of cat q in
+  let groups =
+    List.map
+      (fun (table, hidden, visible) ->
+         {
+           Plan.g_table = table;
+           g_hidden =
+             List.map
+               (fun p -> { Plan.h_pred = p; h_strategy = Plan.H_check })
+               hidden;
+           g_visible = visible;
+           g_visible_strategy = Plan.V_pre;
+           g_borrowed = [];
+         })
+      (table_groups cat q)
+  in
+  Plan.make ~oblivious:Ghost_oblivious.Oblivious.Full ~query:q ~root groups
+
 let uniform cat q strategy =
   match strategy with
   | Plan.V_pre -> all_pre cat q

@@ -39,6 +39,13 @@ val cross : Catalog.t -> Bind.query -> Plan.t
 (** Cross-filtering wherever a table carries both hidden and visible
     predicates; Pre elsewhere. *)
 
+val oblivious : Catalog.t -> Bind.query -> Plan.t
+(** The single fixed-shape plan ([Plan.oblivious = Full]): hidden
+    predicates as per-candidate checks over a bound-depth scan,
+    visible predicates as shipped-list membership — no data-dependent
+    index walks, so the executor can make the spy-visible trace a
+    function of schema and public bounds alone. *)
+
 val uniform : Catalog.t -> Bind.query -> Plan.visible_strategy -> Plan.t
 (** Applies one visible strategy to every group (hidden predicates use
     their indexes). Cross variants fall back to the corresponding

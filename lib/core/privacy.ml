@@ -1,4 +1,10 @@
 module Trace = Ghost_device.Trace
+module Oblivious = Ghost_oblivious.Oblivious
+
+type access = {
+  fixed_shape : bool;
+  page_bound : int;
+}
 
 type verdict = {
   ok : bool;
@@ -6,9 +12,11 @@ type verdict = {
   outbound_payload_bytes : int;
   inbound_bytes : int;
   queries_leaked : string list;
+  data_dependent_bits : float;
+  padding_bytes : int;
 }
 
-let audit ?session trace =
+let audit ?session ?access trace =
   let violations = ref [] in
   let outbound = ref 0 in
   let inbound = ref 0 in
@@ -55,12 +63,38 @@ let audit ?session trace =
        | Trace.Reorg_progress _ ->
          ())
     audited;
+  (* Leakage in bits: every annotated event contributes
+     log2(obl_values) — the number of distinct values its observable
+     (count, length) can take as the hidden data varies under fixed
+     public bounds. The optional access profile adds the page-touch
+     side channel the trace itself cannot see: a data-dependent access
+     pattern over [page_bound] pages is worth up to
+     log2(page_bound + 1) bits; a fixed-shape execution contributes
+     zero. *)
+  let data_dependent_bits =
+    Oblivious.trace_bits ?session trace
+    +. (match access with
+        | None -> 0.
+        | Some a ->
+          if a.fixed_shape then 0.
+          else Oblivious.bits_of_values (max 1 a.page_bound + 1))
+  in
+  let padding_bytes =
+    List.fold_left
+      (fun acc (e : Trace.event) ->
+         match e.Trace.obl with
+         | Some o -> acc + o.Trace.obl_pad_bytes
+         | None -> acc)
+      0 audited
+  in
   {
     ok = !violations = [];
     violations = List.rev !violations;
     outbound_payload_bytes = !outbound;
     inbound_bytes = !inbound;
     queries_leaked = List.rev !queries;
+    data_dependent_bits;
+    padding_bytes;
   }
 
 let pp fmt v =

@@ -10,15 +10,35 @@ module Trace = Ghost_device.Trace
     anywhere but the secure display channel. The property-based test
     suite runs this over randomized queries and plans. *)
 
+type access = {
+  fixed_shape : bool;
+      (** the executor ran a fixed-shape plan: page-touch counts are a
+          function of schema and public bounds *)
+  page_bound : int;
+      (** public upper bound on the pages a query may touch (e.g. the
+          catalog's structure page count) *)
+}
+(** Access-pattern side channel profile, supplied by the caller (the
+    trace records link events, not Flash geometry). *)
+
 type verdict = {
   ok : bool;
   violations : string list;
   outbound_payload_bytes : int;  (** non-ack device bytes a spy saw *)
   inbound_bytes : int;  (** visible data that entered the device *)
   queries_leaked : string list;  (** the (expected) query-text leak *)
+  data_dependent_bits : float;
+      (** upper bound on the bits of hidden data the trace shape (and
+          the access profile, when given) can encode: the sum of
+          log2(values) over annotated events — 0 under a fully
+          oblivious execution, > 0 wherever a count or length still
+          varies with hidden data *)
+  padding_bytes : int;
+      (** dummy-padding bytes across all annotated events (every link,
+          the display channel included); 0 in baseline mode *)
 }
 
-val audit : ?session:int -> Trace.t -> verdict
+val audit : ?session:int -> ?access:access -> Trace.t -> verdict
 (** With [session], only the events stamped with that scheduler
     session id are audited: under a multi-session interleaving this
     verifies that {e each} session in isolation reveals nothing beyond

@@ -134,7 +134,7 @@ type t = {
       (* the link's reused encode buffer + label-interning dictionary;
          both wire formats encode through it, so metered byte counts
          are real frame sizes *)
-  mutable batch : (Trace.payload * int) list ref option;
+  mutable batch : (Trace.payload * int * Trace.obl option) list ref option;
       (* open coalescing bracket ([with_usb_batch], Compact only):
          messages encoded into the pending frame, newest first *)
 }
@@ -249,7 +249,8 @@ let transfer_frame t dir link msgs ~total =
      | Inbound -> t.usb_bytes_in <- t.usb_bytes_in + total
      | Outbound -> t.usb_bytes_out <- t.usb_bytes_out + total);
     t.usb_us <- t.usb_us +. usb_transfer_us t total;
-    List.iter (fun (payload, bytes) -> Trace.record t.trace link payload ~bytes)
+    List.iter
+      (fun (payload, bytes, obl) -> Trace.record ?obl t.trace link payload ~bytes)
       msgs;
     let corrupted =
       match t.config.usb_fault, t.usb_rng with
@@ -288,10 +289,11 @@ let transfer_frame t dir link msgs ~total =
   attempt 0;
   tick t
 
-let transfer t dir link payload ~bytes =
-  transfer_frame t dir link [ (payload, bytes) ] ~total:bytes
+let transfer ?obl t dir link payload ~bytes =
+  transfer_frame t dir link [ (payload, bytes, obl) ] ~total:bytes
 
-let receive t payload ~bytes = transfer t Inbound Trace.Pc_to_device payload ~bytes
+let receive ?obl t payload ~bytes =
+  transfer ?obl t Inbound Trace.Pc_to_device payload ~bytes
 
 (* Typed inbound transfers: the message is really encoded (into the
    reused wire buffer), and the metered byte count is the encoded
@@ -307,7 +309,7 @@ let receive_message t msg payload =
     (match t.batch with
      | Some acc ->
        let n = Wire.add_message t.enc msg in
-       acc := (payload, n) :: !acc
+       acc := (payload, n, None) :: !acc
      | None ->
        Wire.begin_frame t.enc;
        ignore (Wire.add_message t.enc msg : int);
@@ -353,19 +355,19 @@ let with_usb_batch t f =
        finish ();
        (match List.rev !acc with
         | [] -> ()
-        | (p0, n0) :: rest ->
+        | (p0, n0, o0) :: rest ->
           let total = Wire.end_frame t.enc in
-          let body = List.fold_left (fun a (_, n) -> a + n) n0 rest in
+          let body = List.fold_left (fun a (_, n, _) -> a + n) n0 rest in
           transfer_frame t Inbound Trace.Pc_to_device
-            ((p0, n0 + (total - body)) :: rest)
+            ((p0, n0 + (total - body), o0) :: rest)
             ~total);
        r
      | exception e ->
        finish ();
        raise e)
 
-let emit_result t ~count ~bytes =
-  transfer t Outbound Trace.Device_to_display
+let emit_result ?obl t ~count ~bytes =
+  transfer ?obl t Outbound Trace.Device_to_display
     (Trace.Result_tuples { count }) ~bytes
 
 let emit_ack t = transfer t Outbound Trace.Device_to_pc Trace.Ack ~bytes:1

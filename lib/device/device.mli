@@ -144,7 +144,7 @@ val trace : t -> Trace.t
 val cpu : t -> int -> unit
 (** [cpu t n] charges [n] simulated CPU operations. *)
 
-val receive : t -> Trace.payload -> bytes:int -> unit
+val receive : ?obl:Trace.obl -> t -> Trace.payload -> bytes:int -> unit
 (** Meters an inbound USB transfer (visible data entering the device)
     with a caller-supplied byte count and records it on the
     [Pc_to_device] link. Under an active {!usb_fault} model a
@@ -190,9 +190,14 @@ val with_usb_batch : t -> (unit -> 'a) -> 'a
     exactly [f ()]: no framing, no behavior change. An empty bracket
     sends nothing. *)
 
-val emit_result : t -> count:int -> bytes:int -> unit
+val emit_result : ?obl:Trace.obl -> t -> count:int -> bytes:int -> unit
 (** Sends result tuples to the secure display ([Device_to_display]
-    link — not spy visible). Same retry discipline as {!receive}. *)
+    link — not spy visible). Same retry discipline as {!receive}.
+    [obl] annotates the event with its leakage bound (see
+    {!Trace.obl}): the oblivious executor pads [count] and [bytes] to
+    a public bound and marks the dummy share; the baseline executor
+    marks the {e unpadded} count's value range so the auditor can
+    measure the residual leak. *)
 
 val emit_ack : t -> unit
 (** A content-free protocol acknowledgement on [Device_to_pc]. *)

@@ -43,12 +43,19 @@ let payload_summary = function
   | Reorg_progress { phase; phases } ->
     Printf.sprintf "reorg-progress %d/%d" phase phases
 
+type obl = {
+  obl_bound : int;
+  obl_values : int;
+  obl_pad_bytes : int;
+}
+
 type event = {
   seq : int;
   link : link;
   payload : payload;
   bytes : int;
   session : int option;
+  obl : obl option;
 }
 
 type t = {
@@ -65,9 +72,9 @@ let set_session t session = t.current_session <- session
 let current_session t = t.current_session
 let set_metrics t m = t.metrics <- m
 
-let record t link payload ~bytes =
+let record ?obl t link payload ~bytes =
   let e =
-    { seq = t.next_seq; link; payload; bytes; session = t.current_session }
+    { seq = t.next_seq; link; payload; bytes; session = t.current_session; obl }
   in
   t.next_seq <- t.next_seq + 1;
   t.rev_events <- e :: t.rev_events;

@@ -35,6 +35,26 @@ type payload =
 
 val payload_summary : payload -> string
 
+type obl = {
+  obl_bound : int;
+      (** the public bound the observable was padded toward (table
+          cardinality, live root count, ...) *)
+  obl_values : int;
+      (** how many distinct values the observable can take as the
+          hidden data varies under fixed public bounds: 1 for a fully
+          padded (single-valued) observable, [bound + 1] for an
+          unpadded count in [0..bound] *)
+  obl_pad_bytes : int;
+      (** dummy-padding bytes inside [bytes] — shipped beyond the real
+          payload, stripped by the trusted side; 0 in baseline mode *)
+}
+(** Leakage annotation an executor attaches to events whose payload
+    size or count depends on hidden data (see [Ghost_oblivious]): the
+    privacy auditor sums [log2 obl_values] into its data-dependent-bits
+    verdict, and the spy report accounts [obl_pad_bytes] separately
+    from real payload bytes. Pure bookkeeping — never charged to the
+    simulated clock. *)
+
 type event = {
   seq : int;
   link : link;
@@ -43,12 +63,15 @@ type event = {
   session : int option;
       (** the scheduler session the message belongs to, when one was
           active; [None] for serial (unscheduled) execution *)
+  obl : obl option;
+      (** leakage annotation, when an oblivious-aware executor recorded
+          the event; [None] everywhere else *)
 }
 
 type t
 
 val create : unit -> t
-val record : t -> link -> payload -> bytes:int -> unit
+val record : ?obl:obl -> t -> link -> payload -> bytes:int -> unit
 (** Stamps the event with the {!current_session}. *)
 
 val set_session : t -> int option -> unit

@@ -779,6 +779,12 @@ let audit t =
         (List.concat_map
            (fun (_, (v : Privacy.verdict)) -> v.Privacy.queries_leaked)
            per_device);
+    data_dependent_bits =
+      List.fold_left
+        (fun acc (_, (v : Privacy.verdict)) ->
+           acc +. v.Privacy.data_dependent_bits)
+        0. per_device;
+    padding_bytes = sum (fun (v : Privacy.verdict) -> v.Privacy.padding_bytes);
   }
 
 let spy_reports t =

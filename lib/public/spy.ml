@@ -12,6 +12,7 @@ type report = {
   id_lists_observed : (string * int) list;
   value_streams_observed : (string * string * int) list;
   device_outbound_payload_bytes : int;
+  padding_bytes : int;
 }
 
 let analyze ?session trace =
@@ -83,12 +84,24 @@ let analyze ?session trace =
            acc)
       0 events
   in
+  (* Dummy-padding share of what the spy saw. The spy cannot tell the
+     dummies apart (that is the point); the trusted side knows, and
+     reports the overhead here for the frontier experiments. *)
+  let padding_bytes =
+    List.fold_left
+      (fun acc e ->
+         match e.Trace.obl with
+         | Some o -> acc + o.Trace.obl_pad_bytes
+         | None -> acc)
+      0 events
+  in
   {
     per_link;
     queries_observed;
     id_lists_observed;
     value_streams_observed;
     device_outbound_payload_bytes;
+    padding_bytes;
   }
 
 let pp fmt r =

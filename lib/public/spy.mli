@@ -23,6 +23,10 @@ type report = {
   device_outbound_payload_bytes : int;
       (** bytes the device sent on spy-visible links, protocol acks
           excluded — the number the paper promises is 0 *)
+  padding_bytes : int;
+      (** dummy bytes hidden inside the spy-visible frames by the
+          oblivious padding layer (indistinguishable to the spy,
+          accounted by the trusted side); 0 in baseline mode *)
 }
 
 val analyze : ?session:int -> Trace.t -> report
