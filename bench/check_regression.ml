@@ -82,7 +82,16 @@ let load_json path =
    fingerprints per mode) are exact-match for the same reason: padding
    and leakage accounting are deterministic functions of schema and
    public bounds, so any drift is a broken guarantee, not noise — only
-   the "oblivious.<mode>.device_us" gauges get the time tolerance. *)
+   the "oblivious.<mode>.device_us" gauges get the time tolerance.
+   Likewise the E23 leveled-log counters: the device-published
+   "compaction.*" family (spills, merges, pages_written,
+   records_dropped), "run.records_installed" and the
+   "write_heavy_*.<mode>" depth counters (records, physical, L0 pages,
+   runs, run pages) are exact-match — spill and merge points are a
+   deterministic function of the append sequence and the configured
+   thresholds, so a drifted count means the compaction state machine
+   changed; only "write_heavy.<mode>.p95_us" gets the time
+   tolerance. *)
 type kind = Counter | Time | Gauge
 
 (* A metric whose name carries a microsecond unit is simulated time:

@@ -60,7 +60,7 @@ let parse_args () =
     ("--json", Arg.String (fun d -> json_dir := Some d),
      "DIR also write each selected report as DIR/BENCH_<id>.json");
     ("--metrics", Arg.String (fun d -> metrics_dir := Some d),
-     "DIR for the instrumented experiments (E16-E22), also write \
+     "DIR for the instrumented experiments (E16-E23), also write \
       DIR/METRICS_<id>.json, DIR/TRACE_<id>.json (Chrome trace) and \
       DIR/CALIBRATION_<id>.txt");
     ("--force", Arg.Set force, " overwrite existing output files");
@@ -102,7 +102,7 @@ let list_experiments opts =
 
 let print_experiments opts =
   (* One registry per instrumented experiment, created lazily when the
-     experiment asks for it (only E16-E22 do). *)
+     experiment asks for it (only E16-E23 do). *)
   let registries : (string, Metrics.t) Hashtbl.t = Hashtbl.create 4 in
   let metrics id =
     match opts.metrics_dir with

@@ -42,7 +42,7 @@ let list_arg =
 let metrics_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics" ] ~docv:"DIR"
-           ~doc:"For the instrumented experiments (E16-E22), also write \
+           ~doc:"For the instrumented experiments (E16-E23), also write \
                  METRICS_<id>.json, TRACE_<id>.json (Chrome about:tracing \
                  format) and CALIBRATION_<id>.txt into $(docv).")
 

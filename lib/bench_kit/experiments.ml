@@ -1715,6 +1715,146 @@ let oblivious_frontier ?metrics ?(scale = default_scale) () =
       ]
     rows
 
+(* ---- E23 write-heavy: leveled log runs vs the flat delta log ---- *)
+
+let write_heavy ?metrics ?(scale = default_scale) () =
+  let module Value = Ghost_kernel.Value in
+  let module Rng = Ghost_kernel.Rng in
+  let module Metrics = Ghost_metrics.Metrics in
+  let module Delta_log = Ghostdb.Delta_log in
+  let module Compaction = Ghostdb.Compaction in
+  let rounds = 8 and batch = 150 and deletes_per_round = 10 and probes = 12 in
+  let rows_for db rng n =
+    let next =
+      Catalog.total_count (Ghost_db.catalog db) "Prescription" + 1
+    in
+    List.init n (fun i ->
+      [|
+        Value.Int (next + i);
+        Value.Int (Rng.int_in rng 1 10);
+        Value.Int (Rng.int_in rng 1 4);
+        Value.Date (Rng.int_in rng Medical.date_lo Medical.date_hi);
+        Value.Int (1 + Rng.int rng scale.Medical.medicines);
+        Value.Int (1 + Rng.int rng scale.Medical.visits);
+      |])
+  in
+  (* Probe windows over the base key range: a visible root-key fence
+     plus a hidden predicate, so every probe pays a DeltaScan — fenced
+     on the leveled log, full on the flat one. *)
+  let span = max 1 (scale.Medical.prescriptions - 40) in
+  let probe_sqls =
+    List.init probes (fun j ->
+      let lo = 1 + (j * 1543 mod span) in
+      Printf.sprintf
+        "SELECT Pre.PreID, Pre.Quantity FROM Prescription Pre WHERE \
+         Pre.PreID BETWEEN %d AND %d AND Pre.Quantity >= 1"
+        lo (lo + 30))
+  in
+  let p95 xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(95 * (Array.length a - 1) / 100)
+  in
+  let mean xs =
+    List.fold_left ( +. ) 0. xs /. Float.of_int (List.length xs)
+  in
+  let run_mode leveled =
+    let name = if leveled then "leveled" else "flat" in
+    let device_config =
+      if leveled then
+        { Device.default_config with
+          Device.log_runs = Some Device.default_log_runs }
+      else Device.default_config
+    in
+    let db = make_db ~device_config scale in
+    Option.iter (fun m -> Ghost_db.set_metrics db (Some m)) metrics;
+    let cat = Ghost_db.catalog db in
+    let compactor = if leveled then Some (Compaction.create cat) else None in
+    let rng = Rng.create 123 in
+    let probe_once sql =
+      let plan = Planner.all_pre cat (Ghost_db.bind db sql) in
+      (Ghost_db.run_plan db plan).Exec.elapsed_us
+    in
+    let depth () =
+      match Catalog.delta cat "Prescription" with
+      | None -> (0, 0, 0, 0, 0)
+      | Some log ->
+        ( Delta_log.physical_records log,
+          Delta_log.l0_pages log,
+          Delta_log.run_count log,
+          Delta_log.run_pages log,
+          Delta_log.count log )
+    in
+    let report_rows = ref [] in
+    for round = 1 to rounds do
+      Ghost_db.insert db (rows_for db rng batch);
+      (* retire some of the previous round's inserts, so compaction has
+         tombstoned records to fold away *)
+      if round > 1 then begin
+        let top = Catalog.total_count cat "Prescription" in
+        Ghost_db.delete db
+          (List.init deletes_per_round (fun i -> top - batch - (i * 7)))
+      end;
+      (* idle time between bursts: the compactor drains its backlog *)
+      Option.iter Compaction.run_pending compactor;
+      let lat = List.map probe_once probe_sqls in
+      let physical, l0, runs, run_pages, total = depth () in
+      report_rows :=
+        [
+          name;
+          string_of_int round;
+          string_of_int total;
+          string_of_int physical;
+          string_of_int l0;
+          string_of_int runs;
+          string_of_int run_pages;
+          Report.us (mean lat);
+          Report.us (p95 lat);
+        ]
+        :: !report_rows
+    done;
+    let final_lat = List.map probe_once probe_sqls in
+    Ghost_db.flush_metrics db;
+    Option.iter
+      (fun m ->
+         let physical, l0, runs, run_pages, total = depth () in
+         Metrics.incr m (Printf.sprintf "write_heavy_records.%s" name) ~by:total;
+         Metrics.incr m (Printf.sprintf "write_heavy_physical.%s" name)
+           ~by:physical;
+         Metrics.incr m (Printf.sprintf "write_heavy_l0_pages.%s" name) ~by:l0;
+         Metrics.incr m (Printf.sprintf "write_heavy_runs.%s" name) ~by:runs;
+         Metrics.incr m (Printf.sprintf "write_heavy_run_pages.%s" name)
+           ~by:run_pages;
+         Metrics.add_gauge m (Printf.sprintf "write_heavy.%s.p95_us" name)
+           (p95 final_lat))
+      metrics;
+    (List.rev !report_rows, p95 final_lat)
+  in
+  let flat_rows, flat_p95 = run_mode false in
+  let leveled_rows, leveled_p95 = run_mode true in
+  Report.make ~id:"E23"
+    ~title:"Write-heavy: probe p95 vs delta-log depth, compaction off/on"
+    ~header:
+      [ "mode"; "round"; "delta recs"; "physical"; "L0 pages"; "runs";
+        "run pages"; "probe mean"; "probe p95" ]
+    ~notes:
+      [
+        Printf.sprintf
+          "each round inserts %d prescriptions, deletes %d older ones, lets \
+           the compactor drain, then runs %d fenced window probes (visible \
+           PreID range + hidden Quantity predicate, forced Pre strategy)"
+          batch deletes_per_round probes;
+        "flat: the append-only log grows unbounded and every probe scans all \
+         of it; leveled: L0 spills into sorted runs whose [min,max] key \
+         fences let the probe skip non-overlapping pages, and folding \
+         drops tombstoned records";
+        Printf.sprintf
+          "final probe p95: flat %s vs leveled %s (%s)"
+          (Report.us flat_p95) (Report.us leveled_p95)
+          (Report.factor (flat_p95 /. Float.max leveled_p95 1e-9));
+      ]
+    (flat_rows @ leveled_rows)
+
 let all ?(scale = default_scale) ?(full = false)
     ?(metrics = fun (_ : string) -> None) () =
   let cardinalities =
@@ -1772,6 +1912,8 @@ let all ?(scale = default_scale) ?(full = false)
      fun () -> integrity_sweep ?metrics:(metrics "E21") ~scale ());
     ("E22", "oblivious execution: latency and USB bytes vs leakage bits",
      fun () -> oblivious_frontier ?metrics:(metrics "E22") ~scale ());
+    ("E23", "write-heavy: probe p95 vs delta-log depth, compaction off/on",
+     fun () -> write_heavy ?metrics:(metrics "E23") ~scale ());
     ("A1", "ablation: exact verification joins vs pure Bloom post-filtering",
      fun () -> ablation_exact_post ~scale ());
     ("A2", "ablation: Bloom target false-positive rate vs RAM",

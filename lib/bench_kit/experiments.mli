@@ -154,6 +154,19 @@ val oblivious_frontier :
     in a hidden range bound (0 bits under the fully-oblivious path:
     the hidden constants are indistinguishable on the wire). *)
 
+val write_heavy :
+  ?metrics:Ghost_metrics.Metrics.t -> ?scale:Medical.scale -> unit -> Report.t
+(** E23 (extension): a sustained write-heavy mix against the flat
+    delta log and against leveled log runs with background
+    compaction. Each round inserts a prescription batch, retires some
+    older inserts, lets the compactor drain, and measures fenced
+    window probes (visible root-key range + hidden predicate). The
+    flat log's probe p95 grows with every round — the DeltaScan reads
+    the whole log — while the leveled log's stays bounded: sorted-run
+    key fences let the probe skip non-overlapping pages and compaction
+    folds tombstoned records away. Rows track log depth (L0 pages,
+    run count and pages, physical records) per round. *)
+
 (** {2 Ablations of design choices} *)
 
 val ablation_exact_post : ?scale:Medical.scale -> unit -> Report.t
@@ -182,9 +195,9 @@ val all :
   (string * string * (unit -> Report.t)) list
 (** The whole suite as (id, one-line description, thunk) triples —
     experiments run only when forced, so id filters (and [--list])
-    don't pay for the rest. E1–E22, A1–A5; [full] raises E10 to the
+    don't pay for the rest. E1–E23, A1–A5; [full] raises E10 to the
     paper's one million prescriptions and E19 to 32 devices.
 
     [metrics] supplies, per experiment id, an optional registry for
-    the instrumented experiments (E16–E22) to record into; defaults to
+    the instrumented experiments (E16–E23) to record into; defaults to
     none for all. *)

@@ -190,6 +190,28 @@ let emit_bound env =
   | Some l -> max 0 (min l live)
   | None -> live
 
+(* Merge-on-read charge for the delta log under leveled runs: the read
+   amplification is the run pages surviving fence skipping plus the
+   (bounded) L0 pages, at scratch speed — run pages are recycled
+   constantly, so the cache never fronts them — plus the executor's 5
+   CPU ops per record scanned. [fraction] is the expected share of run
+   pages a fenced scan touches (1 for an unfenced or oblivious scan).
+   Zero — no term, no label — on a flat log, so the seed's estimates
+   stay bit-identical. *)
+let delta_scan_us env ~fraction =
+  match Catalog.delta env.cat env.plan.Plan.root with
+  | None -> 0.
+  | Some log when not (Delta_log.runs_enabled log) -> 0.
+  | Some log ->
+    let page = Float.of_int env.cfg.Device.flash_geometry.Flash.page_size in
+    let run_pages = Float.of_int (Delta_log.run_pages log) in
+    let l0_pages = Float.of_int (Delta_log.l0_pages log) in
+    let touched = (fraction *. run_pages) +. l0_pages in
+    let total = run_pages +. l0_pages in
+    let share = if total <= 0. then 0. else touched /. total in
+    scratch_read_us env (touched *. page)
+    +. cpu_us env (5. *. share *. Float.of_int (Delta_log.physical_records log))
+
 (* Bytes the query-time point-read paths keep going back to: index
    directories (binary searches revisit the top levels constantly),
    SKT rows and hidden column stores. The list blobs are streamed once
@@ -257,6 +279,10 @@ let estimate_full env =
   spend "bound-scan"
     (read_stream_us env (Float.of_int n_root *. skt_row_bytes)
      +. cpu_us env (Float.of_int n_root *. 3.));
+  (* the delta log is scanned whole — runs and L0, never fenced — on
+     the oblivious path *)
+  let ds = delta_scan_us env ~fraction:1. in
+  if ds > 0. then spend "delta-scan" ds;
   (* every hidden predicate checked on every candidate *)
   List.iter
     (fun (g : Plan.group) ->
@@ -456,6 +482,24 @@ let estimate cat (plan : Plan.t) =
     spend "access-skt" (skt_access_us env ~n_root ~candidates ~row_bytes:skt_row_bytes);
   (* bloom probes + hidden checks per candidate *)
   spend "probes" (cpu_us env (candidates *. 8.));
+  (* delta-log merge-on-read: a Pre-filtered root selection fences the
+     run scan to its shipped id range. The touched share is modeled by
+     the selection's selectivity — exact for contiguous (range)
+     selections of the dense root key, optimistic for scattered
+     ones. *)
+  let delta_fraction =
+    match
+      List.find_opt (fun (g : Plan.group) -> g.Plan.g_table = root) plan.Plan.groups
+    with
+    | Some g
+      when g.Plan.g_visible <> []
+           && (g.Plan.g_visible_strategy = Plan.V_pre
+               || g.Plan.g_visible_strategy = Plan.V_cross_pre) ->
+      visible_sel env g.Plan.g_visible
+    | _ -> 1.
+  in
+  let ds = delta_scan_us env ~fraction:delta_fraction in
+  if ds > 0. then spend "delta-scan" ds;
   List.iter
     (fun (g : Plan.group) ->
        List.iter

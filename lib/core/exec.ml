@@ -812,8 +812,36 @@ let execute_baseline ~exact_post ~bloom_fpr ~scratch catalog public plan =
                    | Plan.V_post | Plan.V_cross_post -> None)
               plan.Plan.groups
           in
+          (* Merge-on-read bounds: with leveled runs, a Pre-filtered
+             root selection fences the scan — run pages outside the
+             shipped id range are skipped (superset emission; the
+             membership check below still decides). The flat log has
+             no runs, so the bounds change nothing there. *)
+          let lo, hi =
+            if not (Delta_log.runs_enabled log) then (None, None)
+            else begin
+              let root_pre =
+                List.exists
+                  (fun (g : Plan.group) ->
+                     g.Plan.g_table = root
+                     && g.Plan.g_visible <> []
+                     &&
+                     match g.Plan.g_visible_strategy with
+                     | Plan.V_pre | Plan.V_cross_pre -> true
+                     | Plan.V_post | Plan.V_cross_post -> false)
+                  plan.Plan.groups
+              in
+              if not root_pre then (None, None)
+              else
+                match List.assoc_opt root ctx.shipped with
+                | Some ids when Array.length ids > 0 ->
+                  (Some ids.(0), Some ids.(Array.length ids - 1))
+                | Some _ -> (Some 0, Some (-1))  (* empty selection *)
+                | None -> (None, None)
+            end
+          in
           let out = ref [] in
-          Delta_log.scan log (fun r ->
+          Delta_log.scan_range ?lo ?hi log (fun r ->
             cpu ctx 5;
             let ok =
               not (Sorted_ids.member tombstones r.Delta_log.ids.(0))
@@ -1207,12 +1235,16 @@ let execute_oblivious ~scratch catalog public plan =
         (List.rev !out, !live_out))
     in
     (* The delta log is scanned end to end (its length is public: the
-       spy watched every insert), same uniform evaluation. *)
+       spy watched every insert, and compaction folding depends only on
+       the public insert/delete volume), same uniform evaluation. No
+       run-fence skipping here — the oblivious path never lets the
+       touched page set depend on the selection. *)
     let delta_rows =
       match Catalog.delta catalog root with
       | None -> []
       | Some log ->
-        measure ctx "DeltaScan" ~tuples_in:(Delta_log.count log) (fun () ->
+        measure ctx "DeltaScan" ~tuples_in:(Delta_log.physical_records log)
+          (fun () ->
           let out = ref [] in
           let live_out = ref 0 in
           Delta_log.scan log (fun r ->

@@ -193,6 +193,18 @@ let recover t =
     reorg;
   }
 
+let compact t =
+  check_no_reorg t "compact";
+  if needs_recovery t then
+    failwith
+      "Ghost_db.compact: logs need recovery after a power cut; run recover first";
+  Compaction.run_pending (Compaction.create t.catalog)
+
+let compaction_pending t =
+  match Catalog.delta t.catalog (root_name t) with
+  | Some log -> Delta_log.compaction_pending log
+  | None -> false
+
 let plans t sql = Planner.with_estimates t.catalog (bind t sql)
 
 let query t ?exact_post ?bloom_fpr ?(oblivious = false) sql =
@@ -245,7 +257,7 @@ exception Image_error of string
    regions their authentication flag and latent-corruption table; to 7
    when trace events gained their oblivious leakage annotation:
    older marshalled images are incompatible. *)
-let image_magic = "GHOSTDB-IMAGE-7\n"
+let image_magic = "GHOSTDB-IMAGE-8\n"
 
 (* Image layout: magic | u64 payload length | payload (marshalled
    instance) | u32 CRC-32 of the payload. Written to [<path>.tmp] and

@@ -83,6 +83,20 @@ val delete : t -> int list -> unit
 
 val tombstone_count : t -> int
 
+val compact : t -> unit
+(** Eagerly drain pending delta-log compaction (see {!Compaction}): L0
+    spills and run merges run to quiescence on the device clock. A
+    no-op unless the device config enables [log_runs]. In production
+    shape compaction runs incrementally in scheduler idle slices
+    ({!Ghost_sched.Scheduler.set_compactor}); this is the synchronous
+    entry point for tests and single-session callers. Raises [Failure]
+    while a log {!needs_recovery} or during an interrupted
+    reorganization. *)
+
+val compaction_pending : t -> bool
+(** Work left for {!compact}: the root delta log has an in-flight
+    compaction unit, a full L0, or an over-fanout level. *)
+
 val reorganize : t -> t
 (** Offline reorganization (the secure-setting reload): reads the
     current logical state off the device and the public store, compacts

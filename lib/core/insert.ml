@@ -19,6 +19,16 @@ let log_durability cat =
     Delta_log.Checksummed
   else Delta_log.Plain
 
+let log_runs cat =
+  match (Device.config cat.Catalog.device).Device.log_runs with
+  | None -> None
+  | Some p ->
+    Some
+      {
+        Delta_log.l0_spill_pages = p.Device.l0_spill_pages;
+        run_fanout = p.Device.run_fanout;
+      }
+
 let tombstone_durability cat =
   if (Device.config cat.Catalog.device).Device.durable_logs then
     Tombstone_log.Checksummed
@@ -36,6 +46,7 @@ let delta_log_for cat root =
     let log =
       Delta_log.create ~durability:(log_durability cat)
         ?cache:(Device.page_cache cat.Catalog.device)
+        ?runs:(log_runs cat)
         (Device.flash cat.Catalog.device)
         ~table:root ~levels ~hidden_cols
     in

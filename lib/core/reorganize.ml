@@ -69,12 +69,14 @@ let snapshot cat public =
   (match Catalog.delta cat root with
    | None -> ()
    | Some log ->
-     let next = ref (Catalog.table_count cat root + 1) in
+     (* keyed by the record's own root id: under leveled runs
+        compaction may have folded tombstoned records away, so scan
+        position no longer equals id (on a flat log they coincide) *)
      Delta_log.scan log (fun r ->
+       let id = r.Delta_log.ids.(0) in
        List.iter
-         (fun (col, v) -> Hashtbl.replace delta_values (!next, col) v)
-         (Delta_log.hidden_assoc log r);
-       incr next));
+         (fun (col, v) -> Hashtbl.replace delta_values (id, col) v)
+         (Delta_log.hidden_assoc log r)));
   let delta_hidden id col = Hashtbl.find_opt delta_values (id, col) in
   List.map
     (fun (tbl : Schema.table) ->

@@ -33,7 +33,15 @@ type config = {
   page_cache_frames : int;
   wire_format : Wire.format;
   verify_pages : bool;
+  log_runs : log_runs option;
 }
+
+and log_runs = {
+  l0_spill_pages : int;
+  run_fanout : int;
+}
+
+let default_log_runs = { l0_spill_pages = 4; run_fanout = 4 }
 
 let default_config = {
   ram_budget = 64 * 1024;
@@ -48,6 +56,7 @@ let default_config = {
   page_cache_frames = 0;
   wire_format = Wire.Verbose;
   verify_pages = false;
+  log_runs = None;
 }
 
 let high_speed_usb config = { config with usb_mbit_per_s = 480.0 }
@@ -72,6 +81,9 @@ type fault_counters = {
   pages_scrubbed : int;
   scrub_refreshes : int;
   repair_rebuilds : int;
+  log_spills : int;
+  log_compactions : int;
+  compaction_pages : int;
 }
 
 type snapshot = {
@@ -117,6 +129,9 @@ type t = {
   mutable pages_scrubbed : int;
   mutable scrub_refreshes : int;
   mutable repair_rebuilds : int;
+  mutable log_spills : int;
+  mutable log_compactions : int;
+  mutable compaction_pages : int;
   mutable cpu_ops : int;
   mutable metrics : Ghost_metrics.Metrics.t option;
       (* observability registry; [None] (the default) costs one branch
@@ -181,6 +196,9 @@ let create ?(config = default_config) ~trace () =
   pages_scrubbed = 0;
   scrub_refreshes = 0;
   repair_rebuilds = 0;
+  log_spills = 0;
+  log_compactions = 0;
+  compaction_pages = 0;
   cpu_ops = 0;
   metrics = None;
   published = None;
@@ -410,6 +428,22 @@ let note_repair t =
   t.repair_rebuilds <- t.repair_rebuilds + 1;
   metric t "repair.rebuilds"
 
+let note_log_spill t ~pages ~records ~dropped =
+  t.log_spills <- t.log_spills + 1;
+  t.compaction_pages <- t.compaction_pages + pages;
+  metric t "compaction.spills";
+  metric t ~by:pages "compaction.pages_written";
+  metric t ~by:records "run.records_installed";
+  if dropped > 0 then metric t ~by:dropped "compaction.records_dropped"
+
+let note_log_merge t ~pages ~records ~dropped =
+  t.log_compactions <- t.log_compactions + 1;
+  t.compaction_pages <- t.compaction_pages + pages;
+  metric t "compaction.merges";
+  metric t ~by:pages "compaction.pages_written";
+  metric t ~by:records "run.records_installed";
+  if dropped > 0 then metric t ~by:dropped "compaction.records_dropped"
+
 let emit_reorg_progress t ~phase ~phases =
   transfer t Outbound Trace.Device_to_pc
     (Trace.Reorg_progress { phase; phases }) ~bytes:0
@@ -469,6 +503,9 @@ let zero_faults = {
   pages_scrubbed = 0;
   scrub_refreshes = 0;
   repair_rebuilds = 0;
+  log_spills = 0;
+  log_compactions = 0;
+  compaction_pages = 0;
 }
 
 let add_faults a b = {
@@ -491,6 +528,9 @@ let add_faults a b = {
   pages_scrubbed = a.pages_scrubbed + b.pages_scrubbed;
   scrub_refreshes = a.scrub_refreshes + b.scrub_refreshes;
   repair_rebuilds = a.repair_rebuilds + b.repair_rebuilds;
+  log_spills = a.log_spills + b.log_spills;
+  log_compactions = a.log_compactions + b.log_compactions;
+  compaction_pages = a.compaction_pages + b.compaction_pages;
 }
 
 let diff_faults ~after ~before = {
@@ -515,6 +555,9 @@ let diff_faults ~after ~before = {
   pages_scrubbed = after.pages_scrubbed - before.pages_scrubbed;
   scrub_refreshes = after.scrub_refreshes - before.scrub_refreshes;
   repair_rebuilds = after.repair_rebuilds - before.repair_rebuilds;
+  log_spills = after.log_spills - before.log_spills;
+  log_compactions = after.log_compactions - before.log_compactions;
+  compaction_pages = after.compaction_pages - before.compaction_pages;
 }
 
 let no_faults f = f = zero_faults
@@ -548,6 +591,9 @@ let fault_counters (t : t) =
     pages_scrubbed = t.pages_scrubbed;
     scrub_refreshes = t.scrub_refreshes;
     repair_rebuilds = t.repair_rebuilds;
+    log_spills = t.log_spills;
+    log_compactions = t.log_compactions;
+    compaction_pages = t.compaction_pages;
   }
 
 let snapshot (t : t) : snapshot = {

@@ -72,7 +72,28 @@ type config = {
           of letting corrupt bytes reach the executor (DESIGN.md
           section 14). Default false: unauthenticated pages, every
           output bit-identical to the seed. *)
+  log_runs : log_runs option;
+      (** restructure the delta log into leveled sorted runs: the flat
+          append-only pages become an L0 memtable that background
+          compaction spills into CRC-checksummed sorted runs and
+          merges level by level, bounding merge-on-read depth under
+          sustained writes (DESIGN.md section 16). [None] (the
+          default) keeps the single flat log, every output
+          bit-identical to the seed. *)
 }
+
+and log_runs = {
+  l0_spill_pages : int;
+      (** full L0 pages that make the log spill-eligible: compaction
+          folds the whole L0 prefix into one sorted level-1 run *)
+  run_fanout : int;
+      (** runs at a level that trigger merging them into one run at
+          the next level — the leveling fanout *)
+}
+
+val default_log_runs : log_runs
+(** 4 L0 pages per spill, fanout 4 — the base for
+    [{ default_log_runs with ... }] sweeps. *)
 
 val default_config : config
 (** The paper's demo device: 64 KiB RAM, 12 Mbit/s USB, 50 MIPS,
@@ -229,6 +250,15 @@ val note_repair : t -> unit
     a healthy peer ([repair.rebuilds] metric — recorded on the rebuilt
     device). *)
 
+val note_log_spill : t -> pages:int -> records:int -> dropped:int -> unit
+(** Accounts one installed L0 spill: [pages] run pages programmed,
+    [records] records installed, [dropped] tombstoned records folded
+    away ([compaction.*] / [run.*] metrics). *)
+
+val note_log_merge : t -> pages:int -> records:int -> dropped:int -> unit
+(** Accounts one installed level merge, same fields as
+    {!note_log_spill} under [compaction.merges]. *)
+
 val emit_reorg_progress : t -> phase:int -> phases:int -> unit
 (** A zero-byte reorganization checkpoint notice on [Device_to_pc]
     (spy-visible, auditor-allowed): the device signals it is alive
@@ -286,6 +316,9 @@ type fault_counters = {
   pages_scrubbed : int;  (** pages the background scrubber verified *)
   scrub_refreshes : int;  (** decaying pages the scrubber rewrote in place *)
   repair_rebuilds : int;  (** replica rebuilds from a healthy fleet peer *)
+  log_spills : int;  (** L0 prefixes folded into sorted level-1 runs *)
+  log_compactions : int;  (** level merges folding runs one level down *)
+  compaction_pages : int;  (** run pages programmed by spills + merges *)
 }
 (** Robustness counters: faults injected and survived. All zero unless
     fault injection is configured (or a recovery was noted). *)

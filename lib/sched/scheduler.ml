@@ -6,6 +6,7 @@ module Exec = Ghostdb.Exec
 module Cost = Ghostdb.Cost
 module Plan = Ghostdb.Plan
 module Catalog = Ghostdb.Catalog
+module Compaction = Ghostdb.Compaction
 module Public_store = Ghost_public.Public_store
 module Metrics = Ghost_metrics.Metrics
 
@@ -87,6 +88,10 @@ type t = {
   mutable sessions : (int * session) list;
   mutable scratch_pool : Flash.t list;
   mutable scrubber : Ghost_scrub.Scrub.t option;
+  mutable compactor : Compaction.t option;
+  mutable maintenance_flip : bool;
+      (* which maintenance task the next idle slice offers first, so
+         the scrubber and the compactor share idle time fairly *)
   mutable n_submitted : int;
   mutable n_finished : int;
   mutable n_blocked : int;
@@ -115,6 +120,8 @@ let create ?(policy = Fifo) ?(quantum_us = infinity) ?(exact_post = true)
     sessions = [];
     scratch_pool = [];
     scrubber = None;
+    compactor = None;
+    maintenance_flip = false;
     n_submitted = 0;
     n_finished = 0;
     n_blocked = 0;
@@ -347,17 +354,33 @@ let is_runnable s = match s.state with Runnable -> true | Queued | Done _ -> fal
 
 let set_scrubber t s = t.scrubber <- s
 let scrubber t = t.scrubber
+let set_compactor t c = t.compactor <- c
+let compactor t = t.compactor
 
 let step t =
   if t.queue = [] && t.ready = [] then
     (* Idle slice: no session wants the device, so give the slice to
-       the background scrubber — one fixed-size batch per step keeps
-       idle work preemptible at the same granularity as queries. With
-       no scrubber attached (the default) the idle path is the seed's
-       [false], bit for bit. *)
-    (match t.scrubber with
-     | Some s -> Ghost_scrub.Scrub.step s
-     | None -> false)
+       background maintenance — one fixed-size batch per step keeps
+       idle work preemptible at the same granularity as queries. The
+       scrubber and the compactor alternate who gets first claim on
+       each idle slice, so a long compaction backlog cannot starve
+       scrubbing (or vice versa); an idle task passes its slice to the
+       other. With neither attached (the default) the idle path is the
+       seed's [false], bit for bit. *)
+    (match (t.scrubber, t.compactor) with
+     | None, None -> false
+     | sc, co ->
+       let scrub () =
+         match sc with Some s -> Ghost_scrub.Scrub.step s | None -> false
+       in
+       let compact () =
+         match co with Some c -> Compaction.step c | None -> false
+       in
+       let first, second =
+         if t.maintenance_flip then (compact, scrub) else (scrub, compact)
+       in
+       t.maintenance_flip <- not t.maintenance_flip;
+       first () || second ())
   else begin
     expire_deadlines t;
     admit t;

@@ -131,14 +131,17 @@ val step : t -> bool
     An exception raised by a plan is captured as its session's
     {!Failed} outcome, never thrown to the caller.
 
-    When no session wants the device and a scrubber is attached, the
-    idle slice runs one scrub batch instead and returns [true] while
-    scrub work is pending — background maintenance consumes exactly
-    the slices queries leave free. *)
+    When no session wants the device, the idle slice goes to
+    background maintenance instead: the attached scrubber and
+    compactor alternate first claim on successive idle slices (an idle
+    task passes its slice to the other), and the step returns [true]
+    while either has work pending — maintenance consumes exactly the
+    slices queries leave free. *)
 
 val run : t -> unit
 (** Steps until every submitted session has finished — and, with a
-    scrubber attached, until no scrub pass is pending. *)
+    scrubber or compactor attached, until no scrub pass or compaction
+    unit is pending. *)
 
 val set_scrubber : t -> Ghost_scrub.Scrub.t option -> unit
 (** Attaches (or detaches) a background scrubber (see
@@ -146,6 +149,14 @@ val set_scrubber : t -> Ghost_scrub.Scrub.t option -> unit
     default) keeps the idle path bit-identical to the seed. *)
 
 val scrubber : t -> Ghost_scrub.Scrub.t option
+
+val set_compactor : t -> Ghostdb.Compaction.t option -> unit
+(** Attaches (or detaches) a background delta-log compactor (see
+    {!Ghostdb.Compaction}) fed by idle dispatch slices, interleaved
+    fairly with the scrubber. [None] (the default) keeps the idle path
+    bit-identical to the seed. *)
+
+val compactor : t -> Ghostdb.Compaction.t option
 
 val poll_finished : t -> finished list
 (** Sessions that finished since the last poll, in completion order. *)

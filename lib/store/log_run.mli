@@ -1,0 +1,118 @@
+module Flash = Ghost_flash.Flash
+
+(** Immutable sorted runs for the leveled delta log.
+
+    A run is a sequence of CRC-checksummed Flash pages holding
+    fixed-width records in ascending key order, where the key is the
+    unsigned 32-bit integer at offset 0 of each record (the delta log
+    stores the root id there). Runs are built append-only — NAND
+    forbids rewrites — and are {e installed atomically}: the final
+    page carries a seal flag, so a run whose last durable page is
+    unsealed is an interrupted build and recovery discards it
+    wholesale while the (unmodified) inputs roll the log back to its
+    pre-compaction state. See DESIGN.md section 16.
+
+    Every page header records the page's key fences, so a probe-style
+    scan ({!iter} with bounds) skips pages whose [min, max] window
+    cannot intersect the candidate range — the read-amplification
+    lever the cost model prices per run. *)
+
+val header_bytes : int
+
+type page_meta = {
+  pp_page : int;  (** Flash page number *)
+  pp_count : int;  (** records in this page *)
+  pp_min : int;  (** smallest key in the page *)
+  pp_max : int;  (** largest key in the page *)
+}
+
+type t = {
+  level : int;  (** 1 for an L0 spill, [k + 1] for a level-[k] merge *)
+  pages : page_meta array;  (** in program (and key) order *)
+  count : int;  (** records in the run; always positive *)
+  min_key : int;
+  max_key : int;
+}
+
+val page_count : t -> int
+
+val size_bytes : t -> record_bytes:int -> int
+(** Record payload bytes of the run (headers excluded). *)
+
+val records_per_page : Flash.t -> record_bytes:int -> int
+
+(** {2 Building}
+
+    A builder accumulates records (which must arrive in ascending key
+    order) and programs a page whenever one fills; {!seal} programs
+    the final page with the seal flag set — the run's atomic commit.
+    A power cut tearing any program leaves an unsealed page suffix
+    that {!validate} rejects, so the whole partial output is
+    discarded by recovery. *)
+
+type builder
+
+val start : Flash.t -> record_bytes:int -> level:int -> builder
+(** Raises [Invalid_argument] when a record (plus header) exceeds a
+    page. *)
+
+val add : ?on_program:(int -> unit) -> builder -> string -> unit
+(** Buffers one record, programming the previously filled page first
+    when the buffer is full. [on_program] observes every programmed
+    page number (the delta log invalidates its page-cache frame, since
+    {!Flash.append} recycles erased pages). Raises [Invalid_argument]
+    on a record of the wrong width or a key below the previous one. *)
+
+val seal : ?on_program:(int -> unit) -> builder -> t
+(** Programs the buffered tail as the sealed final page and returns
+    the installed run. Raises [Invalid_argument] on an empty builder
+    (callers install nothing when every input record was dropped). *)
+
+val built_count : builder -> int
+(** Records added so far. *)
+
+val built_pages : builder -> int list
+(** Pages programmed so far (program order) — dead bytes to account
+    when an interrupted build is abandoned. *)
+
+val programmed_records : builder -> int
+(** Records already programmed to Flash (excludes the buffered tail) —
+    the dead bytes an abandoned build leaves behind. *)
+
+(** {2 Reading} *)
+
+val iter :
+  Flash.t -> record_bytes:int -> ?lo:int -> ?hi:int -> t ->
+  (string -> unit) -> unit
+(** Metered sequential read of the run's records in key order. With
+    bounds, pages whose fences lie entirely outside [[lo, hi]] are
+    skipped without a read; records of overlapping pages are all
+    emitted (a superset of the matching keys — callers re-check
+    membership, exactly as the executor's shipped-id filters do). *)
+
+val validate : Flash.t -> record_bytes:int -> t -> bool
+(** Metered post-crash check: every page parses (magic, CRC, level,
+    ordinal), the final page — and only it — carries the seal flag,
+    and the per-page record counts sum to [count]. An installed run
+    always validates after a pure power cut; an interrupted build
+    never does. *)
+
+(** {2 Merging}
+
+    A resumable k-way merge cursor over sorted runs, newest-wins: of
+    several heads sharing a key, the record from the latest run (by
+    position in the input list, oldest first) is emitted and the older
+    duplicates are discarded. The cursor holds only decoded records of
+    the current page per input — bounded RAM — and is plain data, so a
+    mid-merge compaction survives {!Ghostdb.Ghost_db.save_image}. *)
+
+type merge
+
+val merge_start : t list -> merge
+val merge_next : Flash.t -> record_bytes:int -> merge -> string option
+(** [None] when every input is exhausted. Page reads are metered as
+    they happen, so a time-sliced compaction charges the device clock
+    only for the work of its own slice. *)
+
+val key : string -> int
+(** The sort key of a record: the u32 at offset 0. *)

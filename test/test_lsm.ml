@@ -1,0 +1,444 @@
+(* Leveled delta-log runs: spill/merge mechanics, merge-on-read
+   equivalence with the flat log, crash safety of every compaction
+   program, scheduler coexistence, and a randomized interleaving
+   property against the reference evaluator. *)
+
+module Value = Ghost_kernel.Value
+module Rng = Ghost_kernel.Rng
+module Flash = Ghost_flash.Flash
+module Device = Ghost_device.Device
+module Medical = Ghost_workload.Medical
+module Queries = Ghost_workload.Queries
+module Reference = Ghost_workload.Reference
+module Ghost_db = Ghostdb.Ghost_db
+module Delta_log = Ghostdb.Delta_log
+module Compaction = Ghostdb.Compaction
+module Catalog = Ghostdb.Catalog
+module Exec = Ghostdb.Exec
+module Scrub = Ghost_scrub.Scrub
+module Scheduler = Ghost_sched.Scheduler
+
+let check = Alcotest.check
+
+(* Small pages so a handful of inserts fills L0; aggressive thresholds
+   so spills and merges both trigger at test scale. *)
+let small_geometry = { Flash.page_size = 256; pages_per_block = 8 }
+let policy = { Delta_log.l0_spill_pages = 2; run_fanout = 2 }
+
+let runs_config =
+  {
+    Device.default_config with
+    Device.durable_logs = true;
+    flash_geometry = small_geometry;
+    log_runs = Some { Device.l0_spill_pages = 2; run_fanout = 2 };
+  }
+
+let flat_config =
+  {
+    Device.default_config with
+    Device.durable_logs = true;
+    flash_geometry = small_geometry;
+  }
+
+(* ---- unit level ---- *)
+
+let flash () = Flash.create ~geometry:small_geometry ()
+
+let make_log ?(runs = policy) f =
+  Delta_log.create ~durability:Delta_log.Checksummed ~runs f ~table:"R"
+    ~levels:[ "R"; "A"; "B" ]
+    ~hidden_cols:[ ("q", Value.T_int); ("s", Value.T_char 8) ]
+
+let append_ids log lo hi =
+  for i = lo to hi do
+    Delta_log.append log
+      ~ids:[| i; i mod 7; i mod 5 |]
+      ~hidden:[| Value.Int (i * 3); Value.Str (Printf.sprintf "s%d" i) |]
+  done
+
+let drain ?drop log =
+  let installs = ref [] in
+  let guard = ref 0 in
+  while Delta_log.compaction_pending log do
+    incr guard;
+    if !guard > 10_000 then Alcotest.fail "compaction never drains";
+    match Delta_log.compact_step ?drop log ~max_pages:1 with
+    | Delta_log.Idle -> Alcotest.fail "pending but idle"
+    | Delta_log.Worked -> ()
+    | Delta_log.Installed i -> installs := i :: !installs
+  done;
+  List.rev !installs
+
+let scanned_roots ?lo ?hi log =
+  let out = ref [] in
+  Delta_log.scan_range ?lo ?hi log (fun r -> out := r.Delta_log.ids.(0) :: !out);
+  List.rev !out
+
+let test_spill_and_merge () =
+  let log = make_log (flash ()) in
+  check Alcotest.bool "runs enabled" true (Delta_log.runs_enabled log);
+  append_ids log 1 40;
+  check Alcotest.bool "spill pending" true (Delta_log.compaction_pending log);
+  let installs = drain log in
+  check Alcotest.bool "something installed" true (installs <> []);
+  check Alcotest.bool "first install is a spill" true
+    (List.hd installs).Delta_log.inst_spill;
+  check Alcotest.bool "has runs" true (Delta_log.has_runs log);
+  check Alcotest.int "nothing dropped" 0 (Delta_log.dropped_records log);
+  check Alcotest.int "count monotonic" 40 (Delta_log.count log);
+  check Alcotest.int "physical intact" 40 (Delta_log.physical_records log);
+  check Alcotest.(list int) "scan in id order" (List.init 40 (fun i -> i + 1))
+    (scanned_roots log);
+  (* more appends force further spills, and fanout 2 forces merges *)
+  append_ids log 41 120;
+  let installs2 = drain log in
+  check Alcotest.bool "a merge happened" true
+    (List.exists (fun i -> not i.Delta_log.inst_spill) installs2);
+  check Alcotest.bool "merge output is deeper" true
+    (List.exists (fun i -> i.Delta_log.inst_level >= 2) installs2);
+  check Alcotest.(list int) "scan order after merges"
+    (List.init 120 (fun i -> i + 1))
+    (scanned_roots log);
+  check Alcotest.bool "dead bytes from superseded inputs" true
+    (Delta_log.dead_bytes log > 0)
+
+let test_fenced_scan () =
+  let log = make_log (flash ()) in
+  append_ids log 1 120;
+  ignore (drain log);
+  (* a narrow fence emits a superset of the range, but far fewer pages
+     than the whole log *)
+  let hits = scanned_roots ~lo:50 ~hi:55 log in
+  List.iter
+    (fun id ->
+       if not (List.mem id hits) then Alcotest.failf "id %d missing from fence" id)
+    [ 50; 51; 52; 53; 54; 55 ];
+  check Alcotest.bool "fence skips pages" true (List.length hits < 120);
+  check Alcotest.bool "superset only from overlapping pages" true
+    (List.for_all (fun id -> id >= 1 && id <= 120) hits);
+  (* unbounded range is the full scan *)
+  check Alcotest.int "unbounded = full" 120 (List.length (scanned_roots log))
+
+let test_tombstone_folding () =
+  let log = make_log (flash ()) in
+  append_ids log 1 60;
+  let dropped id = id mod 2 = 0 in
+  let installs = drain ~drop:dropped log in
+  let folded = List.fold_left (fun a i -> a + i.Delta_log.inst_dropped) 0 installs in
+  check Alcotest.bool "tombstoned records folded" true (folded > 0);
+  check Alcotest.int "dropped accounted" folded (Delta_log.dropped_records log);
+  check Alcotest.int "count still monotonic" 60 (Delta_log.count log);
+  check Alcotest.int "physical shrinks" (60 - folded) (Delta_log.physical_records log);
+  List.iter
+    (fun id ->
+       if dropped id && List.mem id (scanned_roots log) && id <= 60 - 10 then
+         (* the L0 tail may retain recent tombstoned records; spilled
+            even ids must be gone *)
+         Alcotest.failf "folded id %d still scanned" id)
+    (List.init 40 (fun i -> i + 1))
+
+let test_flat_mode_untouched () =
+  let f = flash () in
+  let log =
+    Delta_log.create ~durability:Delta_log.Checksummed f ~table:"R"
+      ~levels:[ "R"; "A"; "B" ]
+      ~hidden_cols:[ ("q", Value.T_int); ("s", Value.T_char 8) ]
+  in
+  append_ids log 1 50;
+  check Alcotest.bool "no policy, nothing pending" false
+    (Delta_log.compaction_pending log);
+  check Alcotest.bool "flat step is idle" true
+    (Delta_log.compact_step log ~max_pages:1 = Delta_log.Idle);
+  check Alcotest.int "no runs" 0 (Delta_log.run_count log);
+  (* bounds are ignored on a flat log: every record still streams *)
+  check Alcotest.int "flat scan_range = scan" 50
+    (List.length (scanned_roots ~lo:10 ~hi:12 log))
+
+(* ---- end to end ---- *)
+
+let scale = Medical.tiny
+
+let new_prescriptions ?(seed = 5) db n =
+  let rng = Rng.create seed in
+  let next = scale.Medical.prescriptions + Ghost_db.delta_count db + 1 in
+  List.init n (fun i ->
+    [|
+      Value.Int (next + i);
+      Value.Int (Rng.int_in rng 1 10);
+      Value.Int (Rng.int_in rng 1 4);
+      Value.Date (Rng.int_in rng Medical.date_lo Medical.date_hi);
+      Value.Int (1 + Rng.int rng scale.Medical.medicines);
+      Value.Int (1 + Rng.int rng scale.Medical.visits);
+    |])
+
+let rows_equal got expected = Reference.sort_rows got = Reference.sort_rows expected
+
+let check_all_queries ?(tag = "") db reference =
+  List.iter
+    (fun (name, sql) ->
+       let got = (Ghost_db.query db sql).Exec.rows in
+       let want = (Ghost_db.query reference sql).Exec.rows in
+       if not (rows_equal got want) then
+         Alcotest.failf "%s%s differs from flat reference" tag name)
+    Queries.all
+
+(* Identical mutations on a leveled and a flat instance. *)
+let make_pair () =
+  let rows = Medical.generate scale in
+  let db = Ghost_db.of_schema ~device_config:runs_config (Medical.schema ()) rows in
+  let flat = Ghost_db.of_schema ~device_config:flat_config (Medical.schema ()) rows in
+  let mutate d =
+    Ghost_db.insert d (new_prescriptions d 60);
+    Ghost_db.delete d [ 2; 5; 9; scale.Medical.prescriptions + 7 ];
+    Ghost_db.insert d (new_prescriptions ~seed:9 d 25)
+  in
+  mutate db;
+  mutate flat;
+  (db, flat)
+
+let test_merge_on_read_equivalence () =
+  let db, flat = make_pair () in
+  check Alcotest.bool "compaction pending after inserts" true
+    (Ghost_db.compaction_pending db);
+  (* answers agree before, during and after compaction *)
+  check_all_queries ~tag:"pre-compaction " db flat;
+  Ghost_db.compact db;
+  check Alcotest.bool "drained" false (Ghost_db.compaction_pending db);
+  let f = Device.fault_counters (Ghost_db.device db) in
+  check Alcotest.bool "spills counted" true (f.Device.log_spills > 0);
+  check_all_queries ~tag:"post-compaction " db flat;
+  (* a tombstoned, already-spilled record was folded away *)
+  let log =
+    match Catalog.delta (Ghost_db.catalog db) "Prescription" with
+    | Some l -> l
+    | None -> Alcotest.fail "no delta log"
+  in
+  check Alcotest.bool "fold shrank the physical log" true
+    (Delta_log.physical_records log < Delta_log.count log);
+  (* reorganization folds the leveled log exactly like the flat one *)
+  let db2 = Ghost_db.reorganize db in
+  let flat2 = Ghost_db.reorganize flat in
+  check Alcotest.int "delta folded" 0 (Ghost_db.delta_count db2);
+  check_all_queries ~tag:"post-reorg " db2 flat2
+
+let test_image_roundtrip_mid_compaction () =
+  let db, flat = make_pair () in
+  (* leave a compaction unit in flight: its state must be plain data *)
+  let log =
+    match Catalog.delta (Ghost_db.catalog db) "Prescription" with
+    | Some l -> l
+    | None -> Alcotest.fail "no delta log"
+  in
+  (match Delta_log.compact_step log ~max_pages:1 with
+   | Delta_log.Worked -> ()
+   | Delta_log.Idle | Delta_log.Installed _ ->
+     Alcotest.fail "expected an in-flight unit");
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ()) "ghostdb_test_lsm.img"
+  in
+  Ghost_db.save_image db path;
+  let reopened = Ghost_db.load_image path in
+  Sys.remove path;
+  check_all_queries ~tag:"reloaded mid-compaction " reopened flat;
+  Ghost_db.compact reopened;
+  check Alcotest.bool "resumed to quiescence" false
+    (Ghost_db.compaction_pending reopened);
+  check_all_queries ~tag:"reloaded compacted " reopened flat
+
+(* Every Flash program compaction issues is a crash point: tear each
+   one in turn; recovery must roll the log forward or back to a state
+   that answers exactly like the untouched flat twin, and compaction
+   must then run to completion. *)
+let test_crash_point_sweep () =
+  let programs_of_full_compaction () =
+    let db, _ = make_pair () in
+    let flash = Device.flash (Ghost_db.device db) in
+    let before = (Flash.stats flash).Flash.page_programs in
+    Ghost_db.compact db;
+    (Flash.stats flash).Flash.page_programs - before
+  in
+  let total = programs_of_full_compaction () in
+  check Alcotest.bool "compaction programs pages" true (total > 0);
+  for k = 1 to total do
+    let db, flat = make_pair () in
+    let flash = Device.flash (Ghost_db.device db) in
+    Flash.arm_power_cut flash ~after_programs:k;
+    (try
+       Ghost_db.compact db;
+       Alcotest.failf "crash point %d/%d never fired" k total
+     with Flash.Power_cut _ -> ());
+    if not (Ghost_db.needs_recovery db) then
+      Alcotest.failf "crash point %d: recovery not flagged" k;
+    ignore (Ghost_db.recover db);
+    check_all_queries ~tag:(Printf.sprintf "crash %d recovered " k) db flat;
+    Ghost_db.compact db;
+    if Ghost_db.compaction_pending db then
+      Alcotest.failf "crash point %d: compaction did not drain" k;
+    check_all_queries ~tag:(Printf.sprintf "crash %d compacted " k) db flat
+  done
+
+let test_scheduler_coexistence () =
+  let db, flat = make_pair () in
+  let sched =
+    Scheduler.create ~quantum_us:500. (Ghost_db.catalog db) (Ghost_db.public db)
+  in
+  let scrub =
+    Scrub.create ~batch_pages:4 (Ghost_db.device db)
+      ~pages:(Catalog.structure_pages (Ghost_db.catalog db))
+  in
+  Scheduler.set_scrubber sched (Some scrub);
+  let compactor = Compaction.create (Ghost_db.catalog db) in
+  Scheduler.set_compactor sched (Some compactor);
+  let sql = "SELECT COUNT(*) FROM Prescription Pre" in
+  let ids =
+    List.map (fun p -> Scheduler.submit sched p) (List.map fst (Ghost_db.plans db sql))
+  in
+  (* [run] drains queries, then alternates idle slices between scrub
+     and compaction until both are quiet *)
+  Scheduler.run sched;
+  check Alcotest.bool "compactor drained" true (Compaction.idle compactor);
+  check Alcotest.bool "scrub pass done" true (Scrub.idle scrub);
+  check Alcotest.bool "compaction progressed" true
+    ((Compaction.progress compactor).Compaction.spills > 0);
+  let expected = (Ghost_db.query flat sql).Exec.rows in
+  List.iter
+    (fun id ->
+       match Scheduler.outcome sched id with
+       | Some (Scheduler.Completed r) ->
+         if not (rows_equal r.Exec.rows expected) then
+           Alcotest.fail "scheduled query differs from flat reference"
+       | _ -> Alcotest.fail "session did not complete")
+    ids;
+  check_all_queries ~tag:"after scheduler " db flat
+
+(* ---- randomized interleaving property ---- *)
+
+let run_interleaving_case seed =
+  let rng = Rng.create (seed lxor 0x1f2e3d) in
+  let tables = Test_random_schema.random_tables rng in
+  let schema = Test_random_schema.schema_of_tables tables in
+  let rows = Test_random_schema.random_rows rng tables in
+  let root = tables.(0) in
+  let device_config =
+    {
+      Device.default_config with
+      Device.durable_logs = true;
+      flash_geometry = small_geometry;
+      log_runs = Some { Device.l0_spill_pages = 2; run_fanout = 2 };
+    }
+  in
+  let db = Ghost_db.of_schema ~device_config schema rows in
+  let compactor = Compaction.create (Ghost_db.catalog db) in
+  let inserted = ref [] in  (* newest first *)
+  let deleted = ref [] in
+  let n_base = root.Test_random_schema.gt_rows in
+  let fresh_root_row id =
+    let attrs =
+      List.map
+        (fun gc ->
+           match gc.Test_random_schema.gc_refs with
+           | Some target ->
+             let n =
+               (Array.to_list tables
+                |> List.find (fun t -> t.Test_random_schema.gt_name = target))
+                 .Test_random_schema.gt_rows
+             in
+             Value.Int (Rng.int_in rng 1 n)
+           | None -> Test_random_schema.random_value rng gc.Test_random_schema.gc_ty)
+        root.Test_random_schema.gt_cols
+    in
+    Array.of_list (Value.Int id :: attrs)
+  in
+  let ok = ref true in
+  let live_reference () =
+    let root_rows =
+      (List.assoc root.Test_random_schema.gt_name rows @ List.rev !inserted)
+      |> List.filter (fun r ->
+          match r.(0) with
+          | Value.Int id -> not (List.mem id !deleted)
+          | _ -> false)
+    in
+    Reference.db_of_rows schema
+      (List.map
+         (fun (name, rs) ->
+            if name = root.Test_random_schema.gt_name then (name, root_rows)
+            else (name, rs))
+         rows)
+  in
+  let run_query () =
+    let sql, ordered = Test_random_schema.random_query rng schema in
+    let q =
+      try Ghost_db.bind db sql
+      with e ->
+        Printf.printf "BIND FAILURE seed=%d on %s\n" seed sql;
+        raise e
+    in
+    let expected = Reference.run schema (live_reference ()) q in
+    let r = Ghost_db.query db sql in
+    let same =
+      if ordered then r.Exec.rows = expected
+      else Test_random_schema.rows_equal r.Exec.rows expected
+    in
+    if not same then begin
+      Printf.printf "LSM MISMATCH seed=%d sql=%s got=%d want=%d\n" seed sql
+        (List.length r.Exec.rows) (List.length expected);
+      ok := false
+    end
+  in
+  for _ = 1 to 14 do
+    match Rng.int rng 4 with
+    | 0 ->
+      let n = Rng.int_in rng 1 6 in
+      let next = n_base + List.length !inserted + 1 in
+      let batch = List.init n (fun i -> fresh_root_row (next + i)) in
+      Ghost_db.insert db batch;
+      inserted := List.rev batch @ !inserted
+    | 1 ->
+      let top = n_base + List.length !inserted in
+      let doomed =
+        List.init (Rng.int_in rng 1 3) (fun _ -> Rng.int_in rng 1 top)
+        |> List.filter (fun id -> not (List.mem id !deleted))
+        |> List.sort_uniq compare
+      in
+      if doomed <> [] then begin
+        Ghost_db.delete db doomed;
+        deleted := doomed @ !deleted
+      end
+    | 2 -> ignore (Compaction.step compactor)
+    | _ -> run_query ()
+  done;
+  (* settle: drain compaction, then every query shape must still match *)
+  Compaction.run_pending compactor;
+  run_query ();
+  run_query ();
+  let verdict = Ghost_db.audit db in
+  if not verdict.Ghostdb.Privacy.ok then begin
+    Printf.printf "PRIVACY VIOLATION seed=%d\n" seed;
+    ok := false
+  end;
+  !ok
+
+let prop_interleaving =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"random schemas: interleaved mutations + compaction = reference"
+       ~count:25
+       QCheck.(int_range 0 1_000_000)
+       run_interleaving_case)
+
+let suite =
+  [
+    Alcotest.test_case "spill and merge mechanics" `Quick test_spill_and_merge;
+    Alcotest.test_case "fenced scan skips pages" `Quick test_fenced_scan;
+    Alcotest.test_case "tombstone folding" `Quick test_tombstone_folding;
+    Alcotest.test_case "flat mode untouched" `Quick test_flat_mode_untouched;
+    Alcotest.test_case "merge-on-read = flat reference" `Quick
+      test_merge_on_read_equivalence;
+    Alcotest.test_case "image roundtrip mid-compaction" `Quick
+      test_image_roundtrip_mid_compaction;
+    Alcotest.test_case "crash-point sweep over compaction" `Quick
+      test_crash_point_sweep;
+    Alcotest.test_case "scheduler: compaction + scrubbing coexist" `Quick
+      test_scheduler_coexistence;
+    prop_interleaving;
+  ]
